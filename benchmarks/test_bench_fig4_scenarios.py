@@ -1,0 +1,35 @@
+"""Fig. 4 — the six workload scenarios of the AI benchmark app."""
+
+from repro.analysis import render_fig4
+from repro.workloads import ALL_CASES, ScenarioCase, scenario
+
+from .conftest import write_artifact
+
+
+def materialise():
+    return [scenario(case, slices=50) for case in ALL_CASES]
+
+
+def test_fig4_reproduction(benchmark):
+    scenarios = benchmark.pedantic(materialise, rounds=3, iterations=1)
+    text = render_fig4(scenarios)
+    write_artifact("fig4.txt", text)
+    print("\n" + text)
+    by_case = {sc.case: sc for sc in scenarios}
+    low = by_case[ScenarioCase.LOW_CONSTANT]
+    high = by_case[ScenarioCase.HIGH_CONSTANT]
+    assert set(low.loads) == {2}
+    assert set(high.loads) == {10}
+    # Spike cadence: case 4 spikes 2.5x as often as case 3.
+    spikes3 = sum(1 for load in by_case[ScenarioCase.PERIODIC_SPIKE].loads
+                  if load == 10)
+    spikes4 = sum(1 for load in by_case[ScenarioCase.PERIODIC_SPIKE_FREQUENT].loads
+                  if load == 10)
+    assert spikes4 > 2 * spikes3
+    # Pulsing alternates 5-slice blocks.
+    pulsing = by_case[ScenarioCase.PULSING].loads
+    assert pulsing[:5] == (10,) * 5 and pulsing[5:10] == (2,) * 5
+    # Random is seeded/reproducible.
+    assert by_case[ScenarioCase.RANDOM].loads == scenario(
+        ScenarioCase.RANDOM, slices=50
+    ).loads

@@ -1,0 +1,98 @@
+"""Fig. 5 — energy savings of HH-PIM over every baseline, all scenarios.
+
+Regenerates the full grid (3 models x 6 cases x 4 architectures, 50 time
+slices each) and asserts the paper's qualitative shape:
+
+* HH-PIM saves energy against every baseline in (almost) every cell;
+* Case 1 (constant low) is the best case, Case 2 (constant high) the worst;
+* in Case 2 the margin over Heterogeneous-PIM nearly vanishes (paper: 3.72%);
+* savings vs Baseline-PIM exceed savings vs Heterogeneous-PIM on average;
+* ResNet-18 achieves the largest savings vs Baseline-PIM among the models.
+"""
+
+from repro.analysis import average_savings, render_fig5
+from repro.analysis.savings import BASELINE_NAMES
+from repro.workloads import ScenarioCase
+
+from .conftest import write_artifact
+
+#: Paper reference points (EfficientNet-family headline numbers).
+PAPER_CASE1 = {"Baseline-PIM": 0.8623, "Heterogeneous-PIM": 0.787,
+               "Hybrid-PIM": 0.665}
+PAPER_AVG = {"Baseline-PIM": 0.6043, "Heterogeneous-PIM": 0.363,
+             "Hybrid-PIM": 0.4858}
+
+
+def test_fig5_reproduction(savings_grid, benchmark):
+    grid = benchmark.pedantic(lambda: savings_grid, rounds=1, iterations=1)
+    text = render_fig5(grid)
+    write_artifact("fig5.txt", text)
+    print("\n" + text)
+
+    # (a) HH-PIM wins everywhere (tolerance for the near-tie of Case 2
+    # vs Heterogeneous-PIM, the paper's 3.72 % cell).
+    for cell in grid.cells:
+        for name in BASELINE_NAMES:
+            floor = -0.02 if (
+                cell.case is ScenarioCase.HIGH_CONSTANT
+                and name == "Heterogeneous-PIM"
+            ) else 0.0
+            assert cell.savings[name] > floor, (cell.model, cell.case, name)
+
+    # (b) Case 1 best / Case 2 worst for every model, vs Baseline.
+    for model in grid.models():
+        by_case = {
+            case: grid.cell(model, case).savings["Baseline-PIM"]
+            for case in grid.cases()
+        }
+        assert by_case[ScenarioCase.LOW_CONSTANT] == max(by_case.values())
+        assert by_case[ScenarioCase.HIGH_CONSTANT] == min(by_case.values())
+
+    # (c) Case 2 margin over Hetero-PIM nearly vanishes (paper: 3.72 %) —
+    # at full load HH-PIM is forced into the same SRAM placements the
+    # heterogeneous design uses.  Models with a larger non-PIM share
+    # (MobileNetV2) retain some PIM slack, so we assert the near-tie on
+    # the tightest model and a moderate bound on the rest.
+    margins = {
+        model: grid.cell(model, ScenarioCase.HIGH_CONSTANT).savings[
+            "Heterogeneous-PIM"
+        ]
+        for model in grid.models()
+    }
+    assert min(margins.values()) < 0.10
+    assert all(margin < 0.35 for margin in margins.values())
+
+    # (d) Average ordering matches the paper's headline.
+    averages = average_savings(grid)
+    print("average savings:", {k: f"{v:.1%}" for k, v in averages.items()})
+    print("paper averages: ", {k: f"{v:.1%}" for k, v in PAPER_AVG.items()})
+    # Baseline-PIM is the weakest comparison point, as in the paper.
+    assert averages["Baseline-PIM"] > averages["Hybrid-PIM"]
+    assert averages["Baseline-PIM"] > averages["Heterogeneous-PIM"]
+    # Magnitudes within 15 percentage points of the paper.  (The paper's
+    # Hybrid-vs-Hetero ordering is not asserted: our Hetero margin runs a
+    # few points above the published one — see EXPERIMENTS.md.)
+    for name, value in PAPER_AVG.items():
+        assert abs(averages[name] - value) < 0.15, name
+
+    # (e) ResNet-18 shows the largest baseline savings (paper: "HH-PIM
+    # achieved the highest energy savings over the baseline in ResNet-18").
+    per_model = {
+        model: sum(
+            grid.cell(model, case).savings["Baseline-PIM"]
+            for case in grid.cases()
+        )
+        for model in grid.models()
+    }
+    assert per_model["ResNet-18"] == max(per_model.values())
+
+
+def test_case1_magnitudes(savings_grid, benchmark):
+    cell = benchmark.pedantic(
+        lambda: savings_grid.cell("EfficientNet-B0", ScenarioCase.LOW_CONSTANT),
+        rounds=1, iterations=1,
+    )
+    print("Case 1 savings:", {k: f"{v:.1%}" for k, v in cell.savings.items()})
+    print("paper:         ", {k: f"{v:.1%}" for k, v in PAPER_CASE1.items()})
+    for name, value in PAPER_CASE1.items():
+        assert abs(cell.savings[name] - value) < 0.20, name

@@ -1,0 +1,93 @@
+"""Fig. 6 — memory utilisation and E_task across t_constraint.
+
+Also covers ablation A3 (SRAM-for-weights vs MRAM-only peaks — the green
+vs purple dots) and the paper's 43.17 % optimized-vs-unoptimized claim in
+the long-t_constraint region.
+"""
+
+import pytest
+
+from repro.analysis import fig6_series, render_fig6
+from repro.arch import HH_PIM
+from repro.core import DataPlacementOptimizer, SpaceKind
+from repro.core.runtime import default_time_slice_ns
+from repro.core.spaces import CORE_MAC_TIME_NS
+from repro.workloads import TABLE_IV
+
+from .conftest import write_artifact
+
+
+def test_fig6_reproduction(hh_effnet_lut, benchmark):
+    optimizer, lut = hh_effnet_lut
+    series = benchmark.pedantic(
+        lambda: fig6_series(lut, points=120), rounds=1, iterations=1
+    )
+    text = render_fig6(lut, points=40)
+    write_artifact("fig6.txt", text)
+    print("\n" + text)
+
+    # Peak point: SRAM of both clusters carries the weights, split close
+    # to the paper's 16:9 (= 1.78) HP:LP ratio.
+    peak = lut.peak_placement
+    hp_sram = peak.count(SpaceKind.HP_SRAM)
+    lp_sram = peak.count(SpaceKind.LP_SRAM)
+    assert hp_sram > 0 and lp_sram > 0
+    assert 1.4 < hp_sram / lp_sram < 2.3
+
+    # E_task declines monotonically (quasi-linear with plateaus) and the
+    # most relaxed region collapses onto LP-MRAM only, power-gating the rest.
+    energies = [p.e_task_normalized for p in series]
+    assert energies[0] == pytest.approx(1.0)
+    assert all(b <= a + 1e-9 for a, b in zip(energies, energies[1:]))
+    final = series[-1]
+    assert final.utilization.get(SpaceKind.LP_MRAM, 0) == pytest.approx(1.0)
+
+    # Optimized vs unoptimized in the relaxed region (paper: 43.17 %).
+    window = lut.t_max_ns
+    unoptimized = lut.peak_placement.task_energy_nj(window)
+    optimized = lut.lookup(window, window_ns=window).task_energy_nj(window)
+    reduction = 1 - optimized / unoptimized
+    print(f"relaxed-region E_task reduction vs unoptimized: {reduction:.1%} "
+          f"(paper: 43.17%)")
+    assert reduction > 0.30
+
+
+@pytest.mark.parametrize("model", TABLE_IV, ids=lambda m: m.name)
+def test_peak_inference_times_match_paper(model, benchmark):
+    """Green dot: 31.06 / 25.71 / 320.87 ms at 50 MHz."""
+    def build():
+        t_slice = default_time_slice_ns(model)
+        optimizer = DataPlacementOptimizer(HH_PIM, model, t_slice_ns=t_slice)
+        return optimizer.build_lut()
+    lut = benchmark.pedantic(build, rounds=1, iterations=1)
+    inference_ns = (lut.peak_placement.task_time_ns
+                    + model.core_macs * CORE_MAC_TIME_NS)
+    print(f"{model.name}: measured {inference_ns / 1e6:.2f} ms, "
+          f"paper {model.peak_inference_ns / 1e6:.2f} ms")
+    assert inference_ns == pytest.approx(model.peak_inference_ns, rel=0.03)
+
+
+@pytest.mark.parametrize("model", TABLE_IV, ids=lambda m: m.name)
+def test_mram_only_peak_is_slower(model, benchmark):
+    """Purple dot (A3): storing weights in SRAM too beats MRAM-only.
+
+    The paper measures a 1.43x gap; our operand-stream timing model
+    yields ~1.13x — same direction, smaller magnitude (documented in
+    EXPERIMENTS.md).
+    """
+    def build():
+        t_slice = default_time_slice_ns(model)
+        optimizer = DataPlacementOptimizer(HH_PIM, model, t_slice_ns=t_slice)
+        full = optimizer.build_lut()
+        mram = optimizer.build_lut(
+            restrict_to=[SpaceKind.HP_MRAM, SpaceKind.LP_MRAM]
+        )
+        return full, mram
+    full, mram = benchmark.pedantic(build, rounds=1, iterations=1)
+    core_ns = model.core_macs * CORE_MAC_TIME_NS
+    green = full.peak_placement.task_time_ns + core_ns
+    purple = mram.peak_placement.task_time_ns + core_ns
+    ratio = purple / green
+    print(f"{model.name}: MRAM-only/peak inference ratio {ratio:.3f} "
+          f"(paper {model.mram_only_inference_ns / model.peak_inference_ns:.3f})")
+    assert ratio > 1.05

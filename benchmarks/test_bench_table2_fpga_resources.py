@@ -1,0 +1,39 @@
+"""Table II — FPGA prototype resource utilisation."""
+
+from repro.arch import HH_PIM
+from repro.fpga import estimate_processor, table_ii_report
+
+from .conftest import write_artifact
+
+#: (LUTs, FFs, BRAMs, DSPs) per Table II row.
+PAPER_ROWS = {
+    "RISC-V Rocket Core": (14_998, 9_762, 12, 4),
+    "Peripherals": (4_704, 7_159, 0, 0),
+    "System Interconnect": (5_237, 7_720, 0, 0),
+    "HP-PIM Module": (968, 1_055, 32, 2),
+    "HP-PIM Module Controller": (2_823, 875, 0, 0),
+    "Total (HP-PIM module cluster)": (6_951, 5_460, 128, 8),
+    "LP-PIM Module": (1_074, 1_094, 32, 2),
+    "LP-PIM Module Controller": (2_149, 875, 0, 0),
+    "Total (LP-PIM module cluster)": (6_680, 5_616, 128, 8),
+}
+
+
+def test_table2_reproduction(benchmark):
+    report = benchmark.pedantic(table_ii_report, rounds=3, iterations=1)
+    text = report.render()
+    write_artifact("table2.txt", text)
+    print("\n" + text)
+    for name, resources in report.rows:
+        expected = PAPER_ROWS[name]
+        got = (resources.luts, resources.ffs, resources.brams, resources.dsps)
+        assert got == expected, name
+
+
+def test_full_processor_estimate(benchmark):
+    report = benchmark(estimate_processor, HH_PIM)
+    total = report.total
+    # Core + both clusters; totals consistent with the itemised rows.
+    assert total.luts == 14_998 + 4_704 + 5_237 + 6_951 + 6_680
+    assert total.brams == 12 + 128 + 128
+    assert total.dsps == 4 + 8 + 8

@@ -1,0 +1,62 @@
+"""Table III — latency comparison of HP-PIM and LP-PIM modules.
+
+The values are *derived* through the NVSim-style estimator (technology
+fit -> macro estimate), not transcribed, so this bench exercises the
+whole memory-model chain.
+"""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.memory import NvSimModel, PE_45NM, SRAM_45NM, STT_MRAM_45NM
+from repro.memory.technology import HP_VDD, LP_VDD
+
+from .conftest import write_artifact
+
+PAPER = {
+    # cluster: (mram_r, mram_w, sram_r, sram_w, pe)
+    "HP-PIM (Vdd=1.2V)": (2.62, 11.81, 1.12, 1.12, 5.52),
+    "LP-PIM (Vdd=0.8V)": (2.96, 14.65, 1.41, 1.41, 10.68),
+}
+
+
+def derive_table_iii():
+    rows = {}
+    for label, vdd in (("HP-PIM (Vdd=1.2V)", HP_VDD), ("LP-PIM (Vdd=0.8V)", LP_VDD)):
+        mram = NvSimModel(STT_MRAM_45NM).estimate(64 * 1024, vdd)
+        sram = NvSimModel(SRAM_45NM).estimate(64 * 1024, vdd)
+        rows[label] = (
+            mram.timing.read_ns, mram.timing.write_ns,
+            sram.timing.read_ns, sram.timing.write_ns,
+            PE_45NM.mac_latency(vdd),
+        )
+    return rows
+
+
+def test_table3_reproduction(benchmark):
+    rows = benchmark.pedantic(derive_table_iii, rounds=3, iterations=1)
+    table = TextTable(["Latency (ns)", "MRAM Read", "MRAM Write",
+                       "SRAM Read", "SRAM Write", "PE"])
+    for label, values in rows.items():
+        table.add_row(label, *[round(v, 2) for v in values])
+    text = table.render()
+    write_artifact("table3.txt", text)
+    print("\n" + text)
+    for label, expected in PAPER.items():
+        for got, want in zip(rows[label], expected):
+            assert got == pytest.approx(want, abs=1e-6)
+
+
+def test_latency_shape_across_voltage(benchmark):
+    """Sweep beyond the published points: latency grows monotonically as
+    Vdd drops, for every component."""
+    def sweep():
+        voltages = [1.2, 1.1, 1.0, 0.9, 0.8]
+        return {
+            "mram": [STT_MRAM_45NM.read_latency(v) for v in voltages],
+            "sram": [SRAM_45NM.read_latency(v) for v in voltages],
+            "pe": [PE_45NM.mac_latency(v) for v in voltages],
+        }
+    curves = benchmark(sweep)
+    for name, series in curves.items():
+        assert series == sorted(series), name

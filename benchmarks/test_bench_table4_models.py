@@ -1,0 +1,43 @@
+"""Table IV — TinyML model specs and PIM operation ratios."""
+
+from repro.analysis import TextTable
+from repro.workloads import TABLE_IV
+
+from .conftest import write_artifact
+
+PAPER = {
+    "EfficientNet-B0": (95_000, 3_245_000, 0.85),
+    "MobileNetV2": (101_000, 2_528_000, 0.80),
+    "ResNet-18": (256_000, 29_580_000, 0.75),
+}
+
+
+def render_table_iv() -> str:
+    table = TextTable(["Model", "# Param", "# MAC", "PIM Operation"])
+    for model in TABLE_IV:
+        table.add_row(
+            model.name, model.params, model.macs,
+            f"{model.pim_ratio:.0%}",
+        )
+    return table.render()
+
+
+def test_table4_reproduction(benchmark):
+    text = benchmark.pedantic(render_table_iv, rounds=3, iterations=1)
+    write_artifact("table4.txt", text)
+    print("\n" + text)
+    for model in TABLE_IV:
+        params, macs, ratio = PAPER[model.name]
+        assert model.params == params
+        assert model.macs == macs
+        assert model.pim_ratio == ratio
+
+
+def test_backbone_stats(benchmark):
+    """The synthetic layer-level backbones stay shape-consistent."""
+    def all_stats():
+        return {m.name: m.backbone_stats() for m in TABLE_IV}
+    stats = benchmark(all_stats)
+    for name, layers in stats.items():
+        assert layers[-1].out_shape == (10,), name
+        assert sum(s.macs for s in layers) > 100_000

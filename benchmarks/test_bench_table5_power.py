@@ -1,0 +1,55 @@
+"""Table V — power consumption across memory types and PEs."""
+
+import pytest
+
+from repro.analysis import TextTable
+from repro.energy import table_v_rows
+
+from .conftest import write_artifact
+
+PAPER = {
+    "HP-PIM": dict(mram_r=428.48, mram_w=133.78, mram_s=2.98,
+                   sram_r=508.93, sram_w=500.0, sram_s=23.29,
+                   pe_d=0.9, pe_s=0.48),
+    "LP-PIM": dict(mram_r=179.05, mram_w=47.78, mram_s=0.84,
+                   sram_r=177.3, sram_w=177.3, sram_s=5.45,
+                   pe_d=0.51, pe_s=0.25),
+}
+
+
+def test_table5_reproduction(benchmark):
+    rows = benchmark.pedantic(table_v_rows, rounds=3, iterations=1)
+    table = TextTable(["Power (mW)", "MRAM R", "MRAM W", "MRAM static",
+                       "SRAM R", "SRAM W", "SRAM static", "PE dyn", "PE static"])
+    for row in rows:
+        table.add_row(
+            row.cluster,
+            round(row.mram_read_mw, 2), round(row.mram_write_mw, 2),
+            round(row.mram_static_mw, 2),
+            round(row.sram_read_mw, 2), round(row.sram_write_mw, 2),
+            round(row.sram_static_mw, 2),
+            round(row.pe_dynamic_mw, 2), round(row.pe_static_mw, 2),
+        )
+    text = table.render()
+    write_artifact("table5.txt", text)
+    print("\n" + text)
+    for row in rows:
+        want = PAPER[row.cluster]
+        assert row.mram_read_mw == pytest.approx(want["mram_r"], abs=1e-6)
+        assert row.mram_write_mw == pytest.approx(want["mram_w"], abs=1e-6)
+        assert row.mram_static_mw == pytest.approx(want["mram_s"], abs=1e-6)
+        assert row.sram_read_mw == pytest.approx(want["sram_r"], abs=1e-6)
+        assert row.sram_write_mw == pytest.approx(want["sram_w"], abs=1e-6)
+        assert row.sram_static_mw == pytest.approx(want["sram_s"], abs=1e-6)
+        assert row.pe_dynamic_mw == pytest.approx(want["pe_d"], abs=1e-9)
+        assert row.pe_static_mw == pytest.approx(want["pe_s"], abs=1e-9)
+
+
+def test_key_power_asymmetries(benchmark):
+    """The asymmetries the placement algorithm exploits must hold:
+    MRAM leaks far less than SRAM; LP dissipates less than HP."""
+    hp, lp = benchmark(table_v_rows)
+    assert hp.mram_static_mw < hp.sram_static_mw / 5
+    assert lp.mram_static_mw < lp.sram_static_mw / 5
+    assert lp.sram_read_mw < hp.sram_read_mw
+    assert lp.pe_dynamic_mw < hp.pe_dynamic_mw

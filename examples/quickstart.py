@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run HH-PIM against the baselines on one scenario.
+
+Builds a time-slice runtime for every Table I architecture, replays the
+periodic-spike workload (Fig. 4, Case 3) on EfficientNet-B0, and prints
+the energy comparison — a miniature of the paper's Fig. 5.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    EFFICIENTNET_B0,
+    TABLE_I,
+    TimeSliceRuntime,
+    ScenarioCase,
+    default_time_slice_ns,
+    scenario,
+)
+
+# Reduced optimizer resolution keeps this demo snappy (~seconds); the
+# benchmarks use the full default resolution.
+BLOCKS, STEPS = 48, 6000
+
+
+def main() -> None:
+    model = EFFICIENTNET_B0
+    t_slice = default_time_slice_ns(model, block_count=BLOCKS, time_steps=STEPS)
+    print(f"model: {model.name}  ({model.params:,} weights, "
+          f"{model.macs / 1e6:.2f}M MACs, {model.pim_ratio:.0%} on PIM)")
+    print(f"time slice T = {t_slice / 1e6:.1f} ms "
+          f"(10 peak-rate inferences + headroom)\n")
+
+    workload = scenario(ScenarioCase.PERIODIC_SPIKE)
+    print(f"workload: {workload.case.label}, {len(workload)} slices, "
+          f"{workload.total_inferences} inferences\n")
+
+    results = {}
+    for spec in TABLE_I:
+        runtime = TimeSliceRuntime(
+            spec, model, t_slice_ns=t_slice,
+            block_count=BLOCKS, time_steps=STEPS,
+        )
+        result = runtime.run(workload)
+        results[spec.name] = result
+        print(f"{spec.name:<18} policy={result.policy.value:<22} "
+              f"energy={result.total_energy_nj / 1e6:9.2f} mJ   "
+              f"mean power={result.mean_power_mw:7.2f} mW   "
+              f"deadlines {'OK' if result.deadlines_met else 'MISSED'}")
+
+    hh = results["HH-PIM"].total_energy_nj
+    print("\nHH-PIM energy savings:")
+    for name, result in results.items():
+        if name == "HH-PIM":
+            continue
+        saving = 1 - hh / result.total_energy_nj
+        print(f"  vs {name:<18} {saving:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All package metadata lives in ``pyproject.toml``; this file only enables
+the legacy ``pip install -e .`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""HH-PIM: heterogeneous-hybrid processing-in-memory for edge AI.
+
+A full reproduction of *"HH-PIM: Dynamic Optimization of Power and
+Performance with Heterogeneous-Hybrid PIM for Edge AI Devices"*
+(DAC 2025): the HH-PIM architecture model (clusters, modules, hybrid
+MRAM/SRAM memories, dual controllers, PIM ISA), the dynamic
+weight-placement optimizer (knapsack DP + allocation LUT), the
+time-slice runtime, every substrate the evaluation needs (NVSim-style
+memory estimation, RV32IM core, AXI/µNoC interconnect, FPGA resource
+model), and the analysis layer that regenerates the paper's tables and
+figures.
+
+Quickstart
+----------
+>>> from repro import (HH_PIM, EFFICIENTNET_B0, TimeSliceRuntime,
+...                    scenario, ScenarioCase)
+>>> runtime = TimeSliceRuntime(HH_PIM, EFFICIENTNET_B0)
+>>> result = runtime.run(scenario(ScenarioCase.PERIODIC_SPIKE))
+>>> result.deadlines_met
+True
+"""
+
+from .arch.specs import (
+    ArchitectureSpec,
+    BASELINE_PIM,
+    ClusterSpec,
+    HETEROGENEOUS_PIM,
+    HH_PIM,
+    HYBRID_PIM,
+    TABLE_I,
+)
+from .arch.processor import PimFabric, Processor
+from .core.lut import AllocationLUT, Placement
+from .core.placement import DataPlacementOptimizer, PlacementPolicy
+from .core.runtime import (
+    RunResult,
+    SliceRecord,
+    TimeSliceRuntime,
+    default_time_slice_ns,
+)
+from .core.spaces import SpaceKind, StorageSpace
+from .errors import ReproError
+from .workloads.models import (
+    EFFICIENTNET_B0,
+    MOBILENET_V2,
+    ModelSpec,
+    RESNET_18,
+    TABLE_IV,
+    model_by_name,
+)
+from .workloads.scenarios import Scenario, ScenarioCase, scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureSpec",
+    "ClusterSpec",
+    "BASELINE_PIM",
+    "HETEROGENEOUS_PIM",
+    "HYBRID_PIM",
+    "HH_PIM",
+    "TABLE_I",
+    "PimFabric",
+    "Processor",
+    "AllocationLUT",
+    "Placement",
+    "DataPlacementOptimizer",
+    "PlacementPolicy",
+    "RunResult",
+    "SliceRecord",
+    "TimeSliceRuntime",
+    "default_time_slice_ns",
+    "SpaceKind",
+    "StorageSpace",
+    "ReproError",
+    "EFFICIENTNET_B0",
+    "MOBILENET_V2",
+    "RESNET_18",
+    "ModelSpec",
+    "TABLE_IV",
+    "model_by_name",
+    "Scenario",
+    "ScenarioCase",
+    "scenario",
+    "__version__",
+]

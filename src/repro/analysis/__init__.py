@@ -1,0 +1,24 @@
+"""Analysis: energy-savings grids (Fig. 5 / Table VI) and figure renderers."""
+
+from .savings import (
+    SavingsCell,
+    SavingsGrid,
+    compute_savings_grid,
+    table_vi,
+    average_savings,
+)
+from .figures import render_fig4, render_fig5, render_fig6, fig6_series
+from .reporting import TextTable
+
+__all__ = [
+    "SavingsCell",
+    "SavingsGrid",
+    "compute_savings_grid",
+    "table_vi",
+    "average_savings",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "fig6_series",
+    "TextTable",
+]

@@ -1,0 +1,46 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class TextTable:
+    """A minimal aligned text table (right-aligned numeric cells)."""
+
+    def __init__(self, headers) -> None:
+        if not headers:
+            raise ConfigurationError("table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        self.rows: list = []
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cell count must match the header."""
+        if len(cells) != len(self.headers):
+            raise ConfigurationError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([self._format(cell) for cell in cells])
+
+    @staticmethod
+    def _format(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:,.2f}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    def render(self) -> str:
+        """The aligned table as a string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells):
+            return "  ".join(
+                cell.rjust(w) if i else cell.ljust(w)
+                for i, (cell, w) in enumerate(zip(cells, widths))
+            )
+        lines = [fmt(self.headers), "-" * (sum(widths) + 2 * (len(widths) - 1))]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)

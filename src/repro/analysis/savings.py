@@ -1,0 +1,194 @@
+"""Energy-savings grids: the machinery behind Fig. 5 and Table VI.
+
+Runs the full comparison matrix — every Table I architecture, every
+Table IV model, every Fig. 4 scenario over 50 time slices — and reports
+HH-PIM's savings against each comparison architecture.  Results are
+cached per (model, slices, seed, block_count) so that the Fig. 5 and
+Table VI benchmarks share one grid computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.specs import TABLE_I, ArchitectureSpec, HH_PIM
+from ..core.placement import DEFAULT_BLOCK_COUNT
+from ..core.runtime import RunResult, TimeSliceRuntime, default_time_slice_ns
+from ..errors import ConfigurationError
+from ..workloads.models import TABLE_IV, ModelSpec
+from ..workloads.scenarios import ALL_CASES, ScenarioCase, scenario
+
+#: Comparison architectures, in the paper's column order.
+BASELINE_NAMES = ("Baseline-PIM", "Heterogeneous-PIM", "Hybrid-PIM")
+
+
+@dataclass(frozen=True)
+class SavingsCell:
+    """HH-PIM's savings for one (model, scenario) against each baseline."""
+
+    model: str
+    case: ScenarioCase
+    #: Baseline name -> fractional savings (0.6 == 60 %).
+    savings: dict
+    #: Architecture name -> total energy (nJ), including HH-PIM.
+    energies: dict
+
+
+@dataclass(frozen=True)
+class SavingsGrid:
+    """The full Fig. 5 grid: cells for every model and scenario."""
+
+    cells: tuple
+    slices: int
+
+    def cell(self, model: str, case: ScenarioCase) -> SavingsCell:
+        """Look one cell up."""
+        for cell in self.cells:
+            if cell.model == model and cell.case is case:
+                return cell
+        raise ConfigurationError(f"no cell for ({model}, {case})")
+
+    def models(self):
+        """Distinct model names, in Table IV order."""
+        names = []
+        for cell in self.cells:
+            if cell.model not in names:
+                names.append(cell.model)
+        return names
+
+    def cases(self):
+        """Distinct scenario cases, in Fig. 4 order."""
+        cases = []
+        for cell in self.cells:
+            if cell.case not in cases:
+                cases.append(cell.case)
+        return cases
+
+
+_GRID_CACHE: dict = {}
+_RUN_CACHE: dict = {}
+
+
+def run_architecture(
+    spec: ArchitectureSpec,
+    model: ModelSpec,
+    case: ScenarioCase,
+    slices: int = 50,
+    seed: int = 2025,
+    block_count: int = DEFAULT_BLOCK_COUNT,
+) -> RunResult:
+    """Run one (architecture, model, scenario) cell, with caching."""
+    key = (spec.name, model.name, case, slices, seed, block_count)
+    if key not in _RUN_CACHE:
+        runtime = _runtime_for(spec, model, block_count)
+        _RUN_CACHE[key] = runtime.run(
+            scenario(case, slices=slices, seed=seed)
+        )
+    return _RUN_CACHE[key]
+
+
+_RUNTIME_CACHE: dict = {}
+_TSLICE_CACHE: dict = {}
+
+
+def _t_slice_for(model: ModelSpec, block_count: int) -> float:
+    key = (model.name, block_count)
+    if key not in _TSLICE_CACHE:
+        _TSLICE_CACHE[key] = default_time_slice_ns(
+            model, block_count=block_count
+        )
+    return _TSLICE_CACHE[key]
+
+
+def _runtime_for(
+    spec: ArchitectureSpec, model: ModelSpec, block_count: int
+) -> TimeSliceRuntime:
+    key = (spec.name, model.name, block_count)
+    if key not in _RUNTIME_CACHE:
+        _RUNTIME_CACHE[key] = TimeSliceRuntime(
+            spec,
+            model,
+            t_slice_ns=_t_slice_for(model, block_count),
+            block_count=block_count,
+        )
+    return _RUNTIME_CACHE[key]
+
+
+def compute_savings_grid(
+    models=TABLE_IV,
+    cases=ALL_CASES,
+    slices: int = 50,
+    seed: int = 2025,
+    block_count: int = DEFAULT_BLOCK_COUNT,
+) -> SavingsGrid:
+    """Compute (or fetch) the Fig. 5 savings grid."""
+    key = (
+        tuple(m.name for m in models), tuple(cases), slices, seed, block_count
+    )
+    if key in _GRID_CACHE:
+        return _GRID_CACHE[key]
+    cells = []
+    for model in models:
+        for case in cases:
+            energies = {
+                spec.name: run_architecture(
+                    spec, model, case, slices, seed, block_count
+                ).total_energy_nj
+                for spec in TABLE_I
+            }
+            hh = energies[HH_PIM.name]
+            savings = {
+                name: 1.0 - hh / energies[name] for name in BASELINE_NAMES
+            }
+            cells.append(
+                SavingsCell(
+                    model=model.name, case=case,
+                    savings=savings, energies=energies,
+                )
+            )
+    grid = SavingsGrid(cells=tuple(cells), slices=slices)
+    _GRID_CACHE[key] = grid
+    return grid
+
+
+def average_savings(grid: SavingsGrid) -> dict:
+    """Mean savings per baseline over all models and cases.
+
+    The paper's headline: "up to 60.43 %, 36.3 %, and 48.58 % compared to
+    Baseline-PIM, Hetero.-PIM, and H-PIM" on average.
+    """
+    sums = {name: 0.0 for name in BASELINE_NAMES}
+    for cell in grid.cells:
+        for name in BASELINE_NAMES:
+            sums[name] += cell.savings[name]
+    return {name: value / len(grid.cells) for name, value in sums.items()}
+
+
+def table_vi(grid: SavingsGrid) -> dict:
+    """Table VI: per-case savings for Cases 3-6, averaged over models."""
+    wanted = (
+        ScenarioCase.PERIODIC_SPIKE,
+        ScenarioCase.PERIODIC_SPIKE_FREQUENT,
+        ScenarioCase.PULSING,
+        ScenarioCase.RANDOM,
+    )
+    rows = {}
+    models = grid.models()
+    for case in wanted:
+        sums = {name: 0.0 for name in BASELINE_NAMES}
+        for model in models:
+            cell = grid.cell(model, case)
+            for name in BASELINE_NAMES:
+                sums[name] += cell.savings[name]
+        rows[case] = {
+            name: value / len(models) for name, value in sums.items()
+        }
+    return rows
+
+
+def clear_caches() -> None:
+    """Drop all memoised grids/runs (tests use this for isolation)."""
+    _GRID_CACHE.clear()
+    _RUN_CACHE.clear()
+    _RUNTIME_CACHE.clear()
+    _TSLICE_CACHE.clear()

@@ -1,0 +1,132 @@
+"""Design-space sweep utilities.
+
+The paper evaluates one fabric (4 HP + 4 LP, 64+64 kB).  These helpers
+sweep the axes a designer would explore next — HP/LP module split, supply
+voltage of the LP cluster, and time-slice length — reusing the same
+optimizer/runtime stack, so results are directly comparable with the
+Table I configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.specs import ArchitectureSpec, ClusterSpec
+from ..core.runtime import TimeSliceRuntime, default_time_slice_ns
+from ..errors import ConfigurationError
+from ..pim.module import ModuleKind
+from ..workloads.models import ModelSpec
+from ..workloads.scenarios import Scenario
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration."""
+
+    label: str
+    total_energy_nj: float
+    mean_power_mw: float
+    deadlines_met: bool
+    peak_task_time_ns: float
+
+
+def hh_variant(
+    hp_modules: int,
+    lp_modules: int,
+    mram_kb: int = 64,
+    sram_kb: int = 64,
+) -> ArchitectureSpec:
+    """An HH-PIM variant with arbitrary module split and bank sizes."""
+    if hp_modules <= 0:
+        raise ConfigurationError("need at least one HP module")
+    lp = None
+    if lp_modules > 0:
+        lp = ClusterSpec(ModuleKind.LP, lp_modules,
+                         mram_capacity=mram_kb * KB,
+                         sram_capacity=sram_kb * KB)
+    return ArchitectureSpec(
+        name=f"HH-{hp_modules}H{lp_modules}L-{mram_kb}M{sram_kb}S",
+        hp=ClusterSpec(ModuleKind.HP, hp_modules,
+                       mram_capacity=mram_kb * KB,
+                       sram_capacity=sram_kb * KB),
+        lp=lp,
+    )
+
+
+def sweep_module_split(
+    model: ModelSpec,
+    workload: Scenario,
+    splits=((2, 6), (4, 4), (6, 2), (8, 0)),
+    block_count: int = 48,
+    time_steps: int = 6000,
+    t_slice_ns: float | None = None,
+):
+    """Evaluate HP/LP module splits under one workload.
+
+    All variants face the same time slice (sized for the paper's 4+4
+    reference unless overridden), so deadline behaviour is comparable.
+    """
+    if t_slice_ns is None:
+        t_slice_ns = default_time_slice_ns(
+            model, block_count=block_count, time_steps=time_steps
+        )
+    points = []
+    for hp_count, lp_count in splits:
+        spec = hh_variant(hp_count, lp_count)
+        runtime = TimeSliceRuntime(
+            spec, model, t_slice_ns=t_slice_ns,
+            block_count=block_count, time_steps=time_steps,
+        )
+        result = runtime.run(workload)
+        peak = (runtime.lut.peak_placement if runtime.lut is not None
+                else runtime.optimizer.fixed_placement(runtime.policy))
+        points.append(
+            SweepPoint(
+                label=spec.name,
+                total_energy_nj=result.total_energy_nj,
+                mean_power_mw=result.mean_power_mw,
+                deadlines_met=result.deadlines_met,
+                peak_task_time_ns=peak.task_time_ns,
+            )
+        )
+    return points
+
+
+def sweep_time_slice(
+    model: ModelSpec,
+    workload: Scenario,
+    scale_factors=(1.0, 1.5, 2.0, 3.0),
+    block_count: int = 48,
+    time_steps: int = 6000,
+):
+    """Evaluate HH-PIM under stretched time slices.
+
+    A longer slice relaxes ``t_constraint`` at equal load, letting the
+    placement sink deeper into LP-MRAM: energy per inference must be
+    non-increasing in the slice length (asserted by the tests).
+    """
+    from ..arch.specs import HH_PIM
+    base = default_time_slice_ns(
+        model, block_count=block_count, time_steps=time_steps
+    )
+    points = []
+    for factor in scale_factors:
+        if factor <= 0:
+            raise ConfigurationError("scale factors must be positive")
+        runtime = TimeSliceRuntime(
+            HH_PIM, model, t_slice_ns=base * factor,
+            block_count=block_count, time_steps=time_steps,
+        )
+        result = runtime.run(workload)
+        points.append(
+            SweepPoint(
+                label=f"T x {factor:g}",
+                total_energy_nj=result.total_energy_nj,
+                mean_power_mw=result.mean_power_mw,
+                deadlines_met=result.deadlines_met,
+                peak_task_time_ns=runtime.lut.peak_placement.task_time_ns,
+            )
+        )
+    return points

@@ -1,0 +1,30 @@
+"""Architecture specifications and processor assembly.
+
+:mod:`repro.arch.specs` defines :class:`ArchitectureSpec` and the four
+Table I presets (Baseline-, Heterogeneous-, Hybrid- and HH-PIM);
+:mod:`repro.arch.processor` assembles a full processor — RISC-V core, NoC,
+instruction queue, controllers and clusters — around any spec.
+"""
+
+from .specs import (
+    ArchitectureSpec,
+    ClusterSpec,
+    BASELINE_PIM,
+    HETEROGENEOUS_PIM,
+    HYBRID_PIM,
+    HH_PIM,
+    TABLE_I,
+)
+from .processor import PimFabric, Processor
+
+__all__ = [
+    "ArchitectureSpec",
+    "ClusterSpec",
+    "BASELINE_PIM",
+    "HETEROGENEOUS_PIM",
+    "HYBRID_PIM",
+    "HH_PIM",
+    "TABLE_I",
+    "PimFabric",
+    "Processor",
+]

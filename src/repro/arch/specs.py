@@ -1,0 +1,118 @@
+"""Architecture specifications: the four PIM designs of Table I.
+
++------------------+---------------------------+------------------------------+
+| Architecture     | PIM module configuration  | Memory types (per module)    |
++==================+===========================+==============================+
+| Baseline-PIM     | 8 HP-PIM                  | 128 kB SRAM                  |
+| Heterogeneous-PIM| 4 HP-PIM + 4 LP-PIM       | 128 kB SRAM                  |
+| Hybrid-PIM       | 8 HP-PIM                  | 64 kB MRAM + 64 kB SRAM      |
+| HH-PIM           | 4 HP-PIM + 4 LP-PIM       | 64 kB MRAM + 64 kB SRAM      |
++------------------+---------------------------+------------------------------+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..isa.encoding import ClusterId
+from ..pim.module import ModuleKind
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster's composition."""
+
+    kind: ModuleKind
+    module_count: int
+    mram_capacity: int
+    sram_capacity: int
+
+    def __post_init__(self) -> None:
+        if self.module_count <= 0:
+            raise ConfigurationError("cluster needs at least one module")
+        if self.mram_capacity < 0 or self.sram_capacity < 0:
+            raise ConfigurationError("capacities must be non-negative")
+        if self.mram_capacity == 0 and self.sram_capacity == 0:
+            raise ConfigurationError("a module needs at least one memory bank")
+
+    @property
+    def memory_per_module(self) -> int:
+        """Total bytes of memory in one module."""
+        return self.mram_capacity + self.sram_capacity
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A full PIM architecture: an HP cluster and an optional LP cluster."""
+
+    name: str
+    hp: ClusterSpec
+    lp: ClusterSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.hp.kind is not ModuleKind.HP:
+            raise ConfigurationError("the 'hp' cluster must use HP modules")
+        if self.lp is not None and self.lp.kind is not ModuleKind.LP:
+            raise ConfigurationError("the 'lp' cluster must use LP modules")
+
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether the design mixes HP and LP clusters."""
+        return self.lp is not None
+
+    @property
+    def hybrid(self) -> bool:
+        """Whether modules carry MRAM in addition to SRAM."""
+        clusters = [self.hp] + ([self.lp] if self.lp else [])
+        return any(c.mram_capacity > 0 for c in clusters)
+
+    @property
+    def total_modules(self) -> int:
+        """Module count over all clusters."""
+        return self.hp.module_count + (self.lp.module_count if self.lp else 0)
+
+    def cluster_specs(self):
+        """(ClusterId, ClusterSpec) pairs present in this architecture."""
+        pairs = [(ClusterId.HP, self.hp)]
+        if self.lp is not None:
+            pairs.append((ClusterId.LP, self.lp))
+        return pairs
+
+    def total_capacity(self) -> dict:
+        """Total MRAM/SRAM bytes across the fabric."""
+        mram = sum(s.mram_capacity * s.module_count for _, s in self.cluster_specs())
+        sram = sum(s.sram_capacity * s.module_count for _, s in self.cluster_specs())
+        return {"mram": mram, "sram": sram}
+
+
+#: Table I row 1 — 8 HP modules, SRAM only.
+BASELINE_PIM = ArchitectureSpec(
+    name="Baseline-PIM",
+    hp=ClusterSpec(ModuleKind.HP, 8, mram_capacity=0, sram_capacity=128 * KB),
+)
+
+#: Table I row 2 — 4 HP + 4 LP modules, SRAM only.
+HETEROGENEOUS_PIM = ArchitectureSpec(
+    name="Heterogeneous-PIM",
+    hp=ClusterSpec(ModuleKind.HP, 4, mram_capacity=0, sram_capacity=128 * KB),
+    lp=ClusterSpec(ModuleKind.LP, 4, mram_capacity=0, sram_capacity=128 * KB),
+)
+
+#: Table I row 3 — 8 HP modules, hybrid 64 kB MRAM + 64 kB SRAM.
+HYBRID_PIM = ArchitectureSpec(
+    name="Hybrid-PIM",
+    hp=ClusterSpec(ModuleKind.HP, 8, mram_capacity=64 * KB, sram_capacity=64 * KB),
+)
+
+#: Table I row 4 — the proposed HH-PIM.
+HH_PIM = ArchitectureSpec(
+    name="HH-PIM",
+    hp=ClusterSpec(ModuleKind.HP, 4, mram_capacity=64 * KB, sram_capacity=64 * KB),
+    lp=ClusterSpec(ModuleKind.LP, 4, mram_capacity=64 * KB, sram_capacity=64 * KB),
+)
+
+#: All four rows of Table I, in the paper's order.
+TABLE_I = (BASELINE_PIM, HETEROGENEOUS_PIM, HYBRID_PIM, HH_PIM)

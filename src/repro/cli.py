@@ -1,0 +1,192 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro table3                 # Table III latencies
+    python -m repro table5                 # Table V power
+    python -m repro fig4                   # Fig. 4 scenario strips
+    python -m repro fig6 --model ResNet-18 # Fig. 6 sweep
+    python -m repro run --case 3           # one scenario, all architectures
+    python -m repro list                   # models / cases / architectures
+
+Heavy artifacts accept ``--blocks/--steps`` to trade fidelity for speed
+(the defaults match the benchmarks' full resolution).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import TextTable, render_fig4, render_fig6
+from .arch import TABLE_I
+from .core import DataPlacementOptimizer, TimeSliceRuntime
+from .core.placement import DEFAULT_BLOCK_COUNT, DEFAULT_TIME_STEPS
+from .core.runtime import default_time_slice_ns
+from .arch.specs import HH_PIM
+from .energy import table_v_rows
+from .fpga import table_ii_report
+from .workloads import ALL_CASES, TABLE_IV, ScenarioCase, model_by_name, scenario
+
+
+def _cmd_table1(_args) -> str:
+    table = TextTable(["Architecture", "Modules", "Memory per module"])
+    for spec in TABLE_I:
+        modules = f"{spec.hp.module_count} HP"
+        if spec.lp:
+            modules += f" + {spec.lp.module_count} LP"
+        memory = []
+        if spec.hp.mram_capacity:
+            memory.append(f"{spec.hp.mram_capacity // 1024}kB MRAM")
+        memory.append(f"{spec.hp.sram_capacity // 1024}kB SRAM")
+        table.add_row(spec.name, modules, " + ".join(memory))
+    return table.render()
+
+
+def _cmd_table2(_args) -> str:
+    return table_ii_report().render()
+
+
+def _cmd_table3(_args) -> str:
+    from .memory import NvSimModel, PE_45NM, SRAM_45NM, STT_MRAM_45NM
+    from .memory.technology import HP_VDD, LP_VDD
+    table = TextTable(["Latency (ns)", "MRAM R", "MRAM W", "SRAM R",
+                       "SRAM W", "PE"])
+    for label, vdd in (("HP-PIM (1.2V)", HP_VDD), ("LP-PIM (0.8V)", LP_VDD)):
+        mram = NvSimModel(STT_MRAM_45NM).estimate(64 * 1024, vdd)
+        sram = NvSimModel(SRAM_45NM).estimate(64 * 1024, vdd)
+        table.add_row(label,
+                      round(mram.timing.read_ns, 2),
+                      round(mram.timing.write_ns, 2),
+                      round(sram.timing.read_ns, 2),
+                      round(sram.timing.write_ns, 2),
+                      round(PE_45NM.mac_latency(vdd), 2))
+    return table.render()
+
+
+def _cmd_table4(_args) -> str:
+    table = TextTable(["Model", "# Param", "# MAC", "PIM ops"])
+    for model in TABLE_IV:
+        table.add_row(model.name, model.params, model.macs,
+                      f"{model.pim_ratio:.0%}")
+    return table.render()
+
+
+def _cmd_table5(_args) -> str:
+    table = TextTable(["Power (mW)", "MRAM R/W", "MRAM static",
+                       "SRAM R/W", "SRAM static", "PE dyn/static"])
+    for row in table_v_rows():
+        table.add_row(
+            row.cluster,
+            f"{row.mram_read_mw:.2f}/{row.mram_write_mw:.2f}",
+            round(row.mram_static_mw, 2),
+            f"{row.sram_read_mw:.2f}/{row.sram_write_mw:.2f}",
+            round(row.sram_static_mw, 2),
+            f"{row.pe_dynamic_mw:.2f}/{row.pe_static_mw:.2f}",
+        )
+    return table.render()
+
+
+def _cmd_fig4(args) -> str:
+    return render_fig4([scenario(case, slices=args.slices) for case in ALL_CASES])
+
+
+def _cmd_fig6(args) -> str:
+    model = model_by_name(args.model)
+    t_slice = default_time_slice_ns(
+        model, block_count=args.blocks, time_steps=args.steps
+    )
+    optimizer = DataPlacementOptimizer(
+        HH_PIM, model, t_slice_ns=t_slice,
+        block_count=args.blocks, time_steps=args.steps,
+    )
+    return render_fig6(optimizer.build_lut(), points=args.points)
+
+
+def _cmd_run(args) -> str:
+    model = model_by_name(args.model)
+    case = ScenarioCase(args.case)
+    t_slice = default_time_slice_ns(
+        model, block_count=args.blocks, time_steps=args.steps
+    )
+    workload = scenario(case, slices=args.slices)
+    table = TextTable(["Architecture", "Energy (mJ)", "Mean power (mW)",
+                       "Deadlines", "Savings vs HH"])
+    results = {}
+    for spec in TABLE_I:
+        runtime = TimeSliceRuntime(
+            spec, model, t_slice_ns=t_slice,
+            block_count=args.blocks, time_steps=args.steps,
+        )
+        results[spec.name] = runtime.run(workload)
+    hh_energy = results["HH-PIM"].total_energy_nj
+    for name, result in results.items():
+        saving = (1 - hh_energy / result.total_energy_nj
+                  if name != "HH-PIM" else 0.0)
+        table.add_row(
+            name,
+            round(result.total_energy_nj / 1e6, 2),
+            round(result.mean_power_mw, 2),
+            "met" if result.deadlines_met else "MISSED",
+            f"{saving:.1%}" if name != "HH-PIM" else "-",
+        )
+    header = (f"{model.name}, Case {case.value} ({case.label}), "
+              f"{args.slices} slices of {t_slice / 1e6:.1f} ms")
+    return header + "\n\n" + table.render()
+
+
+def _cmd_list(_args) -> str:
+    lines = ["architectures:"]
+    lines += [f"  {spec.name}" for spec in TABLE_I]
+    lines.append("models:")
+    lines += [f"  {model.name}" for model in TABLE_IV]
+    lines.append("cases:")
+    lines += [f"  {case.value}: {case.label}" for case in ALL_CASES]
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HH-PIM (DAC 2025) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table1", "table2", "table3", "table4", "table5", "list"):
+        sub.add_parser(name)
+    fig4 = sub.add_parser("fig4")
+    fig4.add_argument("--slices", type=int, default=50)
+    fig6 = sub.add_parser("fig6")
+    fig6.add_argument("--model", default="EfficientNet-B0")
+    fig6.add_argument("--blocks", type=int, default=DEFAULT_BLOCK_COUNT)
+    fig6.add_argument("--steps", type=int, default=DEFAULT_TIME_STEPS)
+    fig6.add_argument("--points", type=int, default=32)
+    run = sub.add_parser("run")
+    run.add_argument("--model", default="EfficientNet-B0")
+    run.add_argument("--case", type=int, default=3, choices=range(1, 7))
+    run.add_argument("--slices", type=int, default=50)
+    run.add_argument("--blocks", type=int, default=48)
+    run.add_argument("--steps", type=int, default=6000)
+    return parser
+
+
+_HANDLERS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "fig4": _cmd_fig4,
+    "fig6": _cmd_fig6,
+    "run": _cmd_run,
+    "list": _cmd_list,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    print(_HANDLERS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

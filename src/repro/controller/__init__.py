@@ -1,0 +1,27 @@
+"""PIM controllers: the HP-PIM and LP-PIM control path of Fig. 2.
+
+Each cluster has its own controller (the dual-controller design of the
+paper).  A controller runs the FETCH-DECODE-LOAD-EXECUTE-STORE state
+machine, decodes instructions into category/field/module-select, encodes
+per-module commands, and owns a Data Allocator whose Data Rearrange Buffer
+and Address Generator implement safe inter-cluster data movement.
+"""
+
+from .state_machine import ControllerState, StateMachine
+from .decoder import DecodedInstruction, InstructionDecoder
+from .encoder import CommandEncoder, ModuleCommand
+from .allocator import AddressGenerator, DataAllocator, DataRearrangeBuffer
+from .controller import PIMController
+
+__all__ = [
+    "ControllerState",
+    "StateMachine",
+    "DecodedInstruction",
+    "InstructionDecoder",
+    "CommandEncoder",
+    "ModuleCommand",
+    "AddressGenerator",
+    "DataAllocator",
+    "DataRearrangeBuffer",
+    "PIMController",
+]

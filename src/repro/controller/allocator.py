@@ -1,0 +1,210 @@
+"""Data Allocator: address generation and the Data Rearrange Buffer.
+
+The Data Allocator (Fig. 2) manages data placement so that PIM operations
+rarely need external data movement; when a placement *does* change, it
+moves weight blocks between clusters through the MEM Interface Logic.
+The Data Rearrange Buffer decouples the two clusters' speeds: source data
+is parked there until the (possibly slower) destination module is ready,
+"preventing data conflicts caused by the speed discrepancy between HP-PIM
+and LP-PIM modules".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ControllerError
+from ..memory.hybrid import BankKind
+from ..pim.cluster import PIMCluster
+
+
+@dataclass(frozen=True)
+class BlockAddress:
+    """A physical weight-block location: module index, bank, byte offset."""
+
+    module: int
+    bank: BankKind
+    offset: int
+
+
+class AddressGenerator:
+    """Maps logical weight-block indices to physical module addresses.
+
+    Blocks assigned to a (cluster, bank) are striped round-robin across
+    the cluster's modules: block ``b`` of size ``block_bytes`` lives in
+    module ``b % n`` at offset ``(b // n) * block_bytes``.  This is the
+    "Address Calculation Logic + Address Register" of Fig. 2.
+    """
+
+    def __init__(self, module_count: int, block_bytes: int) -> None:
+        if module_count <= 0:
+            raise ControllerError("address generator needs >= 1 module")
+        if block_bytes <= 0:
+            raise ControllerError("block size must be positive")
+        self.module_count = module_count
+        self.block_bytes = block_bytes
+
+    def locate(self, block: int, bank: BankKind) -> BlockAddress:
+        """Physical address of logical block ``block`` in ``bank``."""
+        if block < 0:
+            raise ControllerError(f"block index {block} must be non-negative")
+        module = block % self.module_count
+        offset = (block // self.module_count) * self.block_bytes
+        return BlockAddress(module=module, bank=bank, offset=offset)
+
+    def blocks_per_module(self, bank_capacity_bytes: int) -> int:
+        """How many blocks fit in one module's bank of the given size."""
+        return bank_capacity_bytes // self.block_bytes
+
+
+@dataclass
+class _BufferEntry:
+    """One parked transfer: destination plus the data bytes."""
+
+    dst: BlockAddress
+    data: bytes
+
+
+class DataRearrangeBuffer:
+    """Bounded staging buffer between the two clusters.
+
+    Entries are parked in FIFO order and drained when the destination
+    side signals readiness; overflow raises, modelling the hardware's
+    back-pressure on the MEM Interface Logic.
+    """
+
+    def __init__(self, capacity_bytes: int = 16 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ControllerError("rearrange buffer capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: deque = deque()
+        self._occupancy = 0
+        self.peak_occupancy = 0
+        self.total_parked = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def occupancy_bytes(self) -> int:
+        """Bytes currently parked."""
+        return self._occupancy
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self._occupancy
+
+    def park(self, dst: BlockAddress, data: bytes) -> None:
+        """Stage ``data`` for later delivery to ``dst``."""
+        if len(data) > self.free_bytes:
+            raise ControllerError(
+                f"rearrange buffer overflow: {len(data)} bytes requested, "
+                f"{self.free_bytes} free"
+            )
+        self._entries.append(_BufferEntry(dst=dst, data=data))
+        self._occupancy += len(data)
+        self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+        self.total_parked += 1
+
+    def drain(self) -> _BufferEntry:
+        """Pop the oldest parked entry (destination became ready)."""
+        if not self._entries:
+            raise ControllerError("rearrange buffer drained while empty")
+        entry = self._entries.popleft()
+        self._occupancy -= len(entry.data)
+        return entry
+
+
+class DataAllocator:
+    """Moves weight blocks between clusters through the rearrange buffer.
+
+    The transfer pipeline per block is: read the block from the source
+    module's bank, park it in the Data Rearrange Buffer, then — once the
+    destination module is ready — write it into the destination bank at an
+    address produced by the destination-side :class:`AddressGenerator`.
+    Transfers to distinct modules proceed in parallel because "the
+    bandwidth of the MEM Interface Logic is scaled according to the number
+    of PIM modules within each cluster".
+    """
+
+    def __init__(
+        self,
+        block_bytes: int = 256,
+        buffer_capacity_bytes: int = 16 * 1024,
+    ) -> None:
+        self.block_bytes = block_bytes
+        self.buffer = DataRearrangeBuffer(buffer_capacity_bytes)
+        self.blocks_moved = 0
+        self.bytes_moved = 0
+
+    def move_blocks(
+        self,
+        src_cluster: PIMCluster,
+        dst_cluster: PIMCluster,
+        src_bank: BankKind,
+        dst_bank: BankKind,
+        block_indices,
+    ) -> float:
+        """Move logical blocks between clusters; returns elapsed ns.
+
+        Timing model: per destination module, the blocks it receives are
+        read from their source banks and written serially into it; module
+        streams run in parallel, so the elapsed time is the slowest
+        module's read+write chain.  Every byte physically passes through
+        the rearrange buffer (functional data is preserved).
+        """
+        src_gen = AddressGenerator(len(src_cluster), self.block_bytes)
+        dst_gen = AddressGenerator(len(dst_cluster), self.block_bytes)
+        per_dst_module_time = [0.0] * len(dst_cluster)
+
+        for block in block_indices:
+            src_addr = src_gen.locate(block, src_bank)
+            dst_addr = dst_gen.locate(block, dst_bank)
+            src_module = src_cluster.module(src_addr.module)
+            dst_module = dst_cluster.module(dst_addr.module)
+
+            src_bank_obj = src_module.memory.bank(src_addr.bank)
+            data = src_bank_obj.read(src_addr.offset, self.block_bytes)
+            read_time = (
+                self.block_bytes // src_bank_obj.word_bytes
+            ) * src_bank_obj.read_latency_ns
+
+            self.buffer.park(dst_addr, data)
+            entry = self.buffer.drain()
+
+            dst_bank_obj = dst_module.memory.bank(entry.dst.bank)
+            write_time = dst_bank_obj.write(entry.dst.offset, entry.data)
+
+            per_dst_module_time[dst_addr.module] += read_time + write_time
+            self.blocks_moved += 1
+            self.bytes_moved += self.block_bytes
+
+        return max(per_dst_module_time) if per_dst_module_time else 0.0
+
+    def movement_time_ns(
+        self,
+        src_cluster: PIMCluster,
+        dst_cluster: PIMCluster,
+        src_bank: BankKind,
+        dst_bank: BankKind,
+        block_count: int,
+    ) -> float:
+        """Analytic estimate of :meth:`move_blocks` without moving data.
+
+        Used by the placement runtime to price a reallocation before
+        committing to it (the paper folds this overhead into the
+        ``t_constraint`` computation).
+        """
+        if block_count <= 0:
+            return 0.0
+        src_bank_obj = src_cluster.modules[0].memory.bank(src_bank)
+        dst_bank_obj = dst_cluster.modules[0].memory.bank(dst_bank)
+        per_block = (
+            self.block_bytes // src_bank_obj.word_bytes
+        ) * src_bank_obj.read_latency_ns + (
+            self.block_bytes // dst_bank_obj.word_bytes
+        ) * dst_bank_obj.write_latency_ns
+        blocks_per_stream = -(-block_count // len(dst_cluster))
+        return blocks_per_stream * per_block

@@ -1,0 +1,193 @@
+"""The PIM controller: executes instructions against its cluster.
+
+HH-PIM has two of these — the HP-PIM Controller and the LP-PIM
+Controller — with identical architecture (paper, Fig. 2).  A controller
+fetches from the shared instruction queue (words addressed to its
+cluster), walks its state machine through the instruction's phases, and
+drives the cluster's modules through the CMD Interface Logic; MOVEs go
+through the Data Allocator's MEM Interface Logic to the peer cluster.
+"""
+
+from __future__ import annotations
+
+from ..errors import ControllerError
+from ..isa.encoding import Category, ClusterId
+from ..isa.instructions import ComputeOp, ConfigOp, GateTarget, PimInstruction
+from ..memory.hybrid import BankKind
+from ..pim.cluster import PIMCluster
+from .allocator import DataAllocator
+from .decoder import InstructionDecoder
+from .encoder import CommandEncoder
+from .state_machine import ControllerState, StateMachine
+
+#: Cycles of controller overhead per instruction phase (fetch+decode).
+_PIPELINE_OVERHEAD_NS = 2.0
+
+_GATE_TARGETS = {
+    GateTarget.MRAM: "mram",
+    GateTarget.SRAM: "sram",
+    GateTarget.PE: "pe",
+    GateTarget.ALL: "all",
+}
+
+
+class PIMController:
+    """Controller for one cluster; optionally wired to a peer for MOVEs."""
+
+    def __init__(
+        self,
+        cluster: PIMCluster,
+        allocator: DataAllocator | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.state_machine = StateMachine()
+        self.decoder = InstructionDecoder(cluster.cluster_id, len(cluster))
+        self.encoder = CommandEncoder()
+        self.allocator = allocator if allocator is not None else DataAllocator()
+        self.peer: PIMCluster | None = None
+        self.instructions_retired = 0
+        self.busy_time_ns = 0.0
+        self.halted = False
+
+    @property
+    def cluster_id(self) -> ClusterId:
+        """The cluster this controller manages."""
+        return self.cluster.cluster_id
+
+    def connect_peer(self, peer: PIMCluster) -> None:
+        """Wire the opposite cluster for inter-cluster MOVEs."""
+        if peer.cluster_id is self.cluster_id:
+            raise ControllerError("peer must be the opposite cluster")
+        self.peer = peer
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, instruction: PimInstruction) -> float:
+        """Execute one instruction; returns elapsed ns."""
+        if self.halted:
+            raise ControllerError(
+                f"{self.cluster_id.name} controller is halted"
+            )
+        decoded = self.decoder.decode(instruction)
+        commands = self.encoder.encode(decoded)
+        phases = self._phases_of(decoded.category)
+        self.state_machine.run_cycle(phases)
+
+        elapsed = _PIPELINE_OVERHEAD_NS
+        if decoded.category is Category.COMPUTE:
+            elapsed += self._run_compute(commands)
+        elif decoded.category is Category.LOAD:
+            elapsed += self._run_load(commands)
+        elif decoded.category is Category.STORE:
+            elapsed += self._run_store(commands)
+        elif decoded.category is Category.MOVE:
+            elapsed += self._run_move(commands)
+        elif decoded.category is Category.CONFIG:
+            self._run_config(commands)
+        elif decoded.category is Category.SYNC:
+            pass  # modules are synchronous in this model; barrier is free
+        elif decoded.category is Category.HALT:
+            self.state_machine.halt()
+            self.halted = True
+        else:
+            raise ControllerError(f"unhandled category {decoded.category}")
+
+        self.instructions_retired += 1
+        self.busy_time_ns += elapsed
+        return elapsed
+
+    def run_program(self, program) -> float:
+        """Execute a sequence of instructions; returns total elapsed ns."""
+        return sum(self.execute(instruction) for instruction in program)
+
+    # -- per-category handlers ------------------------------------------------------
+
+    @staticmethod
+    def _phases_of(category: Category):
+        if category is Category.COMPUTE:
+            return (ControllerState.EXECUTE, ControllerState.STORE)
+        if category is Category.LOAD:
+            return (ControllerState.LOAD, ControllerState.EXECUTE)
+        if category is Category.STORE:
+            return (ControllerState.LOAD, ControllerState.STORE)
+        if category is Category.MOVE:
+            return (ControllerState.LOAD, ControllerState.STORE)
+        return ()
+
+    def _run_compute(self, commands) -> float:
+        elapsed = 0.0
+        for command in commands:
+            module = self.cluster.module(command.module)
+            op = command.params["op"]
+            if op is ComputeOp.MAC:
+                elapsed = max(
+                    elapsed, module.pe.charge_macs(command.params["count"])
+                )
+            elif op is ComputeOp.CLEAR:
+                module.pe.mac.clear()
+            elif op is ComputeOp.EMIT:
+                module.pe.mac.emit()
+            else:
+                raise ControllerError(f"unhandled compute op {op}")
+        return elapsed
+
+    def _run_load(self, commands) -> float:
+        elapsed = 0.0
+        for command in commands:
+            module = self.cluster.module(command.module)
+            counts = {
+                BankKind.MRAM: command.params["mram_count"],
+                BankKind.SRAM: command.params["sram_count"],
+            }
+            load_time = module.memory.load_operands(
+                {k: v for k, v in counts.items() if k in module.memory.banks}
+            )
+            for kind, count in counts.items():
+                if count and kind in module.memory.banks:
+                    module.memory.bank(kind).charge_accesses(reads=count)
+            elapsed = max(elapsed, load_time)
+        return elapsed
+
+    def _run_store(self, commands) -> float:
+        elapsed = 0.0
+        for command in commands:
+            module = self.cluster.module(command.module)
+            where = module.memory.decode(command.params["address"])
+            bank = module.memory.bank(where.bank)
+            elapsed = max(elapsed, bank.charge_accesses(writes=1))
+        return elapsed
+
+    def _run_move(self, commands) -> float:
+        if self.peer is None:
+            raise ControllerError("MOVE issued but no peer cluster connected")
+        elapsed = 0.0
+        for command in commands:
+            blocks = range(
+                command.params["block"],
+                command.params["block"] + command.params["count"],
+            )
+            elapsed = max(
+                elapsed,
+                self.allocator.move_blocks(
+                    src_cluster=self.cluster,
+                    dst_cluster=self.peer,
+                    src_bank=BankKind.SRAM,
+                    dst_bank=BankKind.SRAM,
+                    block_indices=blocks,
+                ),
+            )
+        return elapsed
+
+    def _run_config(self, commands) -> None:
+        for command in commands:
+            module = self.cluster.module(command.module)
+            target = _GATE_TARGETS[command.params["target"]]
+            if command.params["op"] is ConfigOp.GATE_OFF:
+                module.gate(target)
+            else:
+                module.ungate(target)
+
+    def reset(self) -> None:
+        """Clear the halted state and reset the FSM."""
+        self.state_machine.reset()
+        self.halted = False

@@ -1,0 +1,118 @@
+"""Instruction decoder of the PIM controller.
+
+"The Instruction Decoder decodes the fetched instruction into components
+such as the instruction type (Category), specific operation or data
+movement details (Instruction Field), and the target module for the
+operation (Module Select Signal)." — paper, Section II.
+
+The decoder consumes a typed :class:`~repro.isa.instructions.PimInstruction`
+(or a raw 32-bit word) and emits a :class:`DecodedInstruction` whose module
+select is an explicit list of module indices, with broadcast expanded to
+the cluster's full population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ControllerError
+from ..isa.encoding import Category, ClusterId
+from ..isa.instructions import (
+    BROADCAST_MODULE,
+    Compute,
+    Config,
+    Halt,
+    LoadOperands,
+    Move,
+    PimInstruction,
+    StoreResult,
+    Sync,
+    decode as decode_instruction_word,
+)
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """Decoder output: category, instruction field, module select."""
+
+    category: Category
+    cluster: ClusterId
+    #: Explicit module indices (broadcast already expanded).
+    module_select: tuple
+    #: Operation details, keyed by field name (opcode-specific).
+    instruction_field: dict = field(default_factory=dict)
+    #: The original typed instruction, for the command encoder.
+    source: PimInstruction = None
+
+
+class InstructionDecoder:
+    """Decoder bound to one cluster's controller."""
+
+    def __init__(self, cluster: ClusterId, module_count: int) -> None:
+        if module_count <= 0:
+            raise ControllerError("decoder needs a positive module count")
+        self.cluster = cluster
+        self.module_count = module_count
+        self.decoded_count = 0
+
+    def _expand_select(self, module: int) -> tuple:
+        if module == BROADCAST_MODULE:
+            return tuple(range(self.module_count))
+        if not 0 <= module < self.module_count:
+            raise ControllerError(
+                f"module select {module} outside cluster of "
+                f"{self.module_count} modules"
+            )
+        return (module,)
+
+    def decode(self, instruction) -> DecodedInstruction:
+        """Decode a typed instruction or a raw 32-bit word."""
+        if isinstance(instruction, int):
+            instruction = decode_instruction_word(instruction)
+        if instruction.cluster is not self.cluster:
+            raise ControllerError(
+                f"{self.cluster.name} controller received an instruction for "
+                f"the {instruction.cluster.name} cluster"
+            )
+        self.decoded_count += 1
+        select = self._expand_select(instruction.module)
+
+        if isinstance(instruction, Compute):
+            fields = {"op": instruction.op, "count": instruction.count}
+            category = Category.COMPUTE
+        elif isinstance(instruction, LoadOperands):
+            fields = {
+                "mram_count": instruction.mram_count,
+                "sram_count": instruction.sram_count,
+            }
+            category = Category.LOAD
+        elif isinstance(instruction, StoreResult):
+            fields = {"address": instruction.address}
+            category = Category.STORE
+        elif isinstance(instruction, Move):
+            fields = {
+                "dst_cluster": instruction.dst_cluster,
+                "dst_module": instruction.dst_module,
+                "block": instruction.block,
+                "count": instruction.count,
+            }
+            category = Category.MOVE
+        elif isinstance(instruction, Sync):
+            fields = {}
+            category = Category.SYNC
+        elif isinstance(instruction, Config):
+            fields = {"op": instruction.op, "target": instruction.target}
+            category = Category.CONFIG
+        elif isinstance(instruction, Halt):
+            fields = {}
+            category = Category.HALT
+        else:
+            raise ControllerError(f"cannot decode {instruction!r}")
+
+        return DecodedInstruction(
+            category=category,
+            cluster=self.cluster,
+            module_select=select,
+            instruction_field=fields,
+            source=instruction,
+        )

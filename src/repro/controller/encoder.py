@@ -1,0 +1,80 @@
+"""Command encoder: decoded instructions to per-module command signals.
+
+"The Command Encoder then generates command signals for each PIM module
+based on the decoded instruction details." — paper, Section II.  One
+decoded instruction fans out into one :class:`ModuleCommand` per selected
+module, with batch work (MAC counts, operand counts) divided over the
+selection the way the cluster's Data Allocator stripes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ControllerError
+from ..isa.encoding import Category
+from .decoder import DecodedInstruction
+
+
+@dataclass(frozen=True)
+class ModuleCommand:
+    """One command signal delivered to one PIM module."""
+
+    module: int
+    category: Category
+    params: dict = field(default_factory=dict)
+
+
+def _stripe(total: int, ways: int):
+    """Divide ``total`` units of work over ``ways`` modules evenly."""
+    base, extra = divmod(total, ways)
+    return [base + (1 if i < extra else 0) for i in range(ways)]
+
+
+class CommandEncoder:
+    """Fans a decoded instruction out into per-module commands."""
+
+    def __init__(self) -> None:
+        self.encoded_count = 0
+
+    def encode(self, decoded: DecodedInstruction):
+        """Return the list of :class:`ModuleCommand` for this instruction."""
+        select = decoded.module_select
+        if not select:
+            raise ControllerError("decoded instruction selects no modules")
+        self.encoded_count += 1
+        fields = decoded.instruction_field
+
+        if decoded.category is Category.COMPUTE:
+            shares = _stripe(fields["count"], len(select))
+            return [
+                ModuleCommand(
+                    module=m,
+                    category=decoded.category,
+                    params={"op": fields["op"], "count": share},
+                )
+                for m, share in zip(select, shares)
+            ]
+        if decoded.category is Category.LOAD:
+            mram_shares = _stripe(fields["mram_count"], len(select))
+            sram_shares = _stripe(fields["sram_count"], len(select))
+            return [
+                ModuleCommand(
+                    module=m,
+                    category=decoded.category,
+                    params={"mram_count": ms, "sram_count": ss},
+                )
+                for m, ms, ss in zip(select, mram_shares, sram_shares)
+            ]
+        if decoded.category in (Category.STORE, Category.MOVE, Category.CONFIG):
+            return [
+                ModuleCommand(module=m, category=decoded.category,
+                              params=dict(fields))
+                for m in select
+            ]
+        if decoded.category in (Category.SYNC, Category.HALT):
+            return [
+                ModuleCommand(module=m, category=decoded.category)
+                for m in select
+            ]
+        raise ControllerError(f"unhandled category {decoded.category}")

@@ -1,0 +1,99 @@
+"""The controller's basic PIM instruction cycle.
+
+The paper: "The controller operates through the basic PIM instruction
+cycle, which includes the FETCH-DECODE-LOAD-EXECUTE-STORE phases, managed
+internally by the State Machine."  This module implements that FSM with an
+explicit legal-transition table, plus IDLE (queue empty) and HALTED
+(after a HALT instruction) resting states.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..errors import StateTransitionError
+
+
+class ControllerState(str, Enum):
+    """States of the PIM controller's state machine."""
+
+    IDLE = "idle"
+    FETCH = "fetch"
+    DECODE = "decode"
+    LOAD = "load"
+    EXECUTE = "execute"
+    STORE = "store"
+    HALTED = "halted"
+
+
+#: Legal transitions.  Not every instruction exercises every phase: a SYNC
+#: or CONFIG finishes after DECODE, a pure COMPUTE skips LOAD when its
+#: operands are already latched, and a MOVE goes straight to STORE after
+#: its LOAD (buffer fill) phase.
+_LEGAL_TRANSITIONS = {
+    ControllerState.IDLE: {ControllerState.FETCH, ControllerState.HALTED},
+    ControllerState.FETCH: {ControllerState.DECODE},
+    ControllerState.DECODE: {
+        ControllerState.LOAD,
+        ControllerState.EXECUTE,
+        ControllerState.IDLE,
+        ControllerState.HALTED,
+    },
+    ControllerState.LOAD: {ControllerState.EXECUTE, ControllerState.STORE},
+    ControllerState.EXECUTE: {ControllerState.STORE, ControllerState.IDLE},
+    ControllerState.STORE: {ControllerState.IDLE, ControllerState.FETCH},
+    ControllerState.HALTED: {ControllerState.IDLE},
+}
+
+
+class StateMachine:
+    """FSM with transition validation and a bounded history trace."""
+
+    def __init__(self, history_depth: int = 64) -> None:
+        self.state = ControllerState.IDLE
+        self.history_depth = history_depth
+        self.history = [ControllerState.IDLE]
+        self.transitions = 0
+
+    def can_transition(self, target: ControllerState) -> bool:
+        """Whether moving to ``target`` is legal from the current state."""
+        return target in _LEGAL_TRANSITIONS[self.state]
+
+    def transition(self, target: ControllerState) -> ControllerState:
+        """Move to ``target``; raises on an illegal transition."""
+        if not self.can_transition(target):
+            raise StateTransitionError(
+                f"illegal transition {self.state.value} -> {target.value}"
+            )
+        self.state = target
+        self.transitions += 1
+        self.history.append(target)
+        if len(self.history) > self.history_depth:
+            del self.history[0]
+        return target
+
+    def run_cycle(self, phases) -> None:
+        """Run one whole instruction cycle through the given phases.
+
+        ``phases`` is the ordered subset of LOAD/EXECUTE/STORE the current
+        instruction needs; FETCH and DECODE are always included, and the
+        machine returns to IDLE afterwards.
+        """
+        self.transition(ControllerState.FETCH)
+        self.transition(ControllerState.DECODE)
+        for phase in phases:
+            self.transition(phase)
+        if self.state is not ControllerState.IDLE:
+            self.transition(ControllerState.IDLE)
+
+    def halt(self) -> None:
+        """Enter the HALTED state (legal from IDLE or DECODE)."""
+        self.transition(ControllerState.HALTED)
+
+    def reset(self) -> None:
+        """Return to IDLE from HALTED (controller reset)."""
+        if self.state is ControllerState.HALTED:
+            self.transition(ControllerState.IDLE)
+        else:
+            self.state = ControllerState.IDLE
+            self.history.append(ControllerState.IDLE)

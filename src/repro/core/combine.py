@@ -1,0 +1,112 @@
+"""Algorithm 2: optimal cross-cluster split of the weight blocks.
+
+The HP and LP clusters compute in parallel, so a placement is feasible at
+time budget ``t`` when *each* cluster finishes within ``t``.  For every
+``t`` Algorithm 2 scans the candidate splits ``(k_hp, k_lp = K - k_hp)``
+and keeps the split minimising ``dp_hp[n/2][t][k_hp] +
+dp_lp[n/2][t][k_lp]``, producing the ``allocation_state`` rows that the
+LUT compiles (paper, Section III-B).
+
+The scan is vectorised: at each ``t`` the HP energy row (indexed by
+``k_hp``) is added to the *reversed* LP energy row (indexed by
+``K - k_hp``) and the argmin taken.  Unlike the paper's pseudo-code we
+include the degenerate splits ``k_hp = 0`` and ``k_lp = 0`` — Fig. 6's
+"LP-MRAM only" region *is* the ``k_hp = 0`` split, so the pseudo-code's
+1-based loop is read as an off-by-one simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlacementError
+from .knapsack import ClusterDpResult, reconstruct_counts
+
+
+@dataclass(frozen=True)
+class CombinedRow:
+    """``allocation_state[t]``: the optimal placement at time budget ``t``."""
+
+    t_step: int
+    k_hp: int
+    k_lp: int
+    energy_nj: float
+    #: Per-space block counts (SpaceKind -> blocks).
+    counts: dict
+
+    @property
+    def total_blocks(self) -> int:
+        """Total blocks placed (always ``K`` for feasible rows)."""
+        return self.k_hp + self.k_lp
+
+
+def set_allocation_state(
+    hp: ClusterDpResult,
+    lp: ClusterDpResult | None,
+    total_blocks: int,
+):
+    """Build the allocation-state rows for every time budget.
+
+    Returns a list of length ``t_steps + 1`` whose entries are
+    :class:`CombinedRow` or ``None`` where no feasible placement exists
+    (the grey region of Fig. 6).  ``lp`` may be ``None`` for single-cluster
+    architectures (Baseline-/Hybrid-PIM), in which case all blocks go to
+    the HP cluster.
+    """
+    if total_blocks <= 0:
+        raise PlacementError("total block count must be positive")
+    if total_blocks > hp.max_blocks:
+        raise PlacementError(
+            f"HP table only covers {hp.max_blocks} blocks, need {total_blocks}"
+        )
+    if lp is not None and total_blocks > lp.max_blocks:
+        raise PlacementError(
+            f"LP table only covers {lp.max_blocks} blocks, need {total_blocks}"
+        )
+    if lp is not None and lp.t_steps != hp.t_steps:
+        raise PlacementError("HP and LP tables must share the time axis")
+
+    rows = []
+    for t in range(hp.t_steps + 1):
+        if lp is None:
+            energy = hp.dp[-1, t, total_blocks]
+            if not np.isfinite(energy):
+                rows.append(None)
+                continue
+            counts = reconstruct_counts(hp, t, total_blocks)
+            rows.append(
+                CombinedRow(
+                    t_step=t,
+                    k_hp=total_blocks,
+                    k_lp=0,
+                    energy_nj=float(energy),
+                    counts=counts,
+                )
+            )
+            continue
+
+        hp_row = hp.energy_row(t)[: total_blocks + 1]
+        lp_row = lp.energy_row(t)[: total_blocks + 1]
+        # combined[k_hp] = hp[k_hp] + lp[K - k_hp]
+        combined = hp_row + lp_row[::-1]
+        best = int(np.argmin(combined))
+        min_energy = combined[best]
+        if not np.isfinite(min_energy):
+            rows.append(None)
+            continue
+        k_hp = best
+        k_lp = total_blocks - best
+        counts = reconstruct_counts(hp, t, k_hp)
+        counts.update(reconstruct_counts(lp, t, k_lp))
+        rows.append(
+            CombinedRow(
+                t_step=t,
+                k_hp=k_hp,
+                k_lp=k_lp,
+                energy_nj=float(min_energy),
+                counts=counts,
+            )
+        )
+    return rows

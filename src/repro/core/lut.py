@@ -1,0 +1,172 @@
+"""The allocation-state Look-up Table.
+
+"Algorithm 1 and Algorithm 2 are performed only once during the
+application initialization phase to construct a Look-up Table for the
+final output, allocation_state.  This LUT allows rapid determination of
+the optimal weight placement state for varying t_constraint values
+required at each time slice during application runtime." — paper,
+Section III-B.
+
+A :class:`Placement` row additionally carries the *evaluated* (not just
+DP-estimated) task time and energy, so runtime accounting and Fig. 6
+plotting work directly off the LUT.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from ..errors import InfeasibleError, PlacementError
+from .spaces import SpaceKind
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One LUT row: the placement chosen for a time budget."""
+
+    #: Inclusive lower edge of the budget this row was solved for (ns).
+    t_budget_ns: float
+    #: Per-space block counts.
+    counts: dict
+    #: Evaluated task completion time (ns): max over clusters of the
+    #: serialised per-cluster space times.
+    task_time_ns: float
+    #: DP objective value (nJ) — e_i-based, for reference.
+    dp_energy_nj: float
+    #: Evaluated per-task dynamic energy (nJ).
+    dynamic_energy_nj: float
+    #: Hold-leakage power of the placement (mW) — volatile spaces that
+    #: keep weights must stay powered.
+    hold_static_power_mw: float
+    k_hp: int
+    k_lp: int
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks placed."""
+        return sum(self.counts.values())
+
+    def count(self, kind: SpaceKind) -> int:
+        """Blocks in one space (0 if the space is absent)."""
+        return self.counts.get(kind, 0)
+
+    def utilization(self) -> dict:
+        """Fraction of blocks per space (Fig. 6's left axis)."""
+        total = self.total_blocks
+        if total == 0:
+            return {kind: 0.0 for kind in self.counts}
+        return {kind: blocks / total for kind, blocks in self.counts.items()}
+
+    def task_energy_nj(self, t_window_ns: float) -> float:
+        """``E_task`` over a window: dynamic + hold leakage for the window.
+
+        Fig. 6 plots this with ``t_window_ns = t_constraint``: a task that
+        owns a window of that length pays the placement's hold leakage
+        over it.
+        """
+        if t_window_ns < 0:
+            raise PlacementError("energy window must be non-negative")
+        return (
+            self.dynamic_energy_nj
+            + self.hold_static_power_mw * t_window_ns / 1000.0
+        )
+
+
+class AllocationLUT:
+    """``allocation_state``: time budget -> :class:`Placement`.
+
+    The DP rows are compressed to the *unique* candidate placements they
+    contain, and a lookup selects — among the candidates whose evaluated
+    task time satisfies the budget — the one minimising the evaluated
+    task energy ``dynamic + hold_power * window``.  This evaluation layer
+    corrects the DP's linearised leakage share with the true sub-array
+    (granule-level) hold power, so the runtime never adopts a placement
+    the linear approximation mis-ranked.
+    """
+
+    def __init__(self, placements, time_step_ns: float, t_max_ns: float) -> None:
+        if time_step_ns <= 0:
+            raise PlacementError("LUT time step must be positive")
+        if t_max_ns <= 0:
+            raise PlacementError("LUT time range must be positive")
+        self.time_step_ns = time_step_ns
+        self.t_max_ns = t_max_ns
+        # Unique candidate placements, sorted by evaluated task time.
+        seen = {}
+        for placement in placements:
+            if placement is None:
+                continue
+            key = tuple(
+                sorted((k.value, v) for k, v in placement.counts.items())
+            )
+            if key not in seen:
+                seen[key] = placement
+        if not seen:
+            raise InfeasibleError(
+                "no feasible placement at any budget: the model does not "
+                "fit this architecture's storage or time range"
+            )
+        self.candidates = sorted(
+            seen.values(), key=lambda p: p.task_time_ns
+        )
+        self._candidate_times = [p.task_time_ns for p in self.candidates]
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def min_feasible_t_ns(self) -> float:
+        """Tightest satisfiable PIM task-time budget (green dot)."""
+        return self.candidates[0].task_time_ns
+
+    @property
+    def peak_placement(self) -> Placement:
+        """The placement at the peak-performance point."""
+        return self.candidates[0]
+
+    @property
+    def most_relaxed_placement(self) -> Placement:
+        """The energy-optimal placement under an unlimited budget."""
+        return self.lookup(float("inf"))
+
+    def lookup(
+        self, t_constraint_ns: float, window_ns: float | None = None
+    ) -> Placement:
+        """The optimal placement for a runtime ``t_constraint``.
+
+        ``t_constraint_ns`` bounds the placement's evaluated task time;
+        ``window_ns`` (default: the constraint itself) is the time window
+        over which hold leakage is charged when ranking candidates —
+        the runtime passes the full per-task wall window.  Raises
+        :class:`InfeasibleError` inside the grey region of Fig. 6.
+        """
+        if t_constraint_ns < 0:
+            raise PlacementError("t_constraint must be non-negative")
+        if t_constraint_ns < self._candidate_times[0]:
+            raise InfeasibleError(
+                f"t_constraint {t_constraint_ns:.0f} ns below the peak-"
+                f"performance point {self._candidate_times[0]:.0f} ns"
+            )
+        limit = bisect.bisect_right(self._candidate_times, t_constraint_ns)
+        window = t_constraint_ns if window_ns is None else window_ns
+        if window == float("inf"):
+            # Rank by hold power first, dynamic energy second.
+            return min(
+                self.candidates[:limit],
+                key=lambda p: (p.hold_static_power_mw, p.dynamic_energy_nj),
+            )
+        return min(
+            self.candidates[:limit],
+            key=lambda p: p.task_energy_nj(window),
+        )
+
+    def sweep(self, points: int = 200):
+        """(budget, Placement) pairs over the feasible range, for Fig. 6."""
+        lo = self._candidate_times[0]
+        hi = max(self._candidate_times[-1], self.t_max_ns)
+        result = []
+        for i in range(points):
+            budget = lo + (hi - lo) * i / (points - 1)
+            result.append((budget, self.lookup(budget)))
+        return result

@@ -1,0 +1,339 @@
+"""Time-slice runtime: dynamic reallocation over a workload scenario.
+
+Implements the paper's runtime discipline (Section III-A):
+
+* inference requests arriving during slice ``s`` are buffered and
+  processed during slice ``s + 1`` (latency bound ``2T``);
+* at each slice boundary the runtime derives ``t_constraint`` from the
+  task count, *including the data-movement overhead* of switching from
+  the previous placement, and consults the allocation LUT;
+* unused memories are power-gated: non-volatile MRAM retains its weights
+  while gated, volatile SRAM must stay powered (at sub-array granularity)
+  wherever it holds weights;
+* the comparison architectures run the same loop with their fixed
+  policies (Table I), which is how Fig. 5 / Table VI compare energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.specs import ArchitectureSpec, HH_PIM
+from ..errors import ConfigurationError, InfeasibleError
+from ..memory.hybrid import BankKind
+from ..workloads.models import ModelSpec
+from ..workloads.scenarios import Scenario
+from ..workloads.tasks import TaskBuffer
+from .lut import Placement
+from .placement import (
+    DEFAULT_BLOCK_COUNT,
+    DEFAULT_TIME_STEPS,
+    DataPlacementOptimizer,
+    MovementEstimate,
+    PlacementPolicy,
+)
+from .spaces import CORE_MAC_TIME_NS, SpaceKind
+
+#: Default power-gating granularity (sub-array level), applied uniformly
+#: to every architecture so that comparisons isolate the placement
+#: algorithm rather than the gating hardware.  Pass ``granule_bytes`` to
+#: :class:`TimeSliceRuntime` to study coarser gating (see the ablation
+#: benchmarks).
+FINE_GRANULE_BYTES = 16 * 1024
+
+#: Macro-level gating (whole 64 kB banks), for gating-granularity
+#: ablations.
+MACRO_GRANULE_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class SliceRecord:
+    """Accounting of one time slice."""
+
+    index: int
+    arrivals: int
+    tasks_processed: int
+    t_constraint_ns: float
+    placement_counts: dict
+    movement: MovementEstimate
+    busy_time_ns: float
+    idle_time_ns: float
+    dynamic_energy_nj: float
+    hold_static_energy_nj: float
+    access_static_energy_nj: float
+    buffer_static_energy_nj: float
+    pe_static_energy_nj: float
+    movement_energy_nj: float
+    deadline_met: bool
+
+    @property
+    def total_energy_nj(self) -> float:
+        """All energy components of the slice."""
+        return (
+            self.dynamic_energy_nj
+            + self.hold_static_energy_nj
+            + self.access_static_energy_nj
+            + self.buffer_static_energy_nj
+            + self.pe_static_energy_nj
+            + self.movement_energy_nj
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scenario run on one architecture."""
+
+    architecture: str
+    model: str
+    scenario: Scenario
+    t_slice_ns: float
+    policy: PlacementPolicy
+    records: list = field(default_factory=list)
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Energy over the whole run."""
+        return sum(record.total_energy_nj for record in self.records)
+
+    @property
+    def total_inferences(self) -> int:
+        """Inferences processed."""
+        return sum(record.tasks_processed for record in self.records)
+
+    @property
+    def energy_per_inference_nj(self) -> float:
+        """Mean energy per processed inference."""
+        inferences = self.total_inferences
+        return self.total_energy_nj / inferences if inferences else 0.0
+
+    @property
+    def mean_power_mw(self) -> float:
+        """Average power over the run."""
+        duration = self.t_slice_ns * len(self.records)
+        return self.total_energy_nj / duration * 1000.0 if duration else 0.0
+
+    @property
+    def deadlines_met(self) -> bool:
+        """Whether every slice finished its tasks within the slice."""
+        return all(record.deadline_met for record in self.records)
+
+
+def default_time_slice_ns(
+    model: ModelSpec,
+    peak_inferences: int = 10,
+    block_count: int = DEFAULT_BLOCK_COUNT,
+    time_steps: int = DEFAULT_TIME_STEPS,
+    headroom: float = 1.05,
+) -> float:
+    """The paper's time-slice sizing: 10 peak-rate inferences on HH-PIM.
+
+    "The time slice ... was set to allow up to 10 inferences per time
+    slice, representing the scenario in which HH-PIM operates at maximum
+    performance" — one full inference is the PIM task plus the non-PIM
+    share on the core, at HH-PIM's peak placement.  ``headroom`` keeps a
+    small scheduling margin above the exact peak rate so that placement
+    switches (data movement) and time quantisation cannot push a full-load
+    slice over its deadline.
+    """
+    if peak_inferences <= 0:
+        raise ConfigurationError("peak inference count must be positive")
+    if headroom < 1.0:
+        raise ConfigurationError("headroom must be >= 1")
+    # Bootstrap: the optimizer needs a T for pricing hold leakage, but the
+    # peak task time is leakage-independent, so any positive T works here.
+    bootstrap = DataPlacementOptimizer(
+        HH_PIM, model, t_slice_ns=1e9, block_count=block_count,
+        time_steps=time_steps,
+    )
+    peak = bootstrap.build_lut().peak_placement
+    core_ns = model.core_macs * CORE_MAC_TIME_NS
+    return peak_inferences * (peak.task_time_ns + core_ns) * headroom
+
+
+class TimeSliceRuntime:
+    """Runs workload scenarios on one architecture with its policy."""
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        model: ModelSpec,
+        t_slice_ns: float | None = None,
+        policy: PlacementPolicy | None = None,
+        block_count: int = DEFAULT_BLOCK_COUNT,
+        time_steps: int = DEFAULT_TIME_STEPS,
+        peak_inferences: int = 10,
+        granule_bytes: int = FINE_GRANULE_BYTES,
+    ) -> None:
+        self.spec = spec
+        self.model = model
+        self.policy = policy if policy is not None else PlacementPolicy.default_for(spec)
+        if t_slice_ns is None:
+            t_slice_ns = default_time_slice_ns(
+                model, peak_inferences, block_count, time_steps
+            )
+        self.t_slice_ns = t_slice_ns
+        self.optimizer = DataPlacementOptimizer(
+            spec, model, t_slice_ns=t_slice_ns,
+            block_count=block_count, time_steps=time_steps,
+            granule_bytes=granule_bytes,
+        )
+        if self.policy is PlacementPolicy.DYNAMIC_LUT:
+            # The paper builds the LUT once, at application initialization.
+            self.lut = self.optimizer.build_lut()
+            self._fixed = None
+        else:
+            self.lut = None
+            self._fixed = self.optimizer.fixed_placement(self.policy)
+
+    # -- per-slice placement selection ------------------------------------------
+
+    @property
+    def core_time_ns(self) -> float:
+        """Per-inference time of the non-PIM share on the RISC-V core."""
+        return self.model.core_macs * CORE_MAC_TIME_NS
+
+    def _select_placement(self, tasks: int, prev_counts: dict):
+        """Pick the slice's placement and price the transition.
+
+        ``t_constraint`` bounds the *whole* task — the PIM portion plus
+        the non-PIM share that runs on the core — so the LUT is consulted
+        with ``t_constraint - core_time``.  For the dynamic policy this
+        also implements the paper's movement-overhead correction: the
+        cost of switching placements shrinks the per-task budget, so the
+        lookup is repeated once with the corrected budget.
+        """
+        if self._fixed is not None:
+            movement = self.optimizer.movement(prev_counts, self._fixed.counts)
+            t_constraint = self.t_slice_ns / max(tasks, 1)
+            return self._fixed, movement, t_constraint
+
+        t_constraint = self.t_slice_ns / max(tasks, 1)
+        placement = self._lookup_clamped(t_constraint - self.core_time_ns)
+        movement = self.optimizer.movement(prev_counts, placement.counts)
+        corrected = (self.t_slice_ns - movement.time_ns) / max(tasks, 1)
+        if corrected <= 0:
+            raise InfeasibleError(
+                "movement overhead exceeds the time slice"
+            )
+        if corrected < t_constraint:
+            refined = self._lookup_clamped(corrected - self.core_time_ns)
+            if refined.counts != placement.counts:
+                placement = refined
+                movement = self.optimizer.movement(prev_counts, placement.counts)
+        return placement, movement, corrected
+
+    def _lookup_clamped(self, t_constraint_ns: float) -> Placement:
+        try:
+            return self.lut.lookup(max(0.0, t_constraint_ns))
+        except InfeasibleError:
+            # Below the peak-performance point: run flat out (the paper's
+            # grey region cannot be satisfied; best effort is the peak).
+            return self.lut.peak_placement
+
+    # -- energy helpers ---------------------------------------------------------------
+
+    def _cluster_busy_ns(self, counts: dict, tasks: int) -> dict:
+        busy = {cluster_id: 0.0 for cluster_id in self.optimizer.clusters}
+        for kind, blocks in counts.items():
+            busy[kind.cluster] += (
+                blocks * self.optimizer.space(kind).time_per_block_ns * tasks
+            )
+        return busy
+
+    def _pe_static_energy_nj(self, busy_by_cluster: dict) -> float:
+        total = 0.0
+        for cluster_id, busy_ns in busy_by_cluster.items():
+            cluster = self.optimizer.clusters[cluster_id]
+            pe_static = cluster.modules[0].pe.static_power_mw
+            total += pe_static * len(cluster) * busy_ns / 1000.0
+        return total
+
+    def _buffer_static_energy_nj(self, counts: dict, busy_by_cluster: dict) -> float:
+        """Leakage of SRAM used purely as the activation I/O buffer.
+
+        Clusters whose SRAM holds no weights still power one sub-array per
+        module while computing (activations stream through it); clusters
+        whose SRAM already holds weights pay nothing extra (the hold
+        leakage covers the powered arrays).
+        """
+        total = 0.0
+        for cluster_id, busy_ns in busy_by_cluster.items():
+            if busy_ns <= 0:
+                continue
+            sram_kind = SpaceKind.of(cluster_id, BankKind.SRAM)
+            try:
+                space = self.optimizer.space(sram_kind)
+            except Exception:
+                continue
+            if counts.get(sram_kind, 0) > 0:
+                continue
+            granule_fraction = min(
+                1.0, self.optimizer.granule_bytes / space.bank_capacity_bytes
+            )
+            total += space.full_static_power_mw * granule_fraction * busy_ns / 1000.0
+        return total
+
+    # -- main loop ------------------------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> RunResult:
+        """Execute a scenario; returns per-slice records and totals."""
+        result = RunResult(
+            architecture=self.spec.name,
+            model=self.model.name,
+            scenario=scenario,
+            t_slice_ns=self.t_slice_ns,
+            policy=self.policy,
+        )
+        buffer = TaskBuffer(model=self.model)
+        # Boot placement: fixed policies install theirs; the dynamic policy
+        # starts in the most energy-efficient state (nothing to do yet).
+        if self._fixed is not None:
+            prev_counts = dict(self._fixed.counts)
+        else:
+            prev_counts = dict(self.lut.most_relaxed_placement.counts)
+
+        for index, load in enumerate(scenario.loads):
+            buffer.arrive(load)
+            tasks = len(buffer.advance_slice())
+            placement, movement, t_constraint = self._select_placement(
+                tasks, prev_counts
+            )
+            counts = placement.counts
+            busy_by_cluster = self._cluster_busy_ns(counts, tasks)
+            busy = max(busy_by_cluster.values()) if busy_by_cluster else 0.0
+            busy_total = busy + tasks * self.core_time_ns + movement.time_ns
+            idle = max(0.0, self.t_slice_ns - busy_total)
+            task_latency = placement.task_time_ns + self.core_time_ns
+            slack = self.optimizer.time_step_ns
+            deadline_met = (
+                busy_total <= self.t_slice_ns + tasks * slack + 1e-6
+                and task_latency <= t_constraint + slack
+            )
+
+            dynamic = tasks * placement.dynamic_energy_nj
+            hold = placement.hold_static_power_mw * self.t_slice_ns / 1000.0
+            access = tasks * self.optimizer.mram_access_static_energy_nj(counts)
+            buffer_static = self._buffer_static_energy_nj(counts, busy_by_cluster)
+            pe_static = self._pe_static_energy_nj(busy_by_cluster)
+
+            result.records.append(
+                SliceRecord(
+                    index=index,
+                    arrivals=load,
+                    tasks_processed=tasks,
+                    t_constraint_ns=t_constraint,
+                    placement_counts=dict(counts),
+                    movement=movement,
+                    busy_time_ns=busy_total,
+                    idle_time_ns=idle,
+                    dynamic_energy_nj=dynamic,
+                    hold_static_energy_nj=hold,
+                    access_static_energy_nj=access,
+                    buffer_static_energy_nj=buffer_static,
+                    pe_static_energy_nj=pe_static,
+                    movement_energy_nj=movement.energy_nj,
+                    deadline_met=deadline_met,
+                )
+            )
+            prev_counts = dict(counts)
+        return result

@@ -1,0 +1,6 @@
+"""Energy: the Table V power model and component-level accounting."""
+
+from .power import PowerRow, power_row, table_v_rows
+from .accounting import EnergyAccount
+
+__all__ = ["PowerRow", "power_row", "table_v_rows", "EnergyAccount"]

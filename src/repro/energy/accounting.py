@@ -1,0 +1,89 @@
+"""Component-level energy accounting.
+
+:class:`EnergyAccount` aggregates named energy components (nanojoules),
+supports merging across subsystems/slices, and renders percentage
+breakdowns — the bookkeeping behind the Fig. 5 / Table VI comparisons.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ConfigurationError
+
+
+class EnergyAccount:
+    """Named energy components with merge/scale/breakdown operations."""
+
+    def __init__(self, components: dict | None = None) -> None:
+        self._components: OrderedDict = OrderedDict()
+        if components:
+            for name, value in components.items():
+                self.charge(name, value)
+
+    def charge(self, component: str, energy_nj: float) -> None:
+        """Add ``energy_nj`` to one component (negative charges rejected)."""
+        if energy_nj < 0:
+            raise ConfigurationError(
+                f"negative energy charge {energy_nj} for {component!r}"
+            )
+        self._components[component] = self._components.get(component, 0.0) + energy_nj
+
+    def __getitem__(self, component: str) -> float:
+        return self._components.get(component, 0.0)
+
+    def __contains__(self, component: str) -> bool:
+        return component in self._components
+
+    @property
+    def components(self) -> dict:
+        """A copy of the component map."""
+        return dict(self._components)
+
+    @property
+    def total_nj(self) -> float:
+        """Sum over all components."""
+        return sum(self._components.values())
+
+    def merge(self, other: "EnergyAccount") -> "EnergyAccount":
+        """Component-wise sum of two accounts."""
+        merged = EnergyAccount(self._components)
+        for name, value in other._components.items():
+            merged.charge(name, value)
+        return merged
+
+    def scaled(self, factor: float) -> "EnergyAccount":
+        """A copy with every component multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise ConfigurationError(f"negative scale factor {factor}")
+        return EnergyAccount(
+            {name: value * factor for name, value in self._components.items()}
+        )
+
+    def breakdown(self) -> dict:
+        """Fraction of the total per component (empty account -> {})."""
+        total = self.total_nj
+        if total == 0:
+            return {name: 0.0 for name in self._components}
+        return {
+            name: value / total for name, value in self._components.items()
+        }
+
+    def savings_vs(self, baseline: "EnergyAccount") -> float:
+        """Fractional energy saving relative to a baseline account."""
+        base = baseline.total_nj
+        if base <= 0:
+            raise ConfigurationError("baseline energy must be positive")
+        return 1.0 - self.total_nj / base
+
+    def render(self, unit: str = "nJ") -> str:
+        """A small aligned text table of the components."""
+        if not self._components:
+            return "(empty account)"
+        width = max(len(name) for name in self._components)
+        lines = []
+        for name, value in self._components.items():
+            share = value / self.total_nj * 100 if self.total_nj else 0.0
+            lines.append(f"{name:<{width}}  {value:>14.3f} {unit}  {share:5.1f}%")
+        lines.append(f"{'total':<{width}}  {self.total_nj:>14.3f} {unit}")
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Exception hierarchy for the HH-PIM reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture, memory or workload configuration is invalid."""
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-subsystem failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class AddressError(MemoryError_):
+    """An access touched an address outside the bank's address range."""
+
+
+class PowerGatingError(MemoryError_):
+    """An access was attempted on a power-gated (sleeping) memory bank."""
+
+
+class CapacityError(MemoryError_):
+    """A placement or write exceeded the capacity of a storage space."""
+
+
+class IsaError(ReproError):
+    """Base class for PIM-ISA failures."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded into its binary word format."""
+
+
+class DecodingError(IsaError):
+    """A binary word does not decode to a valid PIM instruction."""
+
+
+class AssemblerError(IsaError):
+    """A PIM assembly program contains a syntax or semantic error."""
+
+
+class QueueFullError(IsaError):
+    """The PIM instruction queue cannot accept another instruction."""
+
+
+class QueueEmptyError(IsaError):
+    """A fetch was attempted from an empty PIM instruction queue."""
+
+
+class ControllerError(ReproError):
+    """The PIM controller entered an inconsistent state."""
+
+
+class StateTransitionError(ControllerError):
+    """An illegal state-machine transition was requested."""
+
+
+class NocError(ReproError):
+    """The interconnect model rejected a transfer."""
+
+
+class RiscvError(ReproError):
+    """Base class for RISC-V ISS failures."""
+
+
+class IllegalInstructionError(RiscvError):
+    """The ISS fetched a word that does not decode to a supported opcode."""
+
+
+class MmioError(RiscvError):
+    """An MMIO access hit an unmapped address or violated access width."""
+
+
+class SimulationError(ReproError):
+    """The event/cycle simulation engine detected an inconsistency."""
+
+
+class PlacementError(ReproError):
+    """Base class for data-placement optimizer failures."""
+
+
+class InfeasibleError(PlacementError):
+    """No placement satisfies the requested time constraint.
+
+    Corresponds to the grey "Not Possible" region of Fig. 6 in the paper:
+    the requested ``t_constraint`` is below the peak-performance point of
+    the architecture.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload model or scenario description is invalid."""

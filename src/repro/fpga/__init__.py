@@ -1,0 +1,15 @@
+"""FPGA resource estimation (Table II)."""
+
+from .resources import (
+    ResourceReport,
+    Resources,
+    estimate_processor,
+    table_ii_report,
+)
+
+__all__ = [
+    "ResourceReport",
+    "Resources",
+    "estimate_processor",
+    "table_ii_report",
+]

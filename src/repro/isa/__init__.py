@@ -1,0 +1,59 @@
+"""PIM instruction set: encodings, typed instructions, queue, assembler.
+
+HH-PIM "operat[es] based on dedicated PIM instructions" delivered from the
+processor core into a *PIM Instruction Queue* (paper, Section II).  This
+package defines a compact 32-bit instruction word, typed instruction
+classes with a lossless encode/decode round-trip, the bounded instruction
+queue, and a small text assembler used by the examples and the RISC-V
+driver programs.
+"""
+
+from .encoding import (
+    Category,
+    ClusterId,
+    FIELD_LAYOUT,
+    decode_word,
+    encode_fields,
+)
+from .instructions import (
+    BROADCAST_MODULE,
+    Compute,
+    ComputeOp,
+    Config,
+    ConfigOp,
+    GateTarget,
+    Halt,
+    LoadOperands,
+    Move,
+    PimInstruction,
+    StoreResult,
+    Sync,
+    decode,
+)
+from .queue import InstructionQueue
+from .assembler import assemble, assemble_line, disassemble
+
+__all__ = [
+    "Category",
+    "ClusterId",
+    "FIELD_LAYOUT",
+    "decode_word",
+    "encode_fields",
+    "BROADCAST_MODULE",
+    "Compute",
+    "ComputeOp",
+    "Config",
+    "ConfigOp",
+    "GateTarget",
+    "Halt",
+    "LoadOperands",
+    "Move",
+    "PimInstruction",
+    "StoreResult",
+    "Sync",
+    "decode",
+    "InstructionQueue",
+    "assemble",
+    "assemble_line",
+    "disassemble",
+]

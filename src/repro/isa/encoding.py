@@ -1,0 +1,120 @@
+"""Binary word format of PIM instructions.
+
+Every PIM instruction is one 32-bit word with the following fields, from
+most- to least-significant bit::
+
+    [31:29] category       one of Category (3 bits)
+    [28]    cluster        0 = HP cluster, 1 = LP cluster
+    [27:24] module         module index within the cluster; 0xF = broadcast
+    [23:20] opcode         operation within the category
+    [19:0]  immediate      address / operand payload (20 bits)
+
+The *category* drives the controller's instruction decoder ("Category" in
+Fig. 2 of the paper), *cluster* + *module* form the Module Select Signal,
+and *opcode* + *immediate* form the Instruction Field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import DecodingError, EncodingError
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Category(IntEnum):
+    """Top-level instruction categories handled by the PIM controllers."""
+
+    COMPUTE = 0
+    LOAD = 1
+    STORE = 2
+    MOVE = 3
+    SYNC = 4
+    CONFIG = 5
+    HALT = 6
+
+
+class ClusterId(IntEnum):
+    """The two heterogeneous clusters of HH-PIM."""
+
+    HP = 0
+    LP = 1
+
+    @property
+    def other(self) -> "ClusterId":
+        """The opposite cluster (used by inter-cluster MOVEs)."""
+        return ClusterId.LP if self is ClusterId.HP else ClusterId.HP
+
+
+@dataclass(frozen=True)
+class _Field:
+    """One bit-field of the instruction word."""
+
+    name: str
+    shift: int
+    width: int
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def insert(self, value: int) -> int:
+        if not 0 <= value <= self.mask:
+            raise EncodingError(
+                f"field {self.name}: value {value} does not fit in "
+                f"{self.width} bits"
+            )
+        return value << self.shift
+
+    def extract(self, word: int) -> int:
+        return (word >> self.shift) & self.mask
+
+
+#: The instruction word layout, as documented in the module docstring.
+FIELD_LAYOUT = {
+    "category": _Field("category", 29, 3),
+    "cluster": _Field("cluster", 28, 1),
+    "module": _Field("module", 24, 4),
+    "opcode": _Field("opcode", 20, 4),
+    "immediate": _Field("immediate", 0, 20),
+}
+
+
+def encode_fields(
+    category: Category,
+    cluster: ClusterId,
+    module: int,
+    opcode: int,
+    immediate: int,
+) -> int:
+    """Pack the five fields into one 32-bit instruction word."""
+    word = 0
+    word |= FIELD_LAYOUT["category"].insert(int(category))
+    word |= FIELD_LAYOUT["cluster"].insert(int(cluster))
+    word |= FIELD_LAYOUT["module"].insert(module)
+    word |= FIELD_LAYOUT["opcode"].insert(opcode)
+    word |= FIELD_LAYOUT["immediate"].insert(immediate)
+    return word
+
+
+def decode_word(word: int) -> dict:
+    """Unpack an instruction word into its raw field values."""
+    if not 0 <= word <= WORD_MASK:
+        raise DecodingError(f"instruction word {word:#x} is not 32-bit")
+    raw_category = FIELD_LAYOUT["category"].extract(word)
+    try:
+        category = Category(raw_category)
+    except ValueError:
+        raise DecodingError(
+            f"word {word:#010x}: unknown category {raw_category}"
+        ) from None
+    return {
+        "category": category,
+        "cluster": ClusterId(FIELD_LAYOUT["cluster"].extract(word)),
+        "module": FIELD_LAYOUT["module"].extract(word),
+        "opcode": FIELD_LAYOUT["opcode"].extract(word),
+        "immediate": FIELD_LAYOUT["immediate"].extract(word),
+    }

@@ -1,0 +1,228 @@
+"""Typed PIM instructions with a lossless encode/decode round-trip.
+
+Each class mirrors one category of :class:`~repro.isa.encoding.Category`
+and knows how to pack itself into the 32-bit word format and back.  The
+controller's instruction decoder (Fig. 2) consumes these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..errors import DecodingError, EncodingError
+from .encoding import Category, ClusterId, decode_word, encode_fields
+
+#: Module index that addresses every module of a cluster at once.
+BROADCAST_MODULE = 0xF
+
+
+class ComputeOp(IntEnum):
+    """Operations of the COMPUTE category."""
+
+    MAC = 0  #: multiply-accumulate over previously loaded operand pairs
+    CLEAR = 1  #: zero the PE accumulator
+    EMIT = 2  #: requantize the accumulator into an INT8 result
+
+
+class ConfigOp(IntEnum):
+    """Operations of the CONFIG category (power management)."""
+
+    GATE_OFF = 0  #: power-gate a component
+    GATE_ON = 1  #: un-gate a component
+
+
+class GateTarget(IntEnum):
+    """Component selector carried in a CONFIG instruction's immediate."""
+
+    MRAM = 0
+    SRAM = 1
+    PE = 2
+    ALL = 3
+
+
+@dataclass(frozen=True)
+class PimInstruction:
+    """Base class: every PIM instruction targets (cluster, module)."""
+
+    cluster: ClusterId
+    module: int
+
+    def _check_module(self) -> None:
+        if not 0 <= self.module <= BROADCAST_MODULE:
+            raise EncodingError(f"module index {self.module} outside [0, 15]")
+
+    def encode(self) -> int:
+        """Pack into the 32-bit instruction word."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Compute(PimInstruction):
+    """COMPUTE: run ``count`` MAC steps (or CLEAR / EMIT) on a module's PE."""
+
+    op: ComputeOp = ComputeOp.MAC
+    count: int = 1
+
+    def encode(self) -> int:
+        self._check_module()
+        if not 0 <= self.count < (1 << 20):
+            raise EncodingError(f"MAC count {self.count} does not fit in 20 bits")
+        return encode_fields(
+            Category.COMPUTE, self.cluster, self.module, int(self.op), self.count
+        )
+
+
+@dataclass(frozen=True)
+class LoadOperands(PimInstruction):
+    """LOAD: fetch operands from the module's MRAM and/or SRAM banks.
+
+    The immediate packs the two operand counts (10 bits each); the module
+    interface synchronises the two read streams, waiting for the slower
+    bank — the paper's variable-operand LOAD behaviour.
+    """
+
+    mram_count: int = 0
+    sram_count: int = 0
+
+    def encode(self) -> int:
+        self._check_module()
+        for name, count in (
+            ("mram_count", self.mram_count),
+            ("sram_count", self.sram_count),
+        ):
+            if not 0 <= count < (1 << 10):
+                raise EncodingError(f"{name} {count} does not fit in 10 bits")
+        immediate = (self.mram_count << 10) | self.sram_count
+        return encode_fields(
+            Category.LOAD, self.cluster, self.module, 0, immediate
+        )
+
+
+@dataclass(frozen=True)
+class StoreResult(PimInstruction):
+    """STORE: write the PE's emitted result to a flat module address."""
+
+    address: int = 0
+
+    def encode(self) -> int:
+        self._check_module()
+        if not 0 <= self.address < (1 << 20):
+            raise EncodingError(
+                f"store address {self.address} does not fit in 20 bits"
+            )
+        return encode_fields(
+            Category.STORE, self.cluster, self.module, 0, self.address
+        )
+
+
+@dataclass(frozen=True)
+class Move(PimInstruction):
+    """MOVE: transfer a data block to a module in the *opposite* cluster.
+
+    The header names the source (cluster, module); the immediate packs the
+    destination module (4 bits), a block index (8 bits) resolved by the
+    controller's Address Generator, and a word count granule (8 bits).
+    """
+
+    dst_module: int = 0
+    block: int = 0
+    count: int = 1
+
+    def encode(self) -> int:
+        self._check_module()
+        if not 0 <= self.dst_module <= BROADCAST_MODULE:
+            raise EncodingError(
+                f"destination module {self.dst_module} outside [0, 15]"
+            )
+        for name, value in (("block", self.block), ("count", self.count)):
+            if not 0 <= value < (1 << 8):
+                raise EncodingError(f"{name} {value} does not fit in 8 bits")
+        immediate = (self.dst_module << 16) | (self.block << 8) | self.count
+        return encode_fields(
+            Category.MOVE, self.cluster, self.module, 0, immediate
+        )
+
+    @property
+    def dst_cluster(self) -> ClusterId:
+        """Inter-cluster MOVEs always target the opposite cluster."""
+        return self.cluster.other
+
+
+@dataclass(frozen=True)
+class Sync(PimInstruction):
+    """SYNC: barrier — wait until the addressed modules are idle."""
+
+    def encode(self) -> int:
+        self._check_module()
+        return encode_fields(Category.SYNC, self.cluster, self.module, 0, 0)
+
+
+@dataclass(frozen=True)
+class Config(PimInstruction):
+    """CONFIG: power-gate or un-gate a component of a module."""
+
+    op: ConfigOp = ConfigOp.GATE_OFF
+    target: GateTarget = GateTarget.ALL
+
+    def encode(self) -> int:
+        self._check_module()
+        return encode_fields(
+            Category.CONFIG, self.cluster, self.module, int(self.op),
+            int(self.target),
+        )
+
+
+@dataclass(frozen=True)
+class Halt(PimInstruction):
+    """HALT: stop the controller after draining in-flight work."""
+
+    def encode(self) -> int:
+        return encode_fields(Category.HALT, self.cluster, self.module, 0, 0)
+
+
+def decode(word: int) -> PimInstruction:
+    """Decode a 32-bit word into its typed instruction."""
+    fields = decode_word(word)
+    category = fields["category"]
+    cluster = fields["cluster"]
+    module = fields["module"]
+    opcode = fields["opcode"]
+    immediate = fields["immediate"]
+    if category is Category.COMPUTE:
+        try:
+            op = ComputeOp(opcode)
+        except ValueError:
+            raise DecodingError(f"unknown COMPUTE opcode {opcode}") from None
+        return Compute(cluster, module, op=op, count=immediate)
+    if category is Category.LOAD:
+        return LoadOperands(
+            cluster,
+            module,
+            mram_count=(immediate >> 10) & 0x3FF,
+            sram_count=immediate & 0x3FF,
+        )
+    if category is Category.STORE:
+        return StoreResult(cluster, module, address=immediate)
+    if category is Category.MOVE:
+        return Move(
+            cluster,
+            module,
+            dst_module=(immediate >> 16) & 0xF,
+            block=(immediate >> 8) & 0xFF,
+            count=immediate & 0xFF,
+        )
+    if category is Category.SYNC:
+        return Sync(cluster, module)
+    if category is Category.CONFIG:
+        try:
+            op = ConfigOp(opcode)
+            target = GateTarget(immediate)
+        except ValueError:
+            raise DecodingError(
+                f"unknown CONFIG opcode/target {opcode}/{immediate}"
+            ) from None
+        return Config(cluster, module, op=op, target=target)
+    if category is Category.HALT:
+        return Halt(cluster, module)
+    raise DecodingError(f"unhandled category {category}")

@@ -1,0 +1,75 @@
+"""The PIM Instruction Queue.
+
+Commands from the processor core are "sequentially stored in the PIM
+Instruction Queue" (paper, Section II); the two cluster controllers fetch
+from it in order.  The queue is a bounded FIFO of 32-bit instruction
+words — bounding it models the finite hardware buffer and gives the MMIO
+bridge a back-pressure signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigurationError, QueueEmptyError, QueueFullError
+from .instructions import PimInstruction, decode
+
+
+class InstructionQueue:
+    """Bounded FIFO of PIM instruction words."""
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth <= 0:
+            raise ConfigurationError(f"queue depth must be positive, got {depth}")
+        self.depth = depth
+        self._words: deque = deque()
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    @property
+    def full(self) -> bool:
+        """Whether another push would overflow the hardware buffer."""
+        return len(self._words) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """Whether a fetch would underflow."""
+        return not self._words
+
+    def push(self, instruction: PimInstruction) -> None:
+        """Enqueue a typed instruction (encoded to its word form)."""
+        self.push_word(instruction.encode())
+
+    def push_word(self, word: int) -> None:
+        """Enqueue a raw 32-bit instruction word."""
+        if self.full:
+            raise QueueFullError(
+                f"instruction queue full (depth {self.depth})"
+            )
+        decode(word)  # validate eagerly: hardware rejects illegal words
+        self._words.append(word)
+        self.total_pushed += 1
+
+    def pop(self) -> PimInstruction:
+        """Fetch and decode the oldest instruction."""
+        return decode(self.pop_word())
+
+    def pop_word(self) -> int:
+        """Fetch the oldest raw word."""
+        if self.empty:
+            raise QueueEmptyError("instruction queue empty")
+        self.total_popped += 1
+        return self._words.popleft()
+
+    def peek(self) -> PimInstruction:
+        """Decode the oldest instruction without removing it."""
+        if self.empty:
+            raise QueueEmptyError("instruction queue empty")
+        return decode(self._words[0])
+
+    def clear(self) -> None:
+        """Drop all queued instructions (reset)."""
+        self._words.clear()

@@ -1,0 +1,22 @@
+"""Mapping: compile inference workloads onto PIM instruction streams.
+
+The analysis layers price placements in closed form; this package emits
+the *actual command streams* a placement implies — LOAD/COMPUTE/SYNC
+sequences per module, MOVE sequences for placement transitions — and can
+execute them through the real dual-controller fabric.  Integration tests
+cross-check the executed timing against the analytic cost model.
+"""
+
+from .compiler import (
+    CompiledInference,
+    CompiledTransition,
+    InferenceCompiler,
+    ModuleWork,
+)
+
+__all__ = [
+    "CompiledInference",
+    "CompiledTransition",
+    "InferenceCompiler",
+    "ModuleWork",
+]

@@ -1,0 +1,271 @@
+"""Compile placements into executable PIM instruction streams.
+
+Given a :class:`~repro.core.lut.Placement` (per-space block counts) and a
+model, the compiler produces the command stream one inference requires:
+
+* per module, the operand LOADs (weights from the bank the placement
+  chose, activations from the SRAM buffer) and the MAC COMPUTEs, chunked
+  to the instruction format's field widths;
+* cluster-level SYNC barriers at task boundaries;
+* for a placement *transition*, the inter-cluster MOVE sequence the Data
+  Allocator executes, plus CONFIG gating for spaces that become empty.
+
+The emitted streams run on the real :class:`~repro.arch.processor.PimFabric`
+(or through the MMIO doorbell from RISC-V code), and their executed cost is
+cross-validated against the analytic model by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.processor import PimFabric
+from ..core.lut import Placement
+from ..core.spaces import SpaceKind
+from ..errors import PlacementError
+from ..isa.encoding import ClusterId
+from ..isa.instructions import (
+    Compute,
+    Config,
+    ConfigOp,
+    GateTarget,
+    LoadOperands,
+    Move,
+    PimInstruction,
+    Sync,
+)
+from ..memory.hybrid import BankKind
+from ..workloads.models import ModelSpec
+
+#: Field-width limits of the instruction format.
+MAX_MAC_COUNT = (1 << 20) - 1
+MAX_LOAD_COUNT = (1 << 10) - 1
+MAX_MOVE_COUNT = (1 << 8) - 1
+
+_GATE_OF_BANK = {BankKind.MRAM: GateTarget.MRAM, BankKind.SRAM: GateTarget.SRAM}
+
+
+@dataclass(frozen=True)
+class ModuleWork:
+    """The per-module share of one inference under a placement."""
+
+    cluster: ClusterId
+    module: int
+    mram_macs: int
+    sram_macs: int
+
+    @property
+    def total_macs(self) -> int:
+        """MACs this module executes for the task."""
+        return self.mram_macs + self.sram_macs
+
+
+@dataclass(frozen=True)
+class CompiledInference:
+    """One inference compiled to an instruction stream."""
+
+    model: str
+    instructions: tuple
+    work: tuple  # ModuleWork entries
+    total_macs: int
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass(frozen=True)
+class CompiledTransition:
+    """A placement transition compiled to MOVE/CONFIG instructions."""
+
+    instructions: tuple
+    blocks_moved: int
+
+
+@dataclass
+class InferenceCompiler:
+    """Emits instruction streams for placements on a given fabric shape."""
+
+    model: ModelSpec
+    block_count: int
+    modules_per_cluster: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.block_count <= 0:
+            raise PlacementError("block count must be positive")
+        if not self.modules_per_cluster:
+            self.modules_per_cluster = {ClusterId.HP: 4, ClusterId.LP: 4}
+
+    @classmethod
+    def for_fabric(cls, fabric: PimFabric, model: ModelSpec,
+                   block_count: int) -> "InferenceCompiler":
+        """Build a compiler matching a fabric's cluster shapes."""
+        return cls(
+            model=model,
+            block_count=block_count,
+            modules_per_cluster={
+                cid: len(cluster) for cid, cluster in fabric.clusters.items()
+            },
+        )
+
+    # -- work partitioning ------------------------------------------------------
+
+    @property
+    def macs_per_block(self) -> int:
+        """MACs one weight block contributes to a task."""
+        return max(1, round(self.model.pim_macs / self.block_count))
+
+    def _stripe(self, blocks: int, ways: int):
+        base, extra = divmod(blocks, ways)
+        return [base + (1 if i < extra else 0) for i in range(ways)]
+
+    def partition(self, placement: Placement):
+        """Split a placement's MACs over the modules (round-robin blocks)."""
+        per_module: dict = {}
+        for kind, blocks in placement.counts.items():
+            if blocks == 0:
+                continue
+            cluster = kind.cluster
+            ways = self.modules_per_cluster.get(cluster, 0)
+            if ways == 0:
+                raise PlacementError(
+                    f"placement uses {kind.value} but the fabric has no "
+                    f"{cluster.name} cluster"
+                )
+            for module, share in enumerate(self._stripe(blocks, ways)):
+                key = (cluster, module)
+                mram, sram = per_module.get(key, (0, 0))
+                macs = share * self.macs_per_block
+                if kind.bank is BankKind.MRAM:
+                    mram += macs
+                else:
+                    sram += macs
+                per_module[key] = (mram, sram)
+        return tuple(
+            ModuleWork(cluster=cluster, module=module,
+                       mram_macs=mram, sram_macs=sram)
+            for (cluster, module), (mram, sram) in sorted(
+                per_module.items(), key=lambda kv: (kv[0][0], kv[0][1])
+            )
+        )
+
+    # -- code emission -----------------------------------------------------------
+
+    @staticmethod
+    def _emit_cluster(cluster: ClusterId, mram_macs: int, sram_macs: int):
+        """Broadcast LOAD + COMPUTE chunks for one cluster's task share.
+
+        Broadcast instructions (module = 0xF) let the command encoder
+        stripe the counts over the cluster's modules, which then execute
+        in parallel — the hardware's behaviour.  Every MAC consumes one
+        weight operand (from the bank the placement chose) and one
+        activation operand (SRAM buffer); chunks are sized so the 10-bit
+        LOAD count fields never overflow.
+        """
+        instructions = []
+        for macs, from_mram in ((mram_macs, True), (sram_macs, False)):
+            left = macs
+            while left > 0:
+                chunk = min(left, MAX_LOAD_COUNT)
+                instructions.append(
+                    LoadOperands(
+                        cluster, 0xF,
+                        mram_count=chunk if from_mram else 0,
+                        sram_count=chunk,
+                    )
+                )
+                instructions.append(Compute(cluster, 0xF, count=chunk))
+                left -= chunk
+        return instructions
+
+    def compile_inference(self, placement: Placement) -> CompiledInference:
+        """The instruction stream of one inference under ``placement``."""
+        work = self.partition(placement)
+        per_cluster = {}
+        for module_work in work:
+            mram, sram = per_cluster.get(module_work.cluster, (0, 0))
+            per_cluster[module_work.cluster] = (
+                mram + module_work.mram_macs, sram + module_work.sram_macs
+            )
+        instructions: list = []
+        for cluster in sorted(per_cluster, key=lambda c: c.value):
+            mram, sram = per_cluster[cluster]
+            instructions.extend(self._emit_cluster(cluster, mram, sram))
+        for cluster in sorted(per_cluster, key=lambda c: c.value):
+            instructions.append(Sync(cluster, 0xF))
+        return CompiledInference(
+            model=self.model.name,
+            instructions=tuple(instructions),
+            work=work,
+            total_macs=sum(w.total_macs for w in work),
+        )
+
+    def compile_transition(
+        self, old: Placement, new: Placement
+    ) -> CompiledTransition:
+        """MOVE/CONFIG stream realising a placement change.
+
+        Inter-cluster block movements go through MOVE instructions (the
+        Data Allocator path); spaces that end up empty are power-gated,
+        and newly used spaces are un-gated first.
+        """
+        instructions: list = []
+        moved = 0
+        for kind in SpaceKind:
+            before = old.counts.get(kind, 0)
+            after = new.counts.get(kind, 0)
+            if after > 0 and before == 0:
+                instructions.append(
+                    Config(kind.cluster, 0xF, op=ConfigOp.GATE_ON,
+                           target=_GATE_OF_BANK[kind.bank])
+                )
+        # Net inter-cluster flow: blocks leaving one cluster for the other.
+        flows = {}
+        for cluster in (ClusterId.HP, ClusterId.LP):
+            before = sum(
+                old.counts.get(kind, 0) for kind in SpaceKind
+                if kind.cluster is cluster
+            )
+            after = sum(
+                new.counts.get(kind, 0) for kind in SpaceKind
+                if kind.cluster is cluster
+            )
+            flows[cluster] = after - before
+        for cluster, delta in flows.items():
+            if delta >= 0:
+                continue
+            source = cluster
+            outgoing = -delta
+            moved += outgoing
+            block = 0
+            ways = self.modules_per_cluster.get(source, 1)
+            while outgoing > 0:
+                chunk = min(outgoing, MAX_MOVE_COUNT)
+                instructions.append(
+                    Move(source, block % ways, dst_module=block % ways,
+                         block=block % 256, count=chunk)
+                )
+                outgoing -= chunk
+                block += 1
+        for kind in SpaceKind:
+            if new.counts.get(kind, 0) == 0 and old.counts.get(kind, 0) > 0:
+                instructions.append(
+                    Config(kind.cluster, 0xF, op=ConfigOp.GATE_OFF,
+                           target=_GATE_OF_BANK[kind.bank])
+                )
+        return CompiledTransition(
+            instructions=tuple(instructions), blocks_moved=moved
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run_on_fabric(
+        self, fabric: PimFabric, compiled: CompiledInference
+    ) -> float:
+        """Push the stream through the fabric's queue; returns elapsed ns."""
+        elapsed = 0.0
+        for instruction in compiled.instructions:
+            if fabric.queue.full:
+                elapsed += fabric.drain()
+            fabric.queue.push(instruction)
+        elapsed += fabric.drain()
+        return elapsed

@@ -1,0 +1,182 @@
+"""Hybrid MRAM + SRAM memory of one PIM module.
+
+Each PIM module in the paper couples a 64 kB STT-MRAM bank with a 64 kB
+SRAM bank (Table I).  :class:`HybridMemory` bundles the two banks, exposes
+a flat address map (MRAM first, then SRAM) and implements the LOAD-state
+synchronisation the paper describes: when a computation pulls operands from
+*both* banks, the module must wait for the slower of the two reads before
+the PE can start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import AddressError, ConfigurationError
+from .bank import BankStats, MemoryBank
+from .technology import SRAM_45NM, STT_MRAM_45NM, MemoryTechnology
+
+
+class BankKind(str, Enum):
+    """The two bank roles inside a hybrid PIM-module memory."""
+
+    MRAM = "mram"
+    SRAM = "sram"
+
+
+@dataclass(frozen=True)
+class HybridAddress:
+    """A decoded hybrid-memory address: which bank, and the offset in it."""
+
+    bank: BankKind
+    offset: int
+
+
+class HybridMemory:
+    """MRAM + SRAM bank pair with a flat address map.
+
+    The flat map places MRAM at ``[0, mram_capacity)`` and SRAM at
+    ``[mram_capacity, mram_capacity + sram_capacity)``; the PIM controller's
+    address generator uses it to steer inter-module transfers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        vdd: float,
+        mram_capacity: int = 64 * 1024,
+        sram_capacity: int = 64 * 1024,
+        mram_technology: MemoryTechnology = STT_MRAM_45NM,
+        sram_technology: MemoryTechnology = SRAM_45NM,
+        word_bytes: int = 1,
+    ) -> None:
+        if mram_capacity < 0 or sram_capacity < 0:
+            raise ConfigurationError("bank capacities must be non-negative")
+        if mram_capacity == 0 and sram_capacity == 0:
+            raise ConfigurationError(
+                f"hybrid memory {name}: at least one bank must be present"
+            )
+        self.name = name
+        self.vdd = vdd
+        self.banks: dict[BankKind, MemoryBank] = {}
+        if mram_capacity:
+            self.banks[BankKind.MRAM] = MemoryBank(
+                name=f"{name}.mram",
+                technology=mram_technology,
+                capacity_bytes=mram_capacity,
+                vdd=vdd,
+                word_bytes=word_bytes,
+            )
+        if sram_capacity:
+            self.banks[BankKind.SRAM] = MemoryBank(
+                name=f"{name}.sram",
+                technology=sram_technology,
+                capacity_bytes=sram_capacity,
+                vdd=vdd,
+                word_bytes=word_bytes,
+            )
+        self._mram_capacity = mram_capacity
+        self._sram_capacity = sram_capacity
+
+    # -- address map ------------------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity of the hybrid memory."""
+        return self._mram_capacity + self._sram_capacity
+
+    def bank(self, kind: BankKind) -> MemoryBank:
+        """Return the bank of the given kind; raises if absent."""
+        try:
+            return self.banks[kind]
+        except KeyError:
+            raise AddressError(
+                f"hybrid memory {self.name} has no {kind.value} bank"
+            ) from None
+
+    def decode(self, address: int) -> HybridAddress:
+        """Map a flat address to (bank, offset)."""
+        if 0 <= address < self._mram_capacity:
+            return HybridAddress(BankKind.MRAM, address)
+        if self._mram_capacity <= address < self.capacity_bytes:
+            return HybridAddress(BankKind.SRAM, address - self._mram_capacity)
+        raise AddressError(
+            f"hybrid memory {self.name}: flat address {address} outside "
+            f"[0, {self.capacity_bytes})"
+        )
+
+    def encode(self, decoded: HybridAddress) -> int:
+        """Map (bank, offset) back to a flat address."""
+        bank = self.bank(decoded.bank)
+        if not 0 <= decoded.offset < bank.capacity_bytes:
+            raise AddressError(
+                f"hybrid memory {self.name}: offset {decoded.offset} outside "
+                f"{decoded.bank.value} bank"
+            )
+        base = 0 if decoded.bank is BankKind.MRAM else self._mram_capacity
+        return base + decoded.offset
+
+    # -- functional access through the flat map ----------------------------------
+
+    def read(self, address: int, length: int = 1) -> bytes:
+        """Read ``length`` bytes through the flat map (single-bank only)."""
+        where = self.decode(address)
+        return self.bank(where.bank).read(where.offset, length)
+
+    def write(self, address: int, data: bytes) -> float:
+        """Write ``data`` through the flat map (single-bank only)."""
+        where = self.decode(address)
+        return self.bank(where.bank).write(where.offset, data)
+
+    # -- LOAD-state synchronisation ----------------------------------------------
+
+    def load_operands(self, counts: dict) -> float:
+        """Time (ns) to load a mixed operand set in the LOAD state.
+
+        ``counts`` maps :class:`BankKind` to the number of operands pulled
+        from that bank.  The PIM module interface reads each bank serially
+        (one port per bank), but the two banks proceed concurrently; the
+        controller then synchronises on the slower stream, exactly as the
+        paper's variable-operand LOAD logic does.
+        """
+        worst = 0.0
+        for kind, count in counts.items():
+            if count < 0:
+                raise ConfigurationError("operand counts must be non-negative")
+            if count == 0:
+                continue
+            bank = self.bank(BankKind(kind))
+            worst = max(worst, count * bank.read_latency_ns)
+        return worst
+
+    # -- power management and accounting -------------------------------------------
+
+    def power_off(self, kind: BankKind | None = None) -> None:
+        """Gate one bank, or every bank when ``kind`` is None."""
+        targets = [self.bank(kind)] if kind is not None else self.banks.values()
+        for bank in targets:
+            bank.power_off()
+
+    def power_on(self, kind: BankKind | None = None) -> None:
+        """Un-gate one bank, or every bank when ``kind`` is None."""
+        targets = [self.bank(kind)] if kind is not None else self.banks.values()
+        for bank in targets:
+            bank.power_on()
+
+    def account_idle(self, duration_ns: float) -> None:
+        """Charge idle time on every bank at its current power state."""
+        for bank in self.banks.values():
+            bank.account_idle(duration_ns)
+
+    def stats(self) -> BankStats:
+        """Merged statistics of all banks."""
+        merged = BankStats()
+        for bank in self.banks.values():
+            merged = merged.merge(bank.stats)
+        return merged
+
+    def reset_stats(self) -> None:
+        """Zero statistics on every bank."""
+        for bank in self.banks.values():
+            bank.reset_stats()

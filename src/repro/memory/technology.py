@@ -1,0 +1,211 @@
+"""Voltage-parameterised memory and PE technology models (45 nm).
+
+The paper reports two operating points per component (Table III latencies,
+Table V powers): the HP cluster at 1.2 V and the LP cluster at 0.8 V.  To
+support sweeps beyond those two voltages — and to play the role NVSim plays
+in the paper — each quantity is modelled with a physically-shaped
+two-parameter law fitted *exactly* through both published points:
+
+* **latency** follows the alpha-power delay law,
+  ``t(V) = t_offset + t_scale * V / (V - V_TH)**ALPHA``;
+* **dynamic power** is a quadratic-plus-linear CV²f-style fit,
+  ``p(V) = a * V**2 + b * V``;
+* **static (leakage) power** is exponential in V,
+  ``p(V) = a * exp(b * V)``.
+
+Because each law has two free coefficients and we fit through two points,
+the published tables are reproduced bit-exactly at 1.2 V and 0.8 V, while
+intermediate voltages interpolate smoothly.  Fits are valid over roughly
+0.6–1.3 V; outside that range the models extrapolate and should be treated
+as indicative only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Threshold voltage assumed by the alpha-power delay law (45 nm bulk).
+V_TH = 0.35
+#: Velocity-saturation exponent of the alpha-power law.
+ALPHA = 1.3
+
+#: Operating voltages of the two clusters (paper, Section IV-A).
+HP_VDD = 1.2
+LP_VDD = 0.8
+
+#: Reference macro capacity for the calibration points (64 kB per bank).
+REFERENCE_CAPACITY_BYTES = 64 * 1024
+
+
+def _alpha_power(v: float) -> float:
+    """Basis function of the alpha-power delay law."""
+    if v <= V_TH:
+        raise ConfigurationError(
+            f"supply voltage {v} V must exceed the threshold voltage {V_TH} V"
+        )
+    return v / (v - V_TH) ** ALPHA
+
+
+@dataclass(frozen=True)
+class _TwoPointLatencyFit:
+    """Latency law fitted through (HP_VDD, hp_value) and (LP_VDD, lp_value)."""
+
+    offset: float
+    scale: float
+
+    @classmethod
+    def fit(cls, hp_value: float, lp_value: float) -> "_TwoPointLatencyFit":
+        f_hp = _alpha_power(HP_VDD)
+        f_lp = _alpha_power(LP_VDD)
+        scale = (lp_value - hp_value) / (f_lp - f_hp)
+        offset = hp_value - scale * f_hp
+        return cls(offset=offset, scale=scale)
+
+    def __call__(self, vdd: float) -> float:
+        return self.offset + self.scale * _alpha_power(vdd)
+
+
+@dataclass(frozen=True)
+class _TwoPointDynamicFit:
+    """Dynamic-power law ``a*V**2 + b*V`` through the two published points."""
+
+    a: float
+    b: float
+
+    @classmethod
+    def fit(cls, hp_value: float, lp_value: float) -> "_TwoPointDynamicFit":
+        # Solve [V_hp^2 V_hp; V_lp^2 V_lp] [a b]^T = [hp lp]^T.
+        det = HP_VDD**2 * LP_VDD - LP_VDD**2 * HP_VDD
+        a = (hp_value * LP_VDD - lp_value * HP_VDD) / det
+        b = (lp_value * HP_VDD**2 - hp_value * LP_VDD**2) / det
+        return cls(a=a, b=b)
+
+    def __call__(self, vdd: float) -> float:
+        return self.a * vdd**2 + self.b * vdd
+
+
+@dataclass(frozen=True)
+class _TwoPointLeakageFit:
+    """Leakage law ``a*exp(b*V)`` through the two published points."""
+
+    a: float
+    b: float
+
+    @classmethod
+    def fit(cls, hp_value: float, lp_value: float) -> "_TwoPointLeakageFit":
+        if hp_value <= 0 or lp_value <= 0:
+            raise ConfigurationError("leakage calibration points must be positive")
+        b = math.log(hp_value / lp_value) / (HP_VDD - LP_VDD)
+        a = hp_value / math.exp(b * HP_VDD)
+        return cls(a=a, b=b)
+
+    def __call__(self, vdd: float) -> float:
+        return self.a * math.exp(self.b * vdd)
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """A memory technology calibrated at the paper's two operating points.
+
+    All latency values are in nanoseconds and all power values in
+    milliwatts, for a 64 kB macro at a 45 nm node.  ``volatile`` records
+    whether the cell loses its contents when power-gated: SRAM does,
+    STT-MRAM does not — this asymmetry is what lets HH-PIM gate MRAM banks
+    between accesses while keeping their weights.
+    """
+
+    name: str
+    volatile: bool
+    write_endurance: float
+    #: (HP value @1.2 V, LP value @0.8 V) calibration pairs.
+    read_latency_ns: tuple
+    write_latency_ns: tuple
+    read_power_mw: tuple
+    write_power_mw: tuple
+    static_power_mw: tuple
+
+    def _fit_latency(self, pair: tuple) -> _TwoPointLatencyFit:
+        return _TwoPointLatencyFit.fit(*pair)
+
+    def read_latency(self, vdd: float) -> float:
+        """Read latency (ns) of a 64 kB macro at supply ``vdd``."""
+        return self._fit_latency(self.read_latency_ns)(vdd)
+
+    def write_latency(self, vdd: float) -> float:
+        """Write latency (ns) of a 64 kB macro at supply ``vdd``."""
+        return self._fit_latency(self.write_latency_ns)(vdd)
+
+    def read_power(self, vdd: float) -> float:
+        """Dynamic read power (mW) at supply ``vdd``."""
+        return _TwoPointDynamicFit.fit(*self.read_power_mw)(vdd)
+
+    def write_power(self, vdd: float) -> float:
+        """Dynamic write power (mW) at supply ``vdd``."""
+        return _TwoPointDynamicFit.fit(*self.write_power_mw)(vdd)
+
+    def static_power(self, vdd: float) -> float:
+        """Leakage power (mW) of a powered-on 64 kB macro at ``vdd``."""
+        return _TwoPointLeakageFit.fit(*self.static_power_mw)(vdd)
+
+
+@dataclass(frozen=True)
+class PeTechnology:
+    """Processing-element timing/power, calibrated like the memories.
+
+    The PE performs one INT8 multiply-accumulate per operation; Table III
+    gives its latency (5.52 ns @1.2 V, 10.68 ns @0.8 V) and Table V its
+    dynamic/static power.
+    """
+
+    name: str
+    mac_latency_ns: tuple
+    dynamic_power_mw: tuple
+    static_power_mw: tuple
+
+    def mac_latency(self, vdd: float) -> float:
+        """Latency (ns) of one MAC operation at supply ``vdd``."""
+        return _TwoPointLatencyFit.fit(*self.mac_latency_ns)(vdd)
+
+    def dynamic_power(self, vdd: float) -> float:
+        """Dynamic power (mW) while computing at supply ``vdd``."""
+        return _TwoPointDynamicFit.fit(*self.dynamic_power_mw)(vdd)
+
+    def static_power(self, vdd: float) -> float:
+        """Leakage power (mW) of a powered-on PE at supply ``vdd``."""
+        return _TwoPointLeakageFit.fit(*self.static_power_mw)(vdd)
+
+
+#: 45 nm 6T SRAM macro; calibration values are Table III / Table V rows.
+SRAM_45NM = MemoryTechnology(
+    name="SRAM",
+    volatile=True,
+    write_endurance=math.inf,
+    read_latency_ns=(1.12, 1.41),
+    write_latency_ns=(1.12, 1.41),
+    read_power_mw=(508.93, 177.3),
+    write_power_mw=(500.0, 177.3),
+    static_power_mw=(23.29, 5.45),
+)
+
+#: 45 nm STT-MRAM macro; calibration values are Table III / Table V rows.
+STT_MRAM_45NM = MemoryTechnology(
+    name="STT-MRAM",
+    volatile=False,
+    write_endurance=1e12,
+    read_latency_ns=(2.62, 2.96),
+    write_latency_ns=(11.81, 14.65),
+    read_power_mw=(428.48, 179.05),
+    write_power_mw=(133.78, 47.78),
+    static_power_mw=(2.98, 0.84),
+)
+
+#: 45 nm INT8 MAC processing element (Table III latency, Table V power).
+PE_45NM = PeTechnology(
+    name="PE",
+    mac_latency_ns=(5.52, 10.68),
+    dynamic_power_mw=(0.9, 0.51),
+    static_power_mw=(0.48, 0.25),
+)

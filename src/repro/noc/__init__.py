@@ -1,0 +1,20 @@
+"""Interconnect substrate: AXI-style bursts and a lightweight NoC.
+
+The paper's processor connects the Rocket core to HH-PIM over AXI and uses
+µNoC, a lightweight edge-oriented Network-on-Chip, as the system
+interconnect.  This package models both at the timing level: AXI bursts
+with per-beat bandwidth and fixed channel latency, and a routed mesh-like
+NoC graph whose hop latency composes with the AXI endpoints.
+"""
+
+from .axi import AxiBus, AxiTransaction, BurstType
+from .unoc import MicroNoc, NocLink, NocNode
+
+__all__ = [
+    "AxiBus",
+    "AxiTransaction",
+    "BurstType",
+    "MicroNoc",
+    "NocLink",
+    "NocNode",
+]

@@ -1,0 +1,121 @@
+"""AXI-style burst transaction timing model.
+
+HH-PIM "communicates with the core through the AXI protocol, offering high
+bandwidth and low latency" (paper, Section IV-A).  We model the protocol
+at the transaction level: an address phase of fixed latency followed by
+one data beat per bus-width chunk, with INCR/WRAP/FIXED burst semantics
+for address generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError, NocError
+
+
+class BurstType(str, Enum):
+    """AXI burst kinds."""
+
+    FIXED = "fixed"
+    INCR = "incr"
+    WRAP = "wrap"
+
+
+@dataclass(frozen=True)
+class AxiTransaction:
+    """One AXI read or write burst."""
+
+    address: int
+    length_bytes: int
+    is_write: bool
+    burst: BurstType = BurstType.INCR
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise NocError(f"negative AXI address {self.address}")
+        if self.length_bytes <= 0:
+            raise NocError(f"AXI burst length must be positive, got {self.length_bytes}")
+
+
+class AxiBus:
+    """An AXI port with fixed channel latency and per-beat throughput."""
+
+    #: AXI4 caps a burst at 256 beats.
+    MAX_BEATS = 256
+
+    def __init__(
+        self,
+        data_width_bytes: int = 8,
+        clock_ns: float = 20.0,
+        address_phase_cycles: int = 2,
+        beat_cycles: int = 1,
+    ) -> None:
+        if data_width_bytes <= 0 or (data_width_bytes & (data_width_bytes - 1)):
+            raise ConfigurationError(
+                f"AXI data width must be a positive power of two, got "
+                f"{data_width_bytes}"
+            )
+        if clock_ns <= 0:
+            raise ConfigurationError("AXI clock period must be positive")
+        self.data_width_bytes = data_width_bytes
+        self.clock_ns = clock_ns
+        self.address_phase_cycles = address_phase_cycles
+        self.beat_cycles = beat_cycles
+        self.transactions = 0
+        self.bytes_transferred = 0
+        self.busy_time_ns = 0.0
+
+    def beats_of(self, transaction: AxiTransaction) -> int:
+        """Number of data beats the burst occupies."""
+        beats = -(-transaction.length_bytes // self.data_width_bytes)
+        if beats > self.MAX_BEATS:
+            raise NocError(
+                f"burst of {beats} beats exceeds AXI4 limit {self.MAX_BEATS}; "
+                "split the transfer"
+            )
+        return beats
+
+    def beat_addresses(self, transaction: AxiTransaction):
+        """Per-beat addresses under the burst's addressing mode."""
+        beats = self.beats_of(transaction)
+        width = self.data_width_bytes
+        base = transaction.address
+        if transaction.burst is BurstType.FIXED:
+            return [base] * beats
+        if transaction.burst is BurstType.INCR:
+            return [base + i * width for i in range(beats)]
+        # WRAP: wrap within the naturally aligned window of the burst size.
+        window = beats * width
+        start = (base // window) * window
+        return [start + ((base - start + i * width) % window) for i in range(beats)]
+
+    def transfer_time_ns(self, transaction: AxiTransaction) -> float:
+        """Latency of the whole burst (address phase + data beats)."""
+        beats = self.beats_of(transaction)
+        cycles = self.address_phase_cycles + beats * self.beat_cycles
+        return cycles * self.clock_ns
+
+    def submit(self, transaction: AxiTransaction) -> float:
+        """Account one burst; returns its latency in ns."""
+        elapsed = self.transfer_time_ns(transaction)
+        self.transactions += 1
+        self.bytes_transferred += transaction.length_bytes
+        self.busy_time_ns += elapsed
+        return elapsed
+
+    def transfer(self, address: int, length_bytes: int, is_write: bool) -> float:
+        """Convenience: submit possibly multiple bursts for a long transfer."""
+        remaining = length_bytes
+        cursor = address
+        total = 0.0
+        max_bytes = self.MAX_BEATS * self.data_width_bytes
+        while remaining > 0:
+            chunk = min(remaining, max_bytes)
+            total += self.submit(
+                AxiTransaction(address=cursor, length_bytes=chunk, is_write=is_write)
+            )
+            cursor += chunk
+            remaining -= chunk
+        return total

@@ -1,0 +1,170 @@
+"""µNoC: a lightweight Network-on-Chip timing model.
+
+The paper's SoC uses µNoC [Han et al., ISLPED'19], a minimal NoC optimised
+for edge devices.  We model it as a graph of nodes and links with
+per-hop router latency and per-link serialisation delay, plus shortest-path
+routing (BFS over hop count — µNoC's topology is small and regular, so hop
+count is the right metric).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, NocError
+
+
+@dataclass(frozen=True)
+class NocNode:
+    """One endpoint or router of the NoC."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NocLink:
+    """A bidirectional link between two nodes."""
+
+    a: str
+    b: str
+    width_bytes: int = 4
+    link_cycles: int = 1
+
+
+@dataclass
+class TransferRecord:
+    """One completed NoC transfer, for traffic analysis."""
+
+    src: str
+    dst: str
+    length_bytes: int
+    hops: int
+    elapsed_ns: float
+
+
+class MicroNoc:
+    """Hop-count routed NoC with per-hop latency and serialisation."""
+
+    def __init__(self, clock_ns: float = 20.0, router_cycles: int = 1) -> None:
+        if clock_ns <= 0:
+            raise ConfigurationError("NoC clock period must be positive")
+        self.clock_ns = clock_ns
+        self.router_cycles = router_cycles
+        self._adjacency: dict = {}
+        self._links: dict = {}
+        self.history: list = []
+
+    # -- topology construction ----------------------------------------------------
+
+    def add_node(self, name: str) -> NocNode:
+        """Add a node; idempotent for an existing name."""
+        self._adjacency.setdefault(name, set())
+        return NocNode(name)
+
+    def add_link(self, link: NocLink) -> None:
+        """Add a bidirectional link (both endpoints auto-created)."""
+        if link.a == link.b:
+            raise ConfigurationError(f"self-link on node {link.a!r}")
+        if link.width_bytes <= 0 or link.link_cycles <= 0:
+            raise ConfigurationError("link width and cycle count must be positive")
+        self.add_node(link.a)
+        self.add_node(link.b)
+        self._adjacency[link.a].add(link.b)
+        self._adjacency[link.b].add(link.a)
+        self._links[frozenset((link.a, link.b))] = link
+
+    @classmethod
+    def edge_soc(cls, clock_ns: float = 20.0) -> "MicroNoc":
+        """The paper's SoC topology: core, system memory, HH-PIM, peripherals.
+
+        A small star-of-buses matching Fig. 3: the system interconnect in
+        the middle, with the Rocket core, system SRAM, the HH-PIM fabric
+        and the APB peripheral bridge attached.
+        """
+        noc = cls(clock_ns=clock_ns)
+        hub = "interconnect"
+        for endpoint, width in (
+            ("core", 8),
+            ("system_memory", 8),
+            ("hhpim", 8),
+            ("peripherals", 4),
+            ("flash", 4),
+        ):
+            noc.add_link(NocLink(a=hub, b=endpoint, width_bytes=width))
+        return noc
+
+    # -- routing -----------------------------------------------------------------------
+
+    def route(self, src: str, dst: str):
+        """Shortest path (hop count) from ``src`` to ``dst``."""
+        for name in (src, dst):
+            if name not in self._adjacency:
+                raise NocError(f"unknown NoC node {name!r}")
+        if src == dst:
+            return [src]
+        frontier = deque([src])
+        parents = {src: None}
+        while frontier:
+            here = frontier.popleft()
+            for neighbour in sorted(self._adjacency[here]):
+                if neighbour in parents:
+                    continue
+                parents[neighbour] = here
+                if neighbour == dst:
+                    path = [dst]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                frontier.append(neighbour)
+        raise NocError(f"no route from {src!r} to {dst!r}")
+
+    def _link_between(self, a: str, b: str) -> NocLink:
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NocError(f"no link between {a!r} and {b!r}") from None
+
+    # -- transfer timing -----------------------------------------------------------------
+
+    def transfer_time_ns(self, src: str, dst: str, length_bytes: int) -> float:
+        """Latency of moving ``length_bytes`` from ``src`` to ``dst``.
+
+        Wormhole-style: the header pays router latency at every hop, and
+        the payload serialises over the narrowest link on the path.
+        """
+        if length_bytes <= 0:
+            raise NocError("transfer length must be positive")
+        path = self.route(src, dst)
+        hops = len(path) - 1
+        if hops == 0:
+            return 0.0
+        narrowest = min(
+            self._link_between(a, b).width_bytes
+            for a, b in zip(path, path[1:])
+        )
+        slowest = max(
+            self._link_between(a, b).link_cycles
+            for a, b in zip(path, path[1:])
+        )
+        header_cycles = hops * self.router_cycles
+        flits = -(-length_bytes // narrowest)
+        payload_cycles = flits * slowest
+        return (header_cycles + payload_cycles) * self.clock_ns
+
+    def transfer(self, src: str, dst: str, length_bytes: int) -> float:
+        """Account one transfer; returns its latency in ns."""
+        elapsed = self.transfer_time_ns(src, dst, length_bytes)
+        hops = len(self.route(src, dst)) - 1
+        self.history.append(
+            TransferRecord(
+                src=src, dst=dst, length_bytes=length_bytes,
+                hops=hops, elapsed_ns=elapsed,
+            )
+        )
+        return elapsed
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes moved so far."""
+        return sum(record.length_bytes for record in self.history)

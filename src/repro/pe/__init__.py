@@ -1,0 +1,14 @@
+"""Processing elements: the INT8 MAC datapath inside every PIM module."""
+
+from .mac import MacUnit, int8_mac, requantize, saturate_int8, saturate_int32
+from .pe import PeStats, ProcessingElement
+
+__all__ = [
+    "MacUnit",
+    "int8_mac",
+    "requantize",
+    "saturate_int8",
+    "saturate_int32",
+    "PeStats",
+    "ProcessingElement",
+]

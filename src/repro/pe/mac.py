@@ -1,0 +1,97 @@
+"""Functional INT8 multiply-accumulate datapath.
+
+The paper's TinyML benchmarks are INT8-quantized (Table IV), so the PE is
+an 8-bit multiplier feeding a 32-bit saturating accumulator — the standard
+quantized-inference datapath.  This module implements that arithmetic
+bit-exactly so functional tests can check PIM results against a NumPy
+reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+INT8_MIN, INT8_MAX = -128, 127
+INT32_MIN, INT32_MAX = -(2**31), 2**31 - 1
+
+
+def saturate_int8(value: int) -> int:
+    """Clamp ``value`` into the signed 8-bit range."""
+    return max(INT8_MIN, min(INT8_MAX, value))
+
+
+def saturate_int32(value: int) -> int:
+    """Clamp ``value`` into the signed 32-bit range."""
+    return max(INT32_MIN, min(INT32_MAX, value))
+
+
+def int8_mac(accumulator: int, weight: int, activation: int) -> int:
+    """One MAC step: ``acc + weight * activation`` with INT32 saturation.
+
+    Inputs must already be valid INT8 values; the product of two INT8
+    values always fits in 16 bits, so only the accumulation saturates.
+    """
+    for name, operand in (("weight", weight), ("activation", activation)):
+        if not INT8_MIN <= operand <= INT8_MAX:
+            raise ConfigurationError(f"{name} {operand} outside INT8 range")
+    return saturate_int32(accumulator + weight * activation)
+
+
+def requantize(accumulator: int, scale_num: int, scale_shift: int) -> int:
+    """Requantize an INT32 accumulator back to INT8.
+
+    Implements the usual fixed-point multiplier: the accumulator is scaled
+    by ``scale_num / 2**scale_shift`` with round-half-away-from-zero, then
+    saturated to INT8.  This mirrors what an edge NPU's output stage does
+    after a convolution.
+    """
+    if scale_shift < 0:
+        raise ConfigurationError("scale_shift must be non-negative")
+    scaled = accumulator * scale_num
+    half = 1 << (scale_shift - 1) if scale_shift > 0 else 0
+    if scaled >= 0:
+        rounded = (scaled + half) >> scale_shift
+    else:
+        rounded = -((-scaled + half) >> scale_shift)
+    return saturate_int8(rounded)
+
+
+@dataclass
+class MacUnit:
+    """A stateful MAC unit: INT32 accumulator plus operation counting.
+
+    The PIM module drives one of these per PE; the EXECUTE state performs
+    :meth:`step` once per operand pair fetched in the LOAD state.
+    """
+
+    accumulator: int = 0
+    ops: int = field(default=0)
+
+    def clear(self) -> None:
+        """Zero the accumulator (start of a new output element)."""
+        self.accumulator = 0
+
+    def step(self, weight: int, activation: int) -> int:
+        """Accumulate one product; returns the new accumulator value."""
+        self.accumulator = int8_mac(self.accumulator, weight, activation)
+        self.ops += 1
+        return self.accumulator
+
+    def dot(self, weights, activations) -> int:
+        """Accumulate a whole dot product of two INT8 sequences."""
+        if len(weights) != len(activations):
+            raise ConfigurationError(
+                f"operand length mismatch: {len(weights)} weights vs "
+                f"{len(activations)} activations"
+            )
+        for w, a in zip(weights, activations):
+            self.step(w, a)
+        return self.accumulator
+
+    def emit(self, scale_num: int = 1, scale_shift: int = 0) -> int:
+        """Requantize and return the INT8 output, then clear."""
+        result = requantize(self.accumulator, scale_num, scale_shift)
+        self.clear()
+        return result

@@ -1,0 +1,129 @@
+"""Processing element: timing and energy wrapper around the MAC datapath.
+
+One :class:`ProcessingElement` lives in every PIM module.  Its latency and
+power come from the calibrated 45 nm technology model
+(:data:`repro.memory.technology.PE_45NM`): an HP PE at 1.2 V performs one
+MAC in 5.52 ns, an LP PE at 0.8 V in 10.68 ns (Table III), with the
+dynamic/static powers of Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..memory.technology import PE_45NM, PeTechnology
+from .mac import MacUnit
+
+
+@dataclass
+class PeStats:
+    """Operation and energy statistics accumulated by a PE."""
+
+    macs: int = 0
+    busy_time_ns: float = 0.0
+    dynamic_energy_nj: float = 0.0
+    static_energy_nj: float = 0.0
+    powered_time_ns: float = 0.0
+    gated_time_ns: float = 0.0
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Dynamic plus static energy, in nanojoules."""
+        return self.dynamic_energy_nj + self.static_energy_nj
+
+
+@dataclass
+class ProcessingElement:
+    """An INT8 MAC engine with per-operation latency/energy accounting."""
+
+    name: str
+    vdd: float
+    technology: PeTechnology = PE_45NM
+
+    mac: MacUnit = field(default_factory=MacUnit, init=False)
+    stats: PeStats = field(default_factory=PeStats, init=False)
+    _powered: bool = field(default=True, init=False)
+
+    @property
+    def mac_latency_ns(self) -> float:
+        """Latency of one MAC at this PE's supply voltage (ns)."""
+        return self.technology.mac_latency(self.vdd)
+
+    @property
+    def dynamic_power_mw(self) -> float:
+        """Dynamic power while computing (mW)."""
+        return self.technology.dynamic_power(self.vdd)
+
+    @property
+    def static_power_mw(self) -> float:
+        """Leakage power while powered on (mW)."""
+        return self.technology.static_power(self.vdd)
+
+    @property
+    def mac_energy_nj(self) -> float:
+        """Dynamic energy of one MAC (nJ)."""
+        return self.dynamic_power_mw * self.mac_latency_ns / 1000.0
+
+    @property
+    def powered(self) -> bool:
+        """Whether the PE is currently powered on."""
+        return self._powered
+
+    # -- power management -----------------------------------------------------
+
+    def power_off(self) -> None:
+        """Gate the PE (the accumulator is architecturally cleared)."""
+        self.mac.clear()
+        self._powered = False
+
+    def power_on(self) -> None:
+        """Un-gate the PE."""
+        self._powered = True
+
+    def account_idle(self, duration_ns: float) -> None:
+        """Charge ``duration_ns`` of idle time at the current power state."""
+        if duration_ns < 0:
+            raise ConfigurationError("idle duration must be non-negative")
+        if self._powered:
+            self.stats.powered_time_ns += duration_ns
+            self.stats.static_energy_nj += (
+                self.static_power_mw * duration_ns / 1000.0
+            )
+        else:
+            self.stats.gated_time_ns += duration_ns
+
+    # -- computation -------------------------------------------------------------
+
+    def execute_mac(self, weight: int, activation: int) -> int:
+        """Run one functional MAC and charge its latency/energy."""
+        if not self._powered:
+            raise ConfigurationError(f"PE {self.name}: compute while gated")
+        result = self.mac.step(weight, activation)
+        self._charge(1)
+        return result
+
+    def charge_macs(self, count: int) -> float:
+        """Charge time/energy for ``count`` MACs without functional data.
+
+        The cycle engine uses this fast path when simulating whole layers
+        whose numerics are validated elsewhere; returns elapsed ns.
+        """
+        if count < 0:
+            raise ConfigurationError("MAC count must be non-negative")
+        if not self._powered and count > 0:
+            raise ConfigurationError(f"PE {self.name}: compute while gated")
+        return self._charge(count)
+
+    def _charge(self, count: int) -> float:
+        elapsed = count * self.mac_latency_ns
+        self.stats.macs += count
+        self.stats.busy_time_ns += elapsed
+        self.stats.dynamic_energy_nj += count * self.mac_energy_nj
+        self.stats.powered_time_ns += elapsed
+        self.stats.static_energy_nj += self.static_power_mw * elapsed / 1000.0
+        return elapsed
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated statistics."""
+        self.stats = PeStats()

@@ -1,0 +1,28 @@
+"""RISC-V substrate: a functional RV32IM ISS with an MMIO PIM bridge.
+
+The paper's processor is built around a single RISC-V Rocket core that
+issues dedicated PIM instructions to the HH-PIM fabric.  We reproduce the
+command path with a compact functional RV32IM instruction-set simulator:
+driver kernels (assembled by :mod:`repro.riscv.program`) store PIM
+instruction words to a memory-mapped doorbell, and the MMIO bridge pushes
+them into the PIM Instruction Queue exactly as the AXI slave port would.
+"""
+
+from .isa import Decoded, InstrFormat, decode
+from .cpu import Cpu, CpuState
+from .mmio import MmioBus, MmioRegion, PimMmioBridge, RamRegion
+from .program import Program, asm
+
+__all__ = [
+    "Decoded",
+    "InstrFormat",
+    "decode",
+    "Cpu",
+    "CpuState",
+    "MmioBus",
+    "MmioRegion",
+    "PimMmioBridge",
+    "RamRegion",
+    "Program",
+    "asm",
+]

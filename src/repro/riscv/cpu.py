@@ -1,0 +1,213 @@
+"""Functional RV32IM CPU.
+
+A single-issue in-order core model: one instruction per cycle at the SoC
+clock (the paper's prototype runs at 50 MHz), with loads/stores routed
+through an :class:`~repro.riscv.mmio.MmioBus`.  ``ebreak`` halts; ``ecall``
+is delivered to an optional handler (the examples use it as a putchar-like
+hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RiscvError
+from .isa import Decoded, decode
+from .mmio import MmioBus
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _to_signed(value: int) -> int:
+    value &= _MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _MASK32
+
+
+@dataclass
+class CpuState:
+    """Architectural state: 32 registers and the program counter."""
+
+    pc: int = 0
+    regs: list = field(default_factory=lambda: [0] * 32)
+
+    def read(self, index: int) -> int:
+        """Read register ``x<index>`` (x0 is hard-wired to zero)."""
+        return 0 if index == 0 else self.regs[index] & _MASK32
+
+    def write(self, index: int, value: int) -> None:
+        """Write register ``x<index>`` (writes to x0 are discarded)."""
+        if index != 0:
+            self.regs[index] = value & _MASK32
+
+
+class Cpu:
+    """Functional RV32IM core bound to an MMIO bus."""
+
+    def __init__(self, bus: MmioBus, reset_pc: int = 0, clock_ns: float = 20.0):
+        self.bus = bus
+        self.state = CpuState(pc=reset_pc)
+        self.clock_ns = clock_ns
+        self.halted = False
+        self.retired = 0
+        self.ecall_handler = None
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> Decoded:
+        """Fetch, decode and execute one instruction."""
+        if self.halted:
+            raise RiscvError("step on a halted CPU")
+        word = self.bus.load(self.state.pc, 4)
+        instr = decode(word)
+        next_pc = (self.state.pc + 4) & _MASK32
+        self._execute(instr, next_pc)
+        self.retired += 1
+        return instr
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until ``ebreak`` or the instruction budget; returns count."""
+        start = self.retired
+        while not self.halted and self.retired - start < max_instructions:
+            self.step()
+        if not self.halted:
+            raise RiscvError(
+                f"instruction budget {max_instructions} exhausted at "
+                f"pc={self.state.pc:#x}"
+            )
+        return self.retired - start
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall time: one cycle per retired instruction at the SoC clock."""
+        return self.retired * self.clock_ns
+
+    # -- semantics --------------------------------------------------------------
+
+    def _execute(self, instr: Decoded, next_pc: int) -> None:
+        s = self.state
+        rs1 = s.read(instr.rs1)
+        rs2 = s.read(instr.rs2)
+        m = instr.mnemonic
+        pc = s.pc
+
+        if m == "lui":
+            s.write(instr.rd, instr.imm)
+        elif m == "auipc":
+            s.write(instr.rd, pc + instr.imm)
+        elif m == "jal":
+            s.write(instr.rd, next_pc)
+            next_pc = (pc + instr.imm) & _MASK32
+        elif m == "jalr":
+            s.write(instr.rd, next_pc)
+            next_pc = (rs1 + instr.imm) & _MASK32 & ~1
+        elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            taken = {
+                "beq": rs1 == rs2,
+                "bne": rs1 != rs2,
+                "blt": _to_signed(rs1) < _to_signed(rs2),
+                "bge": _to_signed(rs1) >= _to_signed(rs2),
+                "bltu": rs1 < rs2,
+                "bgeu": rs1 >= rs2,
+            }[m]
+            if taken:
+                next_pc = (pc + instr.imm) & _MASK32
+        elif m in ("lb", "lh", "lw", "lbu", "lhu"):
+            address = (rs1 + instr.imm) & _MASK32
+            width = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}[m]
+            raw = self.bus.load(address, width)
+            if m == "lb":
+                raw = raw - 256 if raw & 0x80 else raw
+            elif m == "lh":
+                raw = raw - 65536 if raw & 0x8000 else raw
+            s.write(instr.rd, raw)
+        elif m in ("sb", "sh", "sw"):
+            address = (rs1 + instr.imm) & _MASK32
+            width = {"sb": 1, "sh": 2, "sw": 4}[m]
+            self.bus.store(address, rs2 & ((1 << (8 * width)) - 1), width)
+        elif m == "addi":
+            s.write(instr.rd, rs1 + instr.imm)
+        elif m == "slti":
+            s.write(instr.rd, int(_to_signed(rs1) < instr.imm))
+        elif m == "sltiu":
+            s.write(instr.rd, int(rs1 < _to_unsigned(instr.imm)))
+        elif m == "xori":
+            s.write(instr.rd, rs1 ^ _to_unsigned(instr.imm))
+        elif m == "ori":
+            s.write(instr.rd, rs1 | _to_unsigned(instr.imm))
+        elif m == "andi":
+            s.write(instr.rd, rs1 & _to_unsigned(instr.imm))
+        elif m == "slli":
+            s.write(instr.rd, rs1 << (instr.imm & 0x1F))
+        elif m == "srli":
+            s.write(instr.rd, rs1 >> (instr.imm & 0x1F))
+        elif m == "srai":
+            s.write(instr.rd, _to_signed(rs1) >> (instr.imm & 0x1F))
+        elif m == "add":
+            s.write(instr.rd, rs1 + rs2)
+        elif m == "sub":
+            s.write(instr.rd, rs1 - rs2)
+        elif m == "sll":
+            s.write(instr.rd, rs1 << (rs2 & 0x1F))
+        elif m == "slt":
+            s.write(instr.rd, int(_to_signed(rs1) < _to_signed(rs2)))
+        elif m == "sltu":
+            s.write(instr.rd, int(rs1 < rs2))
+        elif m == "xor":
+            s.write(instr.rd, rs1 ^ rs2)
+        elif m == "srl":
+            s.write(instr.rd, rs1 >> (rs2 & 0x1F))
+        elif m == "sra":
+            s.write(instr.rd, _to_signed(rs1) >> (rs2 & 0x1F))
+        elif m == "or":
+            s.write(instr.rd, rs1 | rs2)
+        elif m == "and":
+            s.write(instr.rd, rs1 & rs2)
+        elif m == "mul":
+            s.write(instr.rd, _to_signed(rs1) * _to_signed(rs2))
+        elif m == "mulh":
+            s.write(instr.rd, (_to_signed(rs1) * _to_signed(rs2)) >> 32)
+        elif m == "mulhsu":
+            s.write(instr.rd, (_to_signed(rs1) * rs2) >> 32)
+        elif m == "mulhu":
+            s.write(instr.rd, (rs1 * rs2) >> 32)
+        elif m == "div":
+            s.write(instr.rd, self._div(_to_signed(rs1), _to_signed(rs2)))
+        elif m == "divu":
+            s.write(instr.rd, _MASK32 if rs2 == 0 else rs1 // rs2)
+        elif m == "rem":
+            s.write(instr.rd, self._rem(_to_signed(rs1), _to_signed(rs2)))
+        elif m == "remu":
+            s.write(instr.rd, rs1 if rs2 == 0 else rs1 % rs2)
+        elif m == "ebreak":
+            self.halted = True
+        elif m == "ecall":
+            if self.ecall_handler is not None:
+                self.ecall_handler(self)
+        elif m == "fence":
+            pass
+        else:  # pragma: no cover - decode() only emits the above
+            raise RiscvError(f"unimplemented mnemonic {m}")
+
+        self.state.pc = next_pc
+
+    @staticmethod
+    def _div(a: int, b: int) -> int:
+        if b == 0:
+            return -1
+        if a == -(1 << 31) and b == -1:
+            return a
+        quotient = abs(a) // abs(b)
+        return -quotient if (a < 0) != (b < 0) else quotient
+
+    @staticmethod
+    def _rem(a: int, b: int) -> int:
+        if b == 0:
+            return a
+        if a == -(1 << 31) and b == -1:
+            return 0
+        remainder = abs(a) % abs(b)
+        return -remainder if a < 0 else remainder

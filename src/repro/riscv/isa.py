@@ -1,0 +1,162 @@
+"""RV32IM instruction decoding.
+
+Implements the base integer ISA (RV32I) plus the M extension (multiply /
+divide), which covers everything the PIM driver kernels and the benchmark
+loops need.  Decoding returns a :class:`Decoded` record with the mnemonic,
+register indices and the sign-extended immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import IllegalInstructionError
+
+
+class InstrFormat(str, Enum):
+    """The six RV32 instruction encodings."""
+
+    R = "R"
+    I = "I"  # noqa: E741 - canonical RISC-V format name
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """One decoded RV32IM instruction."""
+
+    mnemonic: str
+    fmt: InstrFormat
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _imm_i(word: int) -> int:
+    return _sign_extend(word >> 20, 12)
+
+
+def _imm_s(word: int) -> int:
+    raw = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+    return _sign_extend(raw, 12)
+
+
+def _imm_b(word: int) -> int:
+    raw = (
+        (((word >> 31) & 0x1) << 12)
+        | (((word >> 7) & 0x1) << 11)
+        | (((word >> 25) & 0x3F) << 5)
+        | (((word >> 8) & 0xF) << 1)
+    )
+    return _sign_extend(raw, 13)
+
+
+def _imm_u(word: int) -> int:
+    return _sign_extend(word & 0xFFFFF000, 32)
+
+
+def _imm_j(word: int) -> int:
+    raw = (
+        (((word >> 31) & 0x1) << 20)
+        | (((word >> 12) & 0xFF) << 12)
+        | (((word >> 20) & 0x1) << 11)
+        | (((word >> 21) & 0x3FF) << 1)
+    )
+    return _sign_extend(raw, 21)
+
+
+_LOADS = {0b000: "lb", 0b001: "lh", 0b010: "lw", 0b100: "lbu", 0b101: "lhu"}
+_STORES = {0b000: "sb", 0b001: "sh", 0b010: "sw"}
+_BRANCHES = {
+    0b000: "beq", 0b001: "bne", 0b100: "blt",
+    0b101: "bge", 0b110: "bltu", 0b111: "bgeu",
+}
+_OP_IMM = {
+    0b000: "addi", 0b010: "slti", 0b011: "sltiu",
+    0b100: "xori", 0b110: "ori", 0b111: "andi",
+}
+_OP = {
+    (0b000, 0b0000000): "add", (0b000, 0b0100000): "sub",
+    (0b001, 0b0000000): "sll", (0b010, 0b0000000): "slt",
+    (0b011, 0b0000000): "sltu", (0b100, 0b0000000): "xor",
+    (0b101, 0b0000000): "srl", (0b101, 0b0100000): "sra",
+    (0b110, 0b0000000): "or", (0b111, 0b0000000): "and",
+}
+_OP_M = {
+    0b000: "mul", 0b001: "mulh", 0b010: "mulhsu", 0b011: "mulhu",
+    0b100: "div", 0b101: "divu", 0b110: "rem", 0b111: "remu",
+}
+
+
+def decode(word: int) -> Decoded:
+    """Decode one 32-bit instruction word; raises on illegal encodings."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == 0b0110111:
+        return Decoded("lui", InstrFormat.U, rd=rd, imm=_imm_u(word))
+    if opcode == 0b0010111:
+        return Decoded("auipc", InstrFormat.U, rd=rd, imm=_imm_u(word))
+    if opcode == 0b1101111:
+        return Decoded("jal", InstrFormat.J, rd=rd, imm=_imm_j(word))
+    if opcode == 0b1100111 and funct3 == 0:
+        return Decoded("jalr", InstrFormat.I, rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == 0b1100011:
+        if funct3 not in _BRANCHES:
+            raise IllegalInstructionError(f"bad branch funct3 {funct3}")
+        return Decoded(
+            _BRANCHES[funct3], InstrFormat.B, rs1=rs1, rs2=rs2, imm=_imm_b(word)
+        )
+    if opcode == 0b0000011:
+        if funct3 not in _LOADS:
+            raise IllegalInstructionError(f"bad load funct3 {funct3}")
+        return Decoded(
+            _LOADS[funct3], InstrFormat.I, rd=rd, rs1=rs1, imm=_imm_i(word)
+        )
+    if opcode == 0b0100011:
+        if funct3 not in _STORES:
+            raise IllegalInstructionError(f"bad store funct3 {funct3}")
+        return Decoded(
+            _STORES[funct3], InstrFormat.S, rs1=rs1, rs2=rs2, imm=_imm_s(word)
+        )
+    if opcode == 0b0010011:
+        if funct3 == 0b001:
+            if funct7 != 0:
+                raise IllegalInstructionError("bad slli funct7")
+            return Decoded("slli", InstrFormat.I, rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            if funct7 == 0b0000000:
+                return Decoded("srli", InstrFormat.I, rd=rd, rs1=rs1, imm=rs2)
+            if funct7 == 0b0100000:
+                return Decoded("srai", InstrFormat.I, rd=rd, rs1=rs1, imm=rs2)
+            raise IllegalInstructionError("bad shift-right funct7")
+        return Decoded(
+            _OP_IMM[funct3], InstrFormat.I, rd=rd, rs1=rs1, imm=_imm_i(word)
+        )
+    if opcode == 0b0110011:
+        if funct7 == 0b0000001:
+            return Decoded(_OP_M[funct3], InstrFormat.R, rd=rd, rs1=rs1, rs2=rs2)
+        key = (funct3, funct7)
+        if key not in _OP:
+            raise IllegalInstructionError(f"bad OP funct3/7 {key}")
+        return Decoded(_OP[key], InstrFormat.R, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == 0b1110011 and word in (0x00000073, 0x00100073):
+        return Decoded("ecall" if word == 0x73 else "ebreak", InstrFormat.I)
+    if opcode == 0b0001111:
+        return Decoded("fence", InstrFormat.I)
+    raise IllegalInstructionError(f"illegal instruction {word:#010x}")

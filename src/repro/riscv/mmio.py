@@ -1,0 +1,135 @@
+"""MMIO bus and the PIM doorbell bridge.
+
+The Rocket core in the paper talks to HH-PIM over an AXI slave port; a
+store to the PIM command register enqueues one PIM instruction word into
+the PIM Instruction Queue.  :class:`PimMmioBridge` models that port:
+
+* ``+0x0  CMD``     (write) push a 32-bit PIM instruction word
+* ``+0x4  STATUS``  (read)  bit0 = queue full, bit1 = queue empty
+* ``+0x8  LEVEL``   (read)  current queue occupancy
+"""
+
+from __future__ import annotations
+
+from ..errors import MmioError, QueueFullError
+from ..isa.queue import InstructionQueue
+
+
+class MmioRegion:
+    """Base class: a device mapped at [base, base+size)."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if base < 0 or size <= 0:
+            raise MmioError(f"bad MMIO region base={base:#x} size={size}")
+        self.base = base
+        self.size = size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this region."""
+        return self.base <= address < self.base + self.size
+
+    def load(self, offset: int, width: int) -> int:
+        """Read ``width`` bytes at region-relative ``offset``."""
+        raise NotImplementedError
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        """Write ``width`` bytes at region-relative ``offset``."""
+        raise NotImplementedError
+
+
+class RamRegion(MmioRegion):
+    """Plain little-endian RAM (instruction and data memory)."""
+
+    def __init__(self, base: int, size: int) -> None:
+        super().__init__(base, size)
+        self._data = bytearray(size)
+
+    def load(self, offset: int, width: int) -> int:
+        if offset + width > self.size:
+            raise MmioError(f"RAM load beyond region at offset {offset:#x}")
+        return int.from_bytes(self._data[offset : offset + width], "little")
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        if offset + width > self.size:
+            raise MmioError(f"RAM store beyond region at offset {offset:#x}")
+        self._data[offset : offset + width] = value.to_bytes(width, "little")
+
+    def load_blob(self, offset: int, blob: bytes) -> None:
+        """Bulk-initialise RAM contents (program loading)."""
+        if offset + len(blob) > self.size:
+            raise MmioError("program blob does not fit in RAM region")
+        self._data[offset : offset + len(blob)] = blob
+
+
+class PimMmioBridge(MmioRegion):
+    """The PIM fabric's AXI slave port: doorbell + status registers."""
+
+    CMD_OFFSET = 0x0
+    STATUS_OFFSET = 0x4
+    LEVEL_OFFSET = 0x8
+    SIZE = 0x10
+
+    def __init__(self, base: int, queue: InstructionQueue) -> None:
+        super().__init__(base, self.SIZE)
+        self.queue = queue
+        self.rejected_pushes = 0
+
+    def load(self, offset: int, width: int) -> int:
+        if width != 4:
+            raise MmioError("PIM bridge registers are 32-bit only")
+        if offset == self.STATUS_OFFSET:
+            return (1 if self.queue.full else 0) | (
+                2 if self.queue.empty else 0
+            )
+        if offset == self.LEVEL_OFFSET:
+            return len(self.queue)
+        raise MmioError(f"PIM bridge: read of unmapped offset {offset:#x}")
+
+    def store(self, offset: int, value: int, width: int) -> None:
+        if width != 4:
+            raise MmioError("PIM bridge registers are 32-bit only")
+        if offset != self.CMD_OFFSET:
+            raise MmioError(f"PIM bridge: write to read-only offset {offset:#x}")
+        try:
+            self.queue.push_word(value)
+        except QueueFullError:
+            # Hardware drops the doorbell write and raises the full flag;
+            # software is expected to poll STATUS before pushing.
+            self.rejected_pushes += 1
+
+
+class MmioBus:
+    """Address decoder dispatching loads/stores to mapped regions."""
+
+    def __init__(self) -> None:
+        self._regions: list = []
+
+    def map(self, region: MmioRegion) -> MmioRegion:
+        """Attach a region; overlapping mappings are rejected."""
+        for existing in self._regions:
+            if (
+                region.base < existing.base + existing.size
+                and existing.base < region.base + region.size
+            ):
+                raise MmioError(
+                    f"region at {region.base:#x} overlaps one at "
+                    f"{existing.base:#x}"
+                )
+        self._regions.append(region)
+        return region
+
+    def _find(self, address: int) -> MmioRegion:
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        raise MmioError(f"access to unmapped address {address:#x}")
+
+    def load(self, address: int, width: int) -> int:
+        """Read ``width`` bytes at ``address``."""
+        region = self._find(address)
+        return region.load(address - region.base, width)
+
+    def store(self, address: int, value: int, width: int) -> None:
+        """Write ``width`` bytes at ``address``."""
+        region = self._find(address)
+        region.store(address - region.base, value, width)

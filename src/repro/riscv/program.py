@@ -1,0 +1,276 @@
+"""Mini-assembler for RV32IM driver kernels.
+
+Two-pass assembler supporting the instructions the ISS implements, labels,
+and the common pseudo-instructions (``li``, ``mv``, ``j``, ``nop``).  The
+examples use it to build the PIM driver kernels that the Rocket core runs
+in the paper's prototype.
+
+Syntax::
+
+    loop:
+        lw   t0, 4(a0)        # loads use offset(base)
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        sw   t2, 0(a0)
+        ebreak
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AssemblerError
+
+_ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def _reg(token: str, line_no: int) -> int:
+    token = token.strip().rstrip(",")
+    if token in _ABI_NAMES:
+        return _ABI_NAMES[token]
+    if token.startswith("x"):
+        try:
+            index = int(token[1:])
+        except ValueError:
+            index = -1
+        if 0 <= index < 32:
+            return index
+    raise AssemblerError(f"line {line_no}: unknown register {token!r}")
+
+
+def _encode_r(opcode, rd, funct3, rs1, rs2, funct7):
+    return (
+        (funct7 << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | (rd << 7) | opcode
+    )
+
+
+def _encode_i(opcode, rd, funct3, rs1, imm):
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _encode_s(opcode, funct3, rs1, rs2, imm):
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+    )
+
+
+def _encode_b(opcode, funct3, rs1, rs2, imm):
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 0x1) << 31) | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 0x1) << 7) | opcode
+    )
+
+
+def _encode_u(opcode, rd, imm):
+    return (imm & 0xFFFFF000) | (rd << 7) | opcode
+
+
+def _encode_j(opcode, rd, imm):
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 0x1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 0x1) << 20) | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7) | opcode
+    )
+
+
+_R_OPS = {
+    "add": (0b000, 0b0000000), "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000), "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000), "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000), "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000), "and": (0b111, 0b0000000),
+    "mul": (0b000, 0b0000001), "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001), "mulhu": (0b011, 0b0000001),
+    "div": (0b100, 0b0000001), "divu": (0b101, 0b0000001),
+    "rem": (0b110, 0b0000001), "remu": (0b111, 0b0000001),
+}
+_I_OPS = {
+    "addi": 0b000, "slti": 0b010, "sltiu": 0b011,
+    "xori": 0b100, "ori": 0b110, "andi": 0b111,
+}
+_SHIFTS = {"slli": (0b001, 0), "srli": (0b101, 0), "srai": (0b101, 0b0100000)}
+_LOADS = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+_STORES = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+_BRANCHES = {
+    "beq": 0b000, "bne": 0b001, "blt": 0b100,
+    "bge": 0b101, "bltu": 0b110, "bgeu": 0b111,
+}
+
+
+def _int_token(token: str, line_no: int) -> int:
+    try:
+        return int(token.strip().rstrip(","), 0)
+    except ValueError:
+        raise AssemblerError(f"line {line_no}: bad integer {token!r}") from None
+
+
+def _mem_operand(token: str, line_no: int):
+    """Parse ``offset(base)``."""
+    token = token.strip()
+    if "(" not in token or not token.endswith(")"):
+        raise AssemblerError(
+            f"line {line_no}: expected offset(base), got {token!r}"
+        )
+    offset_str, base_str = token[:-1].split("(", 1)
+    offset = _int_token(offset_str or "0", line_no)
+    return offset, _reg(base_str, line_no)
+
+
+@dataclass
+class Program:
+    """An assembled program: words plus label addresses."""
+
+    words: list = field(default_factory=list)
+    labels: dict = field(default_factory=dict)
+    base_address: int = 0
+
+    def to_bytes(self) -> bytes:
+        """Little-endian binary image."""
+        blob = bytearray()
+        for word in self.words:
+            blob += (word & 0xFFFFFFFF).to_bytes(4, "little")
+        return bytes(blob)
+
+    @property
+    def size_bytes(self) -> int:
+        """Image size in bytes."""
+        return 4 * len(self.words)
+
+
+def asm(source: str, base_address: int = 0) -> Program:
+    """Assemble RV32IM source text into a :class:`Program`."""
+    # Pass 1: collect labels.
+    lines = []
+    labels = {}
+    pc = base_address
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        code = raw.split("#", 1)[0].strip()
+        if not code:
+            continue
+        while ":" in code:
+            label, _, rest = code.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = pc
+            code = rest.strip()
+        if not code:
+            continue
+        mnemonic = code.split()[0].lower()
+        # li expands to lui+addi when the constant needs the upper bits.
+        if mnemonic == "li":
+            operands = code[len("li"):].strip()
+            imm = _int_token(operands.split(",", 1)[1], line_no)
+            pc += 8 if not -2048 <= imm < 2048 else 4
+        else:
+            pc += 4
+        lines.append((line_no, code))
+
+    # Pass 2: encode.
+    program = Program(base_address=base_address, labels=labels)
+    pc = base_address
+
+    def resolve(token: str, line_no: int) -> int:
+        token = token.strip().rstrip(",")
+        if token in labels:
+            return labels[token] - pc
+        return _int_token(token, line_no)
+
+    for line_no, code in lines:
+        parts = code.replace(",", " , ").split()
+        tokens = [t for t in parts if t != ","]
+        mnemonic = tokens[0].lower()
+        operands = tokens[1:]
+        words = _encode_line(mnemonic, operands, resolve, line_no, pc)
+        program.words.extend(words)
+        pc += 4 * len(words)
+    return program
+
+
+def _encode_line(mnemonic, operands, resolve, line_no, pc):
+    if mnemonic == "nop":
+        return [_encode_i(0b0010011, 0, 0, 0, 0)]
+    if mnemonic == "mv":
+        rd, rs = _reg(operands[0], line_no), _reg(operands[1], line_no)
+        return [_encode_i(0b0010011, rd, 0, rs, 0)]
+    if mnemonic == "li":
+        rd = _reg(operands[0], line_no)
+        imm = _int_token(operands[1], line_no)
+        if -2048 <= imm < 2048:
+            return [_encode_i(0b0010011, rd, 0, 0, imm)]
+        upper = (imm + 0x800) & 0xFFFFF000
+        lower = imm - _sext32(upper)
+        return [
+            _encode_u(0b0110111, rd, upper),
+            _encode_i(0b0010011, rd, 0, rd, lower),
+        ]
+    if mnemonic == "j":
+        return [_encode_j(0b1101111, 0, resolve(operands[0], line_no))]
+    if mnemonic == "jal":
+        if len(operands) == 1:
+            return [_encode_j(0b1101111, 1, resolve(operands[0], line_no))]
+        rd = _reg(operands[0], line_no)
+        return [_encode_j(0b1101111, rd, resolve(operands[1], line_no))]
+    if mnemonic == "jalr":
+        rd = _reg(operands[0], line_no)
+        offset, base = _mem_operand(operands[1], line_no)
+        return [_encode_i(0b1100111, rd, 0, base, offset)]
+    if mnemonic in ("lui", "auipc"):
+        opcode = 0b0110111 if mnemonic == "lui" else 0b0010111
+        rd = _reg(operands[0], line_no)
+        return [_encode_u(opcode, rd, _int_token(operands[1], line_no) << 12)]
+    if mnemonic in _R_OPS:
+        funct3, funct7 = _R_OPS[mnemonic]
+        rd, rs1, rs2 = (_reg(op, line_no) for op in operands[:3])
+        return [_encode_r(0b0110011, rd, funct3, rs1, rs2, funct7)]
+    if mnemonic in _I_OPS:
+        rd, rs1 = _reg(operands[0], line_no), _reg(operands[1], line_no)
+        return [_encode_i(0b0010011, rd, _I_OPS[mnemonic], rs1,
+                          _int_token(operands[2], line_no))]
+    if mnemonic in _SHIFTS:
+        funct3, funct7 = _SHIFTS[mnemonic]
+        rd, rs1 = _reg(operands[0], line_no), _reg(operands[1], line_no)
+        shamt = _int_token(operands[2], line_no)
+        if not 0 <= shamt < 32:
+            raise AssemblerError(f"line {line_no}: shift amount {shamt} out of range")
+        return [_encode_i(0b0010011, rd, funct3, rs1, (funct7 << 5) | shamt)]
+    if mnemonic in _LOADS:
+        rd = _reg(operands[0], line_no)
+        offset, base = _mem_operand(operands[1], line_no)
+        return [_encode_i(0b0000011, rd, _LOADS[mnemonic], base, offset)]
+    if mnemonic in _STORES:
+        rs2 = _reg(operands[0], line_no)
+        offset, base = _mem_operand(operands[1], line_no)
+        return [_encode_s(0b0100011, _STORES[mnemonic], base, rs2, offset)]
+    if mnemonic in _BRANCHES:
+        rs1, rs2 = _reg(operands[0], line_no), _reg(operands[1], line_no)
+        return [_encode_b(0b1100011, _BRANCHES[mnemonic], rs1, rs2,
+                          resolve(operands[2], line_no))]
+    if mnemonic == "ebreak":
+        return [0x00100073]
+    if mnemonic == "ecall":
+        return [0x00000073]
+    if mnemonic == "fence":
+        return [0x0000000F]
+    raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+
+def _sext32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value

@@ -1,0 +1,22 @@
+"""Cycle-level simulation: event queue, execution engine, traces.
+
+The analytic runtime (:mod:`repro.core.runtime`) prices slices in closed
+form; this package provides the *mechanistic* counterpart — a
+deterministic event-driven engine that executes placements on real
+:class:`~repro.pim.module.PIMModule` objects, charging bank and PE
+statistics access-by-access.  Integration tests cross-validate the two:
+the engine's measured dynamic energy must match the analytic model.
+"""
+
+from .events import Event, EventQueue
+from .engine import CycleEngine, TaskExecution
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "CycleEngine",
+    "TaskExecution",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,81 @@
+"""Deterministic discrete-event queue.
+
+Events are ordered by (time, sequence): ties break by insertion order, so
+simulations are reproducible regardless of dict/hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event."""
+
+    time_ns: float
+    sequence: int
+    action: object = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """A time-ordered event queue with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._sequence = 0
+        self.now_ns = 0.0
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay_ns: float, action, label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay {delay_ns}")
+        event = Event(
+            time_ns=self.now_ns + delay_ns,
+            sequence=self._sequence,
+            action=action,
+            label=label,
+        )
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time_ns: float, action, label: str = "") -> Event:
+        """Schedule ``action`` at an absolute time (not before now)."""
+        if time_ns < self.now_ns:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} before now {self.now_ns}"
+            )
+        return self.schedule(time_ns - self.now_ns, action, label)
+
+    def step(self) -> Event:
+        """Pop and run the next event; returns it."""
+        if not self._heap:
+            raise SimulationError("event queue exhausted")
+        event = heapq.heappop(self._heap)
+        self.now_ns = event.time_ns
+        self.processed += 1
+        event.action()
+        return event
+
+    def run(self, until_ns: float | None = None, max_events: int = 1_000_000):
+        """Run until the queue drains, a horizon, or an event budget."""
+        executed = 0
+        while self._heap and executed < max_events:
+            if until_ns is not None and self._heap[0].time_ns > until_ns:
+                break
+            self.step()
+            executed += 1
+        if executed >= max_events and self._heap:
+            raise SimulationError(f"event budget {max_events} exhausted")
+        if until_ns is not None and self.now_ns < until_ns and not self._heap:
+            self.now_ns = until_ns
+        return executed

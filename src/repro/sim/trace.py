@@ -1,0 +1,52 @@
+"""Structured execution traces.
+
+The engine emits one :class:`TraceEvent` per simulated action (task
+start/finish, per-module phase, gating change), which the tests and the
+examples use to inspect scheduling decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time_ns: float
+    kind: str
+    subject: str
+    detail: dict = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects trace events; optionally bounded to the newest N."""
+
+    def __init__(self, limit: int | None = None) -> None:
+        self.limit = limit
+        self.events: list = []
+
+    def emit(self, time_ns: float, kind: str, subject: str, **detail) -> TraceEvent:
+        """Record one event."""
+        event = TraceEvent(time_ns=time_ns, kind=kind, subject=subject,
+                           detail=dict(detail))
+        self.events.append(event)
+        if self.limit is not None and len(self.events) > self.limit:
+            del self.events[0]
+        return event
+
+    def of_kind(self, kind: str):
+        """All events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def between(self, start_ns: float, end_ns: float):
+        """Events within a time window (inclusive)."""
+        return [
+            event for event in self.events
+            if start_ns <= event.time_ns <= end_ns
+        ]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

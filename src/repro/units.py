@@ -1,0 +1,125 @@
+"""Physical units and conversions used throughout the library.
+
+Internal conventions (chosen once, used everywhere):
+
+* **time** is expressed in *nanoseconds* (``float``),
+* **power** in *milliwatts*,
+* **energy** in *nanojoules* — conveniently, ``mW x ns = pJ`` and
+  ``1000 pJ = 1 nJ``, so :func:`energy_nj` does the bookkeeping,
+* **capacity** in *bytes*,
+* **frequency** in *hertz*.
+
+The :class:`Clock` helper converts between cycles and wall time for a
+component clocked at a given frequency, mirroring the paper's 50 MHz FPGA
+prototype whose memory latencies were scaled to cycle counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+# Time conversions (canonical unit: nanoseconds).
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+# Capacity conversions (canonical unit: bytes).
+KIB = 1024
+BYTES_64KB = 64 * KIB
+BYTES_128KB = 128 * KIB
+
+
+def us(value: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return value * NS_PER_US
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to nanoseconds."""
+    return value * NS_PER_MS
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return value * NS_PER_S
+
+
+def to_ms(value_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return value_ns / NS_PER_MS
+
+
+def to_us(value_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return value_ns / NS_PER_US
+
+
+def energy_nj(power_mw: float, time_ns: float) -> float:
+    """Energy in nanojoules of ``power_mw`` sustained for ``time_ns``.
+
+    ``mW * ns = pJ``; divide by 1000 to express the result in nJ.
+    """
+    return power_mw * time_ns / 1000.0
+
+
+def energy_mj(energy_nj_value: float) -> float:
+    """Convert nanojoules to millijoules."""
+    return energy_nj_value / 1e6
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+
+@dataclass(frozen=True)
+class Clock:
+    """A clock domain: converts between wall time (ns) and cycle counts.
+
+    The paper prototypes every processor at 50 MHz and scales the 45 nm
+    memory latencies of Table III onto that clock; :meth:`cycles_for`
+    reproduces that scaling (latency quantised up to whole cycles).
+    """
+
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"clock frequency must be positive, got {self.frequency_hz}"
+            )
+
+    @property
+    def period_ns(self) -> float:
+        """Duration of one clock cycle in nanoseconds."""
+        return NS_PER_S / self.frequency_hz
+
+    def cycles_for(self, time_ns: float) -> int:
+        """Whole number of cycles needed to cover ``time_ns``.
+
+        A zero-latency operation still occupies zero cycles; any positive
+        latency is rounded *up* to the next cycle boundary, as synchronous
+        hardware would.
+        """
+        if time_ns < 0:
+            raise ConfigurationError(f"time must be non-negative, got {time_ns}")
+        if time_ns == 0:
+            return 0
+        return max(1, math.ceil(time_ns / self.period_ns - 1e-12))
+
+    def time_of(self, cycles: int) -> float:
+        """Wall time in nanoseconds of ``cycles`` clock cycles."""
+        if cycles < 0:
+            raise ConfigurationError(f"cycle count must be non-negative, got {cycles}")
+        return cycles * self.period_ns
+
+    def quantize(self, time_ns: float) -> float:
+        """Round ``time_ns`` up to the nearest cycle boundary."""
+        return self.time_of(self.cycles_for(time_ns))
+
+
+#: The paper's prototype clock (Genesys2 FPGA @ 50 MHz).
+PROTOTYPE_CLOCK = Clock(frequency_hz=mhz(50))

@@ -1,0 +1,32 @@
+"""Workloads: TinyML models (Table IV) and load scenarios (Fig. 4)."""
+
+from .layers import Conv2d, DepthwiseConv2d, Linear, LayerStats
+from .models import (
+    ModelSpec,
+    EFFICIENTNET_B0,
+    MOBILENET_V2,
+    RESNET_18,
+    TABLE_IV,
+    model_by_name,
+)
+from .scenarios import Scenario, ScenarioCase, scenario, ALL_CASES
+from .tasks import InferenceTask, TaskBuffer
+
+__all__ = [
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Linear",
+    "LayerStats",
+    "ModelSpec",
+    "EFFICIENTNET_B0",
+    "MOBILENET_V2",
+    "RESNET_18",
+    "TABLE_IV",
+    "model_by_name",
+    "Scenario",
+    "ScenarioCase",
+    "scenario",
+    "ALL_CASES",
+    "InferenceTask",
+    "TaskBuffer",
+]

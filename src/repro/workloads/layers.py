@@ -1,0 +1,140 @@
+"""Layer algebra: parameter and MAC counting for CNN building blocks.
+
+The benchmark models are CNN backbones; their placement-relevant
+characteristics are weight counts (what must be stored) and MAC counts
+(what must be computed).  These classes compute both from layer shapes,
+exactly as one would when porting a model to a PIM fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Summary of one layer: weights to store, MACs to run, output shape."""
+
+    name: str
+    params: int
+    macs: int
+    out_shape: tuple
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise WorkloadError(
+            f"conv output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Conv2d:
+    """A standard 2-D convolution over CHW tensors."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    bias: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.out_channels, self.kernel, self.stride) <= 0:
+            raise WorkloadError(f"layer {self.name}: non-positive shape field")
+
+    def stats(self, in_shape: tuple) -> LayerStats:
+        """Compute (params, macs, out_shape) for the given input CHW shape."""
+        channels, height, width = in_shape
+        if channels != self.in_channels:
+            raise WorkloadError(
+                f"layer {self.name}: expected {self.in_channels} input "
+                f"channels, got {channels}"
+            )
+        out_h = _conv_out(height, self.kernel, self.stride, self.padding)
+        out_w = _conv_out(width, self.kernel, self.stride, self.padding)
+        params = (
+            self.out_channels * self.in_channels * self.kernel * self.kernel
+            + (self.out_channels if self.bias else 0)
+        )
+        macs = (
+            out_h * out_w * self.out_channels
+            * self.in_channels * self.kernel * self.kernel
+        )
+        return LayerStats(self.name, params, macs, (self.out_channels, out_h, out_w))
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d:
+    """A depthwise (per-channel) convolution — MobileNet/EfficientNet staple."""
+
+    name: str
+    channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.kernel, self.stride) <= 0:
+            raise WorkloadError(f"layer {self.name}: non-positive shape field")
+
+    def stats(self, in_shape: tuple) -> LayerStats:
+        """Compute (params, macs, out_shape) for the given input CHW shape."""
+        channels, height, width = in_shape
+        if channels != self.channels:
+            raise WorkloadError(
+                f"layer {self.name}: expected {self.channels} channels, "
+                f"got {channels}"
+            )
+        out_h = _conv_out(height, self.kernel, self.stride, self.padding)
+        out_w = _conv_out(width, self.kernel, self.stride, self.padding)
+        params = self.channels * self.kernel * self.kernel
+        macs = out_h * out_w * self.channels * self.kernel * self.kernel
+        return LayerStats(self.name, params, macs, (self.channels, out_h, out_w))
+
+
+@dataclass(frozen=True)
+class Linear:
+    """A fully connected layer (flattens its input)."""
+
+    name: str
+    in_features: int
+    out_features: int
+    bias: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.in_features, self.out_features) <= 0:
+            raise WorkloadError(f"layer {self.name}: non-positive shape field")
+
+    def stats(self, in_shape: tuple) -> LayerStats:
+        """Compute (params, macs, out_shape); input is flattened."""
+        flat = 1
+        for dim in in_shape:
+            flat *= dim
+        if flat != self.in_features:
+            raise WorkloadError(
+                f"layer {self.name}: expected {self.in_features} inputs, "
+                f"got {flat}"
+            )
+        params = self.in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+        macs = self.in_features * self.out_features
+        return LayerStats(self.name, params, macs, (self.out_features,))
+
+
+def network_stats(layers, in_shape: tuple):
+    """Run shape inference through a layer list; returns per-layer stats."""
+    shape = in_shape
+    stats = []
+    for layer in layers:
+        layer_stats = layer.stats(shape)
+        stats.append(layer_stats)
+        shape = layer_stats.out_shape
+    return stats

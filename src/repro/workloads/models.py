@@ -1,0 +1,196 @@
+"""TinyML benchmark models (Table IV).
+
+The paper extracts the characteristics of INT8-quantized, pruned TinyML
+variants of three CNN backbones and drives its benchmarks from the
+resulting totals:
+
+================  ========  =========  ==================
+Model             # Param   # MAC      PIM operation ratio
+================  ========  =========  ==================
+EfficientNet-B0   95 k      3.245 M    85 %
+MobileNetV2       101 k     2.528 M    80 %
+ResNet-18         256 k     29.580 M   75 %
+================  ========  =========  ==================
+
+:class:`ModelSpec` carries those totals (the placement algorithm only
+needs them) plus the reference peak inference times the paper reports in
+Fig. 6, which we use for calibration checks.  Each spec can also build a
+synthetic layer-level backbone (through :mod:`repro.workloads.layers`)
+for the functional examples; its totals approximate — but intentionally
+do not replace — the published Table IV numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from .layers import Conv2d, DepthwiseConv2d, Linear, network_stats
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One benchmark model's placement-relevant characteristics."""
+
+    name: str
+    params: int
+    macs: int
+    pim_ratio: float
+    bytes_per_weight: int = 1  # INT8 quantized
+    #: Fig. 6 reference inference times at 50 MHz (ns), for calibration.
+    peak_inference_ns: float = 0.0
+    mram_only_inference_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.params <= 0 or self.macs <= 0:
+            raise WorkloadError(f"model {self.name}: non-positive totals")
+        if not 0.0 < self.pim_ratio <= 1.0:
+            raise WorkloadError(
+                f"model {self.name}: PIM ratio {self.pim_ratio} outside (0, 1]"
+            )
+
+    @property
+    def pim_macs(self) -> int:
+        """MACs executed on the PIM fabric."""
+        return round(self.macs * self.pim_ratio)
+
+    @property
+    def core_macs(self) -> int:
+        """MACs executed on the RISC-V core (the non-PIM share)."""
+        return self.macs - self.pim_macs
+
+    @property
+    def macs_per_weight(self) -> float:
+        """Average MACs each stored weight participates in per inference."""
+        return self.pim_macs / self.params
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of weight storage the fabric must hold."""
+        return self.params * self.bytes_per_weight
+
+    def backbone(self):
+        """A synthetic layer-level backbone for functional examples.
+
+        Returns ``(layers, input_shape)``.  Totals approximate Table IV;
+        experiments always use the published totals above.
+        """
+        return _BACKBONES[self.name]()
+
+    def backbone_stats(self):
+        """Per-layer stats of the synthetic backbone."""
+        layers, in_shape = self.backbone()
+        return network_stats(layers, in_shape)
+
+
+def _efficientnet_b0_tiny():
+    """MBConv-style stack: stem, depthwise separable stages, head."""
+    layers = [
+        Conv2d("stem", 3, 16, kernel=3, stride=2, padding=1),
+        DepthwiseConv2d("mb1.dw", 16, kernel=3, padding=1),
+        Conv2d("mb1.pw", 16, 24, kernel=1),
+        DepthwiseConv2d("mb2.dw", 24, kernel=3, stride=2, padding=1),
+        Conv2d("mb2.pw", 24, 40, kernel=1),
+        DepthwiseConv2d("mb3.dw", 40, kernel=5, padding=2),
+        Conv2d("mb3.pw", 40, 80, kernel=1),
+        DepthwiseConv2d("mb4.dw", 80, kernel=3, stride=2, padding=1),
+        Conv2d("mb4.pw", 80, 112, kernel=1),
+        DepthwiseConv2d("mb5.dw", 112, kernel=5, padding=2),
+        Conv2d("mb5.pw", 112, 192, kernel=1),
+        Conv2d("head", 192, 160, kernel=1),
+        DepthwiseConv2d("pool", 160, kernel=4),
+        Linear("fc", 160, 10),
+    ]
+    return layers, (3, 32, 32)
+
+
+def _mobilenet_v2_tiny():
+    """Inverted-residual-style stack."""
+    layers = [
+        Conv2d("stem", 3, 16, kernel=3, stride=2, padding=1),
+        DepthwiseConv2d("ir1.dw", 16, kernel=3, padding=1),
+        Conv2d("ir1.pw", 16, 24, kernel=1),
+        Conv2d("ir2.expand", 24, 72, kernel=1),
+        DepthwiseConv2d("ir2.dw", 72, kernel=3, stride=2, padding=1),
+        Conv2d("ir2.project", 72, 32, kernel=1),
+        Conv2d("ir3.expand", 32, 96, kernel=1),
+        DepthwiseConv2d("ir3.dw", 96, kernel=3, padding=1),
+        Conv2d("ir3.project", 96, 64, kernel=1),
+        Conv2d("ir4.expand", 64, 192, kernel=1),
+        DepthwiseConv2d("ir4.dw", 192, kernel=3, stride=2, padding=1),
+        Conv2d("ir4.project", 192, 96, kernel=1),
+        DepthwiseConv2d("pool", 96, kernel=4),
+        Linear("fc", 96, 10),
+    ]
+    return layers, (3, 32, 32)
+
+
+def _resnet18_tiny():
+    """Basic-block-style stack with 3x3 convolutions throughout."""
+    layers = [
+        Conv2d("stem", 3, 24, kernel=3, stride=1, padding=1),
+        Conv2d("b1.conv1", 24, 24, kernel=3, padding=1),
+        Conv2d("b1.conv2", 24, 24, kernel=3, padding=1),
+        Conv2d("b2.conv1", 24, 48, kernel=3, stride=2, padding=1),
+        Conv2d("b2.conv2", 48, 48, kernel=3, padding=1),
+        Conv2d("b3.conv1", 48, 64, kernel=3, stride=2, padding=1),
+        Conv2d("b3.conv2", 64, 64, kernel=3, padding=1),
+        Conv2d("b4.conv1", 64, 96, kernel=3, stride=2, padding=1),
+        Conv2d("b4.conv2", 96, 96, kernel=3, padding=1),
+        DepthwiseConv2d("pool", 96, kernel=4),
+        Linear("fc", 96, 10),
+    ]
+    return layers, (3, 32, 32)
+
+
+_BACKBONES = {
+    "EfficientNet-B0": _efficientnet_b0_tiny,
+    "MobileNetV2": _mobilenet_v2_tiny,
+    "ResNet-18": _resnet18_tiny,
+}
+
+_MS = 1_000_000.0  # ns per ms
+
+#: Table IV row 1, with Fig. 6 reference inference times.
+EFFICIENTNET_B0 = ModelSpec(
+    name="EfficientNet-B0",
+    params=95_000,
+    macs=3_245_000,
+    pim_ratio=0.85,
+    peak_inference_ns=31.06 * _MS,
+    mram_only_inference_ns=44.5 * _MS,
+)
+
+#: Table IV row 2.
+MOBILENET_V2 = ModelSpec(
+    name="MobileNetV2",
+    params=101_000,
+    macs=2_528_000,
+    pim_ratio=0.80,
+    peak_inference_ns=25.71 * _MS,
+    mram_only_inference_ns=36.84 * _MS,
+)
+
+#: Table IV row 3.
+RESNET_18 = ModelSpec(
+    name="ResNet-18",
+    params=256_000,
+    macs=29_580_000,
+    pim_ratio=0.75,
+    peak_inference_ns=320.87 * _MS,
+    mram_only_inference_ns=459.74 * _MS,
+)
+
+#: All Table IV rows, in the paper's order.
+TABLE_IV = (EFFICIENTNET_B0, MOBILENET_V2, RESNET_18)
+
+
+def model_by_name(name: str) -> ModelSpec:
+    """Look a Table IV model up by (case-insensitive) name."""
+    for spec in TABLE_IV:
+        if spec.name.lower() == name.lower():
+            return spec
+    raise WorkloadError(
+        f"unknown model {name!r}; available: "
+        f"{', '.join(m.name for m in TABLE_IV)}"
+    )

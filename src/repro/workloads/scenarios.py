@@ -1,0 +1,118 @@
+"""Workload scenarios: the six inference-load patterns of Fig. 4.
+
+Each scenario yields, per time slice, the number of inference requests
+arriving in that slice (the *computational load*).  Loads are expressed in
+inferences per slice, between 1 and ``peak`` — the paper sizes the time
+slice so that at most 10 inferences fit at maximum performance.
+
+* Case 1 — constant low load;
+* Case 2 — constant high load;
+* Case 3 — periodic spikes on a low baseline;
+* Case 4 — the same spikes, more frequent;
+* Case 5 — high/low pulsing (square wave);
+* Case 6 — seeded random load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+import random
+
+from ..errors import WorkloadError
+
+
+class ScenarioCase(Enum):
+    """The six cases of Fig. 4."""
+
+    LOW_CONSTANT = 1
+    HIGH_CONSTANT = 2
+    PERIODIC_SPIKE = 3
+    PERIODIC_SPIKE_FREQUENT = 4
+    PULSING = 5
+    RANDOM = 6
+
+    @property
+    def label(self) -> str:
+        """The paper's caption for this case."""
+        return {
+            ScenarioCase.LOW_CONSTANT: "Low Workload Constant",
+            ScenarioCase.HIGH_CONSTANT: "High Workload Constant",
+            ScenarioCase.PERIODIC_SPIKE: "Periodic Spike Pattern",
+            ScenarioCase.PERIODIC_SPIKE_FREQUENT: "Periodic Spike Pattern (frequent)",
+            ScenarioCase.PULSING: "High-Low Pulsing Pattern",
+            ScenarioCase.RANDOM: "Random Workload",
+        }[self]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully materialised load pattern: inferences per slice."""
+
+    case: ScenarioCase
+    loads: tuple
+    peak: int
+
+    def __post_init__(self) -> None:
+        if not self.loads:
+            raise WorkloadError("scenario has no slices")
+        if any(load < 0 or load > self.peak for load in self.loads):
+            raise WorkloadError(
+                f"loads must lie in [0, peak={self.peak}]"
+            )
+
+    def __len__(self) -> int:
+        return len(self.loads)
+
+    @property
+    def mean_load(self) -> float:
+        """Average inferences per slice."""
+        return sum(self.loads) / len(self.loads)
+
+    @property
+    def total_inferences(self) -> int:
+        """Total inference requests over the run."""
+        return sum(self.loads)
+
+
+def scenario(
+    case: ScenarioCase,
+    slices: int = 50,
+    peak: int = 10,
+    low: int = 2,
+    seed: int = 2025,
+) -> Scenario:
+    """Materialise one of the Fig. 4 cases.
+
+    ``slices`` defaults to 50 (the paper runs each benchmark over 50 time
+    slices), ``peak`` to 10 inferences per slice (the paper's time-slice
+    sizing), and ``low`` to a fifth of peak.
+    """
+    if slices <= 0:
+        raise WorkloadError("scenario needs at least one slice")
+    if not 0 < low <= peak:
+        raise WorkloadError(f"low load {low} must lie in (0, peak={peak}]")
+
+    if case is ScenarioCase.LOW_CONSTANT:
+        loads = [low] * slices
+    elif case is ScenarioCase.HIGH_CONSTANT:
+        loads = [peak] * slices
+    elif case is ScenarioCase.PERIODIC_SPIKE:
+        # One-slice spike to peak every 10 slices on a low baseline.
+        loads = [peak if i % 10 == 9 else low for i in range(slices)]
+    elif case is ScenarioCase.PERIODIC_SPIKE_FREQUENT:
+        # The same spike every 4 slices.
+        loads = [peak if i % 4 == 3 else low for i in range(slices)]
+    elif case is ScenarioCase.PULSING:
+        # 5 slices high / 5 slices low square wave.
+        loads = [peak if (i // 5) % 2 == 0 else low for i in range(slices)]
+    elif case is ScenarioCase.RANDOM:
+        rng = random.Random(seed)
+        loads = [rng.randint(low, peak) for _ in range(slices)]
+    else:  # pragma: no cover - enum is exhaustive
+        raise WorkloadError(f"unhandled case {case}")
+    return Scenario(case=case, loads=tuple(loads), peak=peak)
+
+
+#: All six cases, in the paper's order.
+ALL_CASES = tuple(ScenarioCase)

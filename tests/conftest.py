@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Heavy objects (optimizers, LUTs, runtimes) are session-scoped and built
+at reduced resolution (fewer blocks / time steps) so the suite stays
+fast while exercising the same code paths as the full-resolution
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import BASELINE_PIM, HETEROGENEOUS_PIM, HH_PIM, HYBRID_PIM
+from repro.core import DataPlacementOptimizer, TimeSliceRuntime
+from repro.core.runtime import default_time_slice_ns
+from repro.workloads import EFFICIENTNET_B0
+
+#: Reduced resolution used across the test suite.
+SMALL_BLOCKS = 24
+SMALL_STEPS = 3000
+
+
+@pytest.fixture(scope="session")
+def t_slice():
+    """Time slice for EfficientNet-B0 at test resolution."""
+    return default_time_slice_ns(
+        EFFICIENTNET_B0, block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS
+    )
+
+
+@pytest.fixture(scope="session")
+def hh_optimizer(t_slice):
+    """HH-PIM optimizer for EfficientNet-B0 at test resolution."""
+    return DataPlacementOptimizer(
+        HH_PIM, EFFICIENTNET_B0, t_slice_ns=t_slice,
+        block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS,
+    )
+
+
+@pytest.fixture(scope="session")
+def hh_lut(hh_optimizer):
+    """The HH-PIM allocation LUT at test resolution."""
+    return hh_optimizer.build_lut()
+
+
+@pytest.fixture(scope="session")
+def runtimes(t_slice):
+    """One TimeSliceRuntime per Table I architecture (test resolution)."""
+    return {
+        spec.name: TimeSliceRuntime(
+            spec, EFFICIENTNET_B0, t_slice_ns=t_slice,
+            block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS,
+        )
+        for spec in (BASELINE_PIM, HETEROGENEOUS_PIM, HYBRID_PIM, HH_PIM)
+    }

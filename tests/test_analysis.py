@@ -1,0 +1,147 @@
+"""Tests for the analysis layer (savings grid, figures, reporting).
+
+The grid here runs at strongly reduced resolution (few blocks, short
+scenarios) — the full-resolution numbers live in the benchmarks.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TextTable,
+    average_savings,
+    compute_savings_grid,
+    fig6_series,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    table_vi,
+)
+from repro.analysis.savings import BASELINE_NAMES, clear_caches
+from repro.core.spaces import SpaceKind
+from repro.errors import ConfigurationError
+from repro.workloads import EFFICIENTNET_B0, ScenarioCase, scenario
+
+GRID_KW = dict(
+    models=(EFFICIENTNET_B0,),
+    cases=(ScenarioCase.LOW_CONSTANT, ScenarioCase.HIGH_CONSTANT,
+           ScenarioCase.PERIODIC_SPIKE, ScenarioCase.PERIODIC_SPIKE_FREQUENT,
+           ScenarioCase.PULSING, ScenarioCase.RANDOM),
+    slices=12,
+    block_count=24,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return compute_savings_grid(**GRID_KW)
+
+
+class TestSavingsGrid:
+    def test_grid_shape(self, grid):
+        assert len(grid.cells) == 6
+        assert grid.models() == ["EfficientNet-B0"]
+        assert len(grid.cases()) == 6
+
+    def test_savings_in_range(self, grid):
+        for cell in grid.cells:
+            for name in BASELINE_NAMES:
+                assert -0.05 < cell.savings[name] < 1.0, (cell.case, name)
+
+    def test_case1_beats_case2(self, grid):
+        low = grid.cell("EfficientNet-B0", ScenarioCase.LOW_CONSTANT)
+        high = grid.cell("EfficientNet-B0", ScenarioCase.HIGH_CONSTANT)
+        for name in BASELINE_NAMES:
+            assert low.savings[name] > high.savings[name]
+
+    def test_average_savings_ordering(self, grid):
+        averages = average_savings(grid)
+        # The paper's ordering: savings vs Baseline > vs Hybrid > vs Hetero.
+        assert averages["Baseline-PIM"] > averages["Heterogeneous-PIM"]
+        assert averages["Hybrid-PIM"] > averages["Heterogeneous-PIM"]
+
+    def test_table_vi_rows(self, grid):
+        rows = table_vi(grid)
+        assert set(rows) == {
+            ScenarioCase.PERIODIC_SPIKE,
+            ScenarioCase.PERIODIC_SPIKE_FREQUENT,
+            ScenarioCase.PULSING,
+            ScenarioCase.RANDOM,
+        }
+        for savings in rows.values():
+            assert set(savings) == set(BASELINE_NAMES)
+
+    def test_grid_cached(self, grid):
+        again = compute_savings_grid(**GRID_KW)
+        assert again is grid
+
+    def test_missing_cell_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.cell("VGG", ScenarioCase.RANDOM)
+
+    def test_cache_clearing(self, grid):
+        clear_caches()
+        fresh = compute_savings_grid(**GRID_KW)
+        assert fresh is not grid
+        assert fresh.cell(
+            "EfficientNet-B0", ScenarioCase.RANDOM
+        ).savings.keys() == grid.cell(
+            "EfficientNet-B0", ScenarioCase.RANDOM
+        ).savings.keys()
+
+
+class TestFigures:
+    def test_fig4_render(self):
+        text = render_fig4([scenario(c, slices=20) for c in ScenarioCase])
+        assert text.count("\n") == 5
+        assert "Random Workload" in text
+
+    def test_fig5_render(self, grid):
+        text = render_fig5(grid)
+        assert "EfficientNet-B0" in text
+        assert "vs Baseline-PIM" in text
+        assert "%" in text
+
+    def test_fig6_series_monotone(self, hh_lut):
+        series = fig6_series(hh_lut, points=40)
+        energies = [p.e_task_normalized for p in series]
+        assert energies[0] == pytest.approx(1.0)
+        assert all(b <= a + 1e-9 for a, b in zip(energies, energies[1:]))
+
+    def test_fig6_ends_in_lp_mram(self, hh_lut):
+        series = fig6_series(hh_lut, points=40)
+        final = series[-1].utilization
+        assert final.get(SpaceKind.LP_MRAM, 0.0) == pytest.approx(1.0)
+
+    def test_fig6_utilization_sums_to_one(self, hh_lut):
+        for point in fig6_series(hh_lut, points=10):
+            assert sum(point.utilization.values()) == pytest.approx(1.0)
+
+    def test_fig6_render(self, hh_lut):
+        text = render_fig6(hh_lut, points=8)
+        assert "E_task" in text
+        assert text.count("\n") == 8
+
+
+class TestTextTable:
+    def test_render_aligned(self):
+        table = TextTable(["name", "value"])
+        table.add_row("alpha", 1.5)
+        table.add_row("b", 20)
+        text = table.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+
+    def test_cell_count_mismatch(self):
+        table = TextTable(["a"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1, 2)
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TextTable([])
+
+    def test_number_formatting(self):
+        table = TextTable(["n"])
+        table.add_row(1234567)
+        assert "1,234,567" in table.render()

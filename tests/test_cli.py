@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "HH-PIM" in out and "Baseline-PIM" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2")
+        assert "14,998" in out and "Rocket" in out
+
+    def test_table3(self, capsys):
+        out = run_cli(capsys, "table3")
+        assert "2.62" in out and "10.68" in out
+
+    def test_table4(self, capsys):
+        out = run_cli(capsys, "table4")
+        assert "ResNet-18" in out and "29,580,000" in out
+
+    def test_table5(self, capsys):
+        out = run_cli(capsys, "table5")
+        assert "428.48" in out and "23.29" in out
+
+    def test_list(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "architectures:" in out
+        assert "6: Random Workload" in out
+
+
+class TestFigures:
+    def test_fig4(self, capsys):
+        out = run_cli(capsys, "fig4", "--slices", "20")
+        assert out.count("Case") == 6
+
+    def test_fig6_small(self, capsys):
+        out = run_cli(capsys, "fig6", "--blocks", "16", "--steps", "1500",
+                      "--points", "6")
+        assert "E_task" in out
+        assert out.count("|") >= 12  # placement strips
+
+    def test_run_small(self, capsys):
+        out = run_cli(capsys, "run", "--case", "1", "--slices", "4",
+                      "--blocks", "16", "--steps", "1500")
+        assert "HH-PIM" in out
+        assert "met" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_case_bounds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--case", "9"])

@@ -1,0 +1,303 @@
+"""Unit tests for the controller package (FSM, decoder, encoder, allocator,
+controller)."""
+
+import pytest
+
+from repro.controller import (
+    AddressGenerator,
+    CommandEncoder,
+    DataAllocator,
+    DataRearrangeBuffer,
+    InstructionDecoder,
+    PIMController,
+    StateMachine,
+)
+from repro.controller.state_machine import ControllerState
+from repro.errors import ControllerError, StateTransitionError
+from repro.isa import (
+    BROADCAST_MODULE,
+    Category,
+    ClusterId,
+    Compute,
+    ComputeOp,
+    Config,
+    ConfigOp,
+    GateTarget,
+    Halt,
+    LoadOperands,
+    Move,
+    StoreResult,
+    Sync,
+)
+from repro.memory.hybrid import BankKind
+from repro.pim import ModuleKind, PIMCluster
+
+
+def make_cluster(cluster_id=ClusterId.HP, count=4):
+    kind = ModuleKind.HP if cluster_id is ClusterId.HP else ModuleKind.LP
+    return PIMCluster(cluster_id=cluster_id, kind=kind, module_count=count,
+                      mram_capacity=4096, sram_capacity=4096)
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        assert StateMachine().state is ControllerState.IDLE
+
+    def test_full_cycle(self):
+        machine = StateMachine()
+        machine.run_cycle((ControllerState.LOAD, ControllerState.EXECUTE,
+                           ControllerState.STORE))
+        assert machine.state is ControllerState.IDLE
+        assert machine.transitions == 6
+
+    def test_illegal_transition_rejected(self):
+        machine = StateMachine()
+        with pytest.raises(StateTransitionError):
+            machine.transition(ControllerState.EXECUTE)
+
+    def test_halt_from_idle(self):
+        machine = StateMachine()
+        machine.halt()
+        assert machine.state is ControllerState.HALTED
+
+    def test_reset_from_halt(self):
+        machine = StateMachine()
+        machine.halt()
+        machine.reset()
+        assert machine.state is ControllerState.IDLE
+
+    def test_history_bounded(self):
+        machine = StateMachine(history_depth=8)
+        for _ in range(10):
+            machine.run_cycle((ControllerState.EXECUTE,))
+        assert len(machine.history) <= 8
+
+    def test_can_transition(self):
+        machine = StateMachine()
+        assert machine.can_transition(ControllerState.FETCH)
+        assert not machine.can_transition(ControllerState.STORE)
+
+
+class TestDecoder:
+    def make(self):
+        return InstructionDecoder(ClusterId.HP, module_count=4)
+
+    def test_broadcast_expansion(self):
+        decoded = self.make().decode(Sync(ClusterId.HP, BROADCAST_MODULE))
+        assert decoded.module_select == (0, 1, 2, 3)
+
+    def test_single_module(self):
+        decoded = self.make().decode(Compute(ClusterId.HP, 2, count=5))
+        assert decoded.module_select == (2,)
+        assert decoded.category is Category.COMPUTE
+        assert decoded.instruction_field["count"] == 5
+
+    def test_wrong_cluster_rejected(self):
+        with pytest.raises(ControllerError):
+            self.make().decode(Sync(ClusterId.LP, 0))
+
+    def test_module_out_of_range(self):
+        with pytest.raises(ControllerError):
+            self.make().decode(Sync(ClusterId.HP, 7))
+
+    def test_decode_raw_word(self):
+        word = LoadOperands(ClusterId.HP, 1, mram_count=3, sram_count=4).encode()
+        decoded = self.make().decode(word)
+        assert decoded.category is Category.LOAD
+        assert decoded.instruction_field == {"mram_count": 3, "sram_count": 4}
+
+    def test_move_fields(self):
+        decoded = self.make().decode(
+            Move(ClusterId.HP, 0, dst_module=2, block=9, count=3)
+        )
+        assert decoded.instruction_field["dst_cluster"] is ClusterId.LP
+        assert decoded.instruction_field["block"] == 9
+
+
+class TestCommandEncoder:
+    def test_compute_striping(self):
+        decoder = InstructionDecoder(ClusterId.HP, 4)
+        decoded = decoder.decode(
+            Compute(ClusterId.HP, BROADCAST_MODULE, count=10)
+        )
+        commands = CommandEncoder().encode(decoded)
+        assert [c.params["count"] for c in commands] == [3, 3, 2, 2]
+
+    def test_load_striping(self):
+        decoder = InstructionDecoder(ClusterId.HP, 2)
+        decoded = decoder.decode(
+            LoadOperands(ClusterId.HP, BROADCAST_MODULE, mram_count=3, sram_count=5)
+        )
+        commands = CommandEncoder().encode(decoded)
+        assert [c.params["mram_count"] for c in commands] == [2, 1]
+        assert [c.params["sram_count"] for c in commands] == [3, 2]
+
+    def test_config_fanout(self):
+        decoder = InstructionDecoder(ClusterId.HP, 4)
+        decoded = decoder.decode(
+            Config(ClusterId.HP, BROADCAST_MODULE, op=ConfigOp.GATE_OFF,
+                   target=GateTarget.SRAM)
+        )
+        commands = CommandEncoder().encode(decoded)
+        assert len(commands) == 4
+        assert all(c.category is Category.CONFIG for c in commands)
+
+
+class TestAddressGenerator:
+    def test_round_robin_striping(self):
+        gen = AddressGenerator(module_count=4, block_bytes=256)
+        assert gen.locate(0, BankKind.SRAM).module == 0
+        assert gen.locate(5, BankKind.SRAM).module == 1
+        assert gen.locate(5, BankKind.SRAM).offset == 256
+
+    def test_negative_block_rejected(self):
+        gen = AddressGenerator(module_count=2, block_bytes=64)
+        with pytest.raises(ControllerError):
+            gen.locate(-1, BankKind.MRAM)
+
+    def test_blocks_per_module(self):
+        gen = AddressGenerator(module_count=4, block_bytes=256)
+        assert gen.blocks_per_module(4096) == 16
+
+
+class TestDataRearrangeBuffer:
+    def test_park_and_drain_fifo(self):
+        gen = AddressGenerator(2, 4)
+        buffer = DataRearrangeBuffer(capacity_bytes=64)
+        buffer.park(gen.locate(0, BankKind.SRAM), b"aaaa")
+        buffer.park(gen.locate(1, BankKind.SRAM), b"bbbb")
+        assert buffer.drain().data == b"aaaa"
+        assert buffer.drain().data == b"bbbb"
+
+    def test_overflow_rejected(self):
+        gen = AddressGenerator(2, 4)
+        buffer = DataRearrangeBuffer(capacity_bytes=4)
+        buffer.park(gen.locate(0, BankKind.SRAM), b"1234")
+        with pytest.raises(ControllerError):
+            buffer.park(gen.locate(1, BankKind.SRAM), b"5")
+
+    def test_drain_empty_rejected(self):
+        with pytest.raises(ControllerError):
+            DataRearrangeBuffer().drain()
+
+    def test_occupancy_tracking(self):
+        gen = AddressGenerator(2, 4)
+        buffer = DataRearrangeBuffer(capacity_bytes=64)
+        buffer.park(gen.locate(0, BankKind.SRAM), b"12345678")
+        assert buffer.occupancy_bytes == 8
+        buffer.drain()
+        assert buffer.occupancy_bytes == 0
+        assert buffer.peak_occupancy == 8
+
+
+class TestDataAllocator:
+    def test_move_blocks_preserves_data(self):
+        hp = make_cluster(ClusterId.HP)
+        lp = make_cluster(ClusterId.LP)
+        allocator = DataAllocator(block_bytes=16)
+        payload = bytes(range(16))
+        hp.module(0).memory.bank(BankKind.SRAM).write(0, payload)
+        elapsed = allocator.move_blocks(hp, lp, BankKind.SRAM, BankKind.SRAM, [0])
+        assert elapsed > 0
+        assert lp.module(0).memory.bank(BankKind.SRAM).peek(0, 16) == payload
+
+    def test_move_blocks_counts(self):
+        hp = make_cluster(ClusterId.HP)
+        lp = make_cluster(ClusterId.LP)
+        allocator = DataAllocator(block_bytes=8)
+        allocator.move_blocks(hp, lp, BankKind.SRAM, BankKind.MRAM, range(4))
+        assert allocator.blocks_moved == 4
+        assert allocator.bytes_moved == 32
+
+    def test_movement_estimate_positive(self):
+        hp = make_cluster(ClusterId.HP)
+        lp = make_cluster(ClusterId.LP)
+        allocator = DataAllocator(block_bytes=8)
+        estimate = allocator.movement_time_ns(hp, lp, BankKind.SRAM,
+                                              BankKind.MRAM, 8)
+        assert estimate > 0
+
+    def test_movement_estimate_zero_blocks(self):
+        hp = make_cluster(ClusterId.HP)
+        lp = make_cluster(ClusterId.LP)
+        allocator = DataAllocator()
+        assert allocator.movement_time_ns(hp, lp, BankKind.SRAM,
+                                          BankKind.SRAM, 0) == 0.0
+
+
+class TestPIMController:
+    def make_pair(self):
+        hp = make_cluster(ClusterId.HP)
+        lp = make_cluster(ClusterId.LP)
+        controller = PIMController(hp)
+        controller.connect_peer(lp)
+        return controller, hp, lp
+
+    def test_compute_charges_pe(self):
+        controller, hp, _ = self.make_pair()
+        controller.execute(Compute(ClusterId.HP, 0, count=10))
+        assert hp.module(0).pe.stats.macs == 10
+
+    def test_compute_broadcast_stripes(self):
+        controller, hp, _ = self.make_pair()
+        controller.execute(Compute(ClusterId.HP, BROADCAST_MODULE, count=8))
+        assert [m.pe.stats.macs for m in hp.modules] == [2, 2, 2, 2]
+
+    def test_load_charges_banks(self):
+        controller, hp, _ = self.make_pair()
+        controller.execute(LoadOperands(ClusterId.HP, 0, mram_count=4, sram_count=2))
+        stats = hp.module(0).memory_stats()
+        assert stats.reads == 6
+
+    def test_store_charges_write(self):
+        controller, hp, _ = self.make_pair()
+        controller.execute(StoreResult(ClusterId.HP, 1, address=4096))
+        assert hp.module(1).memory_stats().writes == 1
+
+    def test_config_gates(self):
+        controller, hp, _ = self.make_pair()
+        controller.execute(Config(ClusterId.HP, 0, op=ConfigOp.GATE_OFF,
+                                  target=GateTarget.SRAM))
+        assert not hp.module(0).memory.bank(BankKind.SRAM).powered
+
+    def test_move_requires_peer(self):
+        controller = PIMController(make_cluster(ClusterId.HP))
+        with pytest.raises(ControllerError):
+            controller.execute(Move(ClusterId.HP, 0, dst_module=0, count=1))
+
+    def test_move_transfers(self):
+        controller, hp, lp = self.make_pair()
+        elapsed = controller.execute(Move(ClusterId.HP, 0, dst_module=0,
+                                          block=0, count=1))
+        assert elapsed > 0
+        assert controller.allocator.blocks_moved == 1
+
+    def test_halt_blocks_further_execution(self):
+        controller, _, _ = self.make_pair()
+        controller.execute(Halt(ClusterId.HP, 0))
+        assert controller.halted
+        with pytest.raises(ControllerError):
+            controller.execute(Sync(ClusterId.HP, 0))
+
+    def test_reset_after_halt(self):
+        controller, _, _ = self.make_pair()
+        controller.execute(Halt(ClusterId.HP, 0))
+        controller.reset()
+        controller.execute(Sync(ClusterId.HP, 0))
+        assert controller.instructions_retired == 2
+
+    def test_peer_must_be_opposite(self):
+        controller = PIMController(make_cluster(ClusterId.HP))
+        with pytest.raises(ControllerError):
+            controller.connect_peer(make_cluster(ClusterId.HP))
+
+    def test_run_program_accumulates_time(self):
+        controller, _, _ = self.make_pair()
+        program = [
+            LoadOperands(ClusterId.HP, 0, mram_count=2, sram_count=2),
+            Compute(ClusterId.HP, 0, count=4),
+            Sync(ClusterId.HP, BROADCAST_MODULE),
+        ]
+        elapsed = controller.run_program(program)
+        assert elapsed > 0
+        assert controller.instructions_retired == 3

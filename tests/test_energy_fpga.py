@@ -1,0 +1,141 @@
+"""Unit tests for the energy accounting and FPGA resource models."""
+
+import pytest
+
+from repro.arch import BASELINE_PIM, HH_PIM, TABLE_I
+from repro.energy import EnergyAccount, power_row, table_v_rows
+from repro.errors import ConfigurationError
+from repro.fpga import estimate_processor, table_ii_report
+from repro.fpga.resources import Resources, brams_for, cluster_resources
+from repro.pim.module import ModuleKind
+
+
+class TestTableV:
+    def test_hp_row_matches_paper(self):
+        hp = table_v_rows()[0]
+        assert hp.mram_read_mw == pytest.approx(428.48, abs=1e-6)
+        assert hp.mram_write_mw == pytest.approx(133.78, abs=1e-6)
+        assert hp.mram_static_mw == pytest.approx(2.98, abs=1e-6)
+        assert hp.sram_read_mw == pytest.approx(508.93, abs=1e-6)
+        assert hp.sram_write_mw == pytest.approx(500.0, abs=1e-6)
+        assert hp.sram_static_mw == pytest.approx(23.29, abs=1e-6)
+        assert hp.pe_dynamic_mw == pytest.approx(0.9, abs=1e-9)
+        assert hp.pe_static_mw == pytest.approx(0.48, abs=1e-9)
+
+    def test_lp_row_matches_paper(self):
+        lp = table_v_rows()[1]
+        assert lp.mram_read_mw == pytest.approx(179.05, abs=1e-6)
+        assert lp.sram_static_mw == pytest.approx(5.45, abs=1e-6)
+        assert lp.pe_dynamic_mw == pytest.approx(0.51, abs=1e-9)
+
+    def test_intermediate_voltage_between_rows(self):
+        mid = power_row("mid", 1.0)
+        hp, lp = table_v_rows()
+        assert lp.sram_read_mw < mid.sram_read_mw < hp.sram_read_mw
+        assert lp.mram_static_mw < mid.mram_static_mw < hp.mram_static_mw
+
+
+class TestEnergyAccount:
+    def test_charge_and_total(self):
+        account = EnergyAccount()
+        account.charge("dynamic", 10.0)
+        account.charge("static", 5.0)
+        account.charge("dynamic", 2.5)
+        assert account["dynamic"] == 12.5
+        assert account.total_nj == 17.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccount().charge("x", -1.0)
+
+    def test_merge(self):
+        a = EnergyAccount({"dyn": 1.0})
+        b = EnergyAccount({"dyn": 2.0, "static": 3.0})
+        merged = a.merge(b)
+        assert merged["dyn"] == 3.0
+        assert merged["static"] == 3.0
+
+    def test_scaled(self):
+        account = EnergyAccount({"x": 4.0}).scaled(0.5)
+        assert account["x"] == 2.0
+
+    def test_breakdown_sums_to_one(self):
+        account = EnergyAccount({"a": 1.0, "b": 3.0})
+        breakdown = account.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["b"] == pytest.approx(0.75)
+
+    def test_savings_vs(self):
+        ours = EnergyAccount({"total": 40.0})
+        base = EnergyAccount({"total": 100.0})
+        assert ours.savings_vs(base) == pytest.approx(0.6)
+
+    def test_savings_vs_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccount({"x": 1.0}).savings_vs(EnergyAccount())
+
+    def test_render(self):
+        text = EnergyAccount({"dyn": 1.0, "static": 1.0}).render()
+        assert "dyn" in text and "total" in text
+
+
+class TestTableII:
+    def test_report_matches_paper_exactly(self):
+        report = table_ii_report()
+        rows = dict(report.rows)
+        core = rows["RISC-V Rocket Core"]
+        assert (core.luts, core.ffs, core.brams, core.dsps) == (14998, 9762, 12, 4)
+        hp_cluster = rows["Total (HP-PIM module cluster)"]
+        assert (hp_cluster.luts, hp_cluster.ffs) == (6951, 5460)
+        assert (hp_cluster.brams, hp_cluster.dsps) == (128, 8)
+        lp_cluster = rows["Total (LP-PIM module cluster)"]
+        assert (lp_cluster.luts, lp_cluster.ffs) == (6680, 5616)
+        hp_module = rows["HP-PIM Module"]
+        assert (hp_module.luts, hp_module.ffs, hp_module.brams,
+                hp_module.dsps) == (968, 1055, 32, 2)
+        lp_ctrl = rows["LP-PIM Module Controller"]
+        assert (lp_ctrl.luts, lp_ctrl.ffs) == (2149, 875)
+
+    def test_bram_banking(self):
+        assert brams_for(128 * 1024) == 32
+        assert brams_for(64 * 1024) == 16
+        assert brams_for(0) == 0
+        # 36 Kb granularity, then rounded to groups of four.
+        assert brams_for(5 * 1024) == 4
+
+    def test_cluster_scales_with_module_count(self):
+        four = cluster_resources(ModuleKind.HP, 4, 128 * 1024)
+        eight = cluster_resources(ModuleKind.HP, 8, 128 * 1024)
+        assert eight.brams == 2 * four.brams
+        assert eight.dsps == 2 * four.dsps
+        assert eight.luts > four.luts
+
+    def test_estimate_all_architectures(self):
+        for spec in TABLE_I:
+            report = estimate_processor(spec)
+            total = report.total
+            assert total.luts > 20_000
+            assert total.dsps == 4 + 2 * spec.total_modules
+            # Every design carries 1 MB of module memory = 256 BRAMs,
+            # plus the core's 12.
+            assert total.brams == 12 + 256
+
+    def test_render_contains_total(self):
+        text = table_ii_report().render()
+        assert "Total" in text and "LUTs" in text
+
+    def test_resources_add(self):
+        a = Resources(1, 2, 3, 4)
+        b = Resources(10, 20, 30, 40)
+        total = a + b
+        assert (total.luts, total.ffs, total.brams, total.dsps) == (11, 22, 33, 44)
+
+    def test_baseline_single_cluster_report(self):
+        report = estimate_processor(BASELINE_PIM)
+        names = [name for name, _ in report.rows]
+        assert sum("cluster" in name for name in names) == 1
+
+    def test_hh_two_cluster_report(self):
+        report = estimate_processor(HH_PIM)
+        names = [name for name, _ in report.rows]
+        assert sum("cluster" in name for name in names) == 2

@@ -1,0 +1,169 @@
+"""Integration tests: cross-layer consistency and end-to-end paths."""
+
+import pytest
+
+from repro.arch import HH_PIM, Processor
+from repro.core import SpaceKind
+from repro.core.spaces import CORE_MAC_TIME_NS
+from repro.isa import ClusterId, Compute, Config, ConfigOp, GateTarget, LoadOperands
+from repro.memory.hybrid import BankKind
+from repro.pim import ModuleKind, PIMCluster
+from repro.riscv import asm
+from repro.sim import CycleEngine
+from repro.workloads import EFFICIENTNET_B0, ScenarioCase, scenario
+
+
+class TestEngineVsAnalyticModel:
+    """The cycle engine and the analytic cost model must agree."""
+
+    def make_engine(self):
+        clusters = {
+            ClusterId.HP: PIMCluster(ClusterId.HP, ModuleKind.HP, 4),
+            ClusterId.LP: PIMCluster(ClusterId.LP, ModuleKind.LP, 4),
+        }
+        return CycleEngine(clusters), clusters
+
+    def test_task_time_agrees(self, hh_optimizer):
+        engine, _ = self.make_engine()
+        counts = {SpaceKind.HP_SRAM: 8, SpaceKind.LP_MRAM: 16}
+        macs_per_block = (
+            EFFICIENTNET_B0.pim_macs / hh_optimizer.block_count
+        )
+        execution = engine.execute_task(counts, macs_per_block)
+        analytic = hh_optimizer.task_time_ns(counts) / hh_optimizer.latency_scale
+        assert execution.task_time_ns == pytest.approx(analytic, rel=0.01)
+
+    def test_dynamic_energy_agrees(self, hh_optimizer):
+        engine, _ = self.make_engine()
+        counts = {SpaceKind.HP_SRAM: 4, SpaceKind.LP_SRAM: 4,
+                  SpaceKind.LP_MRAM: 8}
+        macs_per_block = (
+            EFFICIENTNET_B0.pim_macs / hh_optimizer.block_count
+        )
+        execution = engine.execute_task(counts, macs_per_block)
+        analytic = hh_optimizer.dynamic_energy_nj(counts)
+        # The engine additionally charges leakage during the access
+        # windows, so it reads slightly above the pure-dynamic figure.
+        assert execution.dynamic_energy_nj == pytest.approx(analytic, rel=0.05)
+        assert execution.dynamic_energy_nj >= analytic
+
+    def test_engine_scales_with_tasks(self, hh_optimizer):
+        engine, clusters = self.make_engine()
+        counts = {SpaceKind.HP_SRAM: 8}
+        macs = EFFICIENTNET_B0.pim_macs / hh_optimizer.block_count
+        engine.run_slice(counts, macs, tasks=3)
+        total = sum(c.total_energy_nj() for c in clusters.values())
+        single_engine, single_clusters = self.make_engine()
+        single_engine.execute_task(counts, macs)
+        single = sum(c.total_energy_nj() for c in single_clusters.values())
+        assert total == pytest.approx(3 * single, rel=1e-6)
+
+
+class TestProcessorDrivenPim:
+    """RISC-V driver -> MMIO doorbell -> queue -> controller -> modules."""
+
+    def test_gating_program(self):
+        processor = Processor(HH_PIM)
+        words = [
+            Config(ClusterId.LP, 0, op=ConfigOp.GATE_OFF,
+                   target=GateTarget.SRAM).encode(),
+            Config(ClusterId.LP, 1, op=ConfigOp.GATE_OFF,
+                   target=GateTarget.ALL).encode(),
+        ]
+        body = "\n".join(f"li t0, {w}\nsw t0, 0(a0)" for w in words)
+        processor.load_program(asm(f"li a0, 0x40000000\n{body}\nebreak").to_bytes())
+        processor.run()
+        lp = processor.fabric.cluster(ClusterId.LP)
+        assert not lp.module(0).memory.bank(BankKind.SRAM).powered
+        assert lp.module(0).memory.bank(BankKind.MRAM).powered
+        assert not lp.module(1).pe.powered
+
+    def test_compute_pipeline_program(self):
+        processor = Processor(HH_PIM)
+        words = [
+            LoadOperands(ClusterId.HP, 0, mram_count=8, sram_count=8).encode(),
+            Compute(ClusterId.HP, 0, count=8).encode(),
+        ]
+        body = "\n".join(f"li t0, {w}\nsw t0, 0(a0)" for w in words)
+        processor.load_program(asm(f"li a0, 0x40000000\n{body}\nebreak").to_bytes())
+        summary = processor.run()
+        hp0 = processor.fabric.cluster(ClusterId.HP).module(0)
+        assert hp0.pe.stats.macs == 8
+        assert hp0.memory_stats().reads == 16
+        assert summary["pim_energy_nj"] > 0
+
+    def test_queue_backpressure_visible_to_software(self):
+        processor = Processor(HH_PIM, queue_depth=2)
+        word = Compute(ClusterId.HP, 0, count=1).encode()
+        # Push 3 words without draining; the third is dropped and the
+        # software can see the full flag.
+        body = "\n".join(f"li t0, {word}\nsw t0, 0(a0)" for _ in range(3))
+        program = asm(f"""
+            li a0, 0x40000000
+            {body}
+            lw t1, 4(a0)
+            ebreak
+        """)
+        processor.load_program(program.to_bytes())
+        processor.run()
+        assert processor.bridge.rejected_pushes == 1
+
+
+class TestRuntimeInvariants:
+    def test_slice_energy_decomposition(self, runtimes):
+        result = runtimes["HH-PIM"].run(scenario(ScenarioCase.RANDOM, slices=10))
+        for record in result.records:
+            parts = (
+                record.dynamic_energy_nj
+                + record.hold_static_energy_nj
+                + record.access_static_energy_nj
+                + record.buffer_static_energy_nj
+                + record.pe_static_energy_nj
+                + record.movement_energy_nj
+            )
+            assert record.total_energy_nj == pytest.approx(parts)
+
+    def test_busy_plus_idle_bounded_by_slice(self, runtimes):
+        runtime = runtimes["HH-PIM"]
+        result = runtime.run(scenario(ScenarioCase.PULSING, slices=10))
+        for record in result.records:
+            assert record.busy_time_ns + record.idle_time_ns <= (
+                runtime.t_slice_ns * 1.001 + 1
+            )
+
+    def test_task_conservation(self, runtimes):
+        sc = scenario(ScenarioCase.RANDOM, slices=20)
+        result = runtimes["HH-PIM"].run(sc)
+        assert result.total_inferences == sum(sc.loads)
+
+    def test_inference_latency_model_consistency(self, runtimes):
+        """Peak task + core time reproduces the Fig. 6 inference time."""
+        runtime = runtimes["HH-PIM"]
+        peak = runtime.lut.peak_placement
+        inference_ns = peak.task_time_ns + (
+            EFFICIENTNET_B0.core_macs * CORE_MAC_TIME_NS
+        )
+        assert inference_ns == pytest.approx(
+            EFFICIENTNET_B0.peak_inference_ns, rel=0.05
+        )
+
+    def test_dynamic_energy_scales_with_load(self, runtimes):
+        runtime = runtimes["Baseline-PIM"]
+        low = runtime.run(scenario(ScenarioCase.LOW_CONSTANT, slices=10))
+        high = runtime.run(scenario(ScenarioCase.HIGH_CONSTANT, slices=10))
+        low_dyn = sum(r.dynamic_energy_nj for r in low.records)
+        high_dyn = sum(r.dynamic_energy_nj for r in high.records)
+        # 5x the load -> 5x the dynamic energy on a fixed placement.
+        assert high_dyn == pytest.approx(5 * low_dyn, rel=0.01)
+
+    def test_hold_static_constant_for_fixed_arch(self, runtimes):
+        runtime = runtimes["Baseline-PIM"]
+        result = runtime.run(scenario(ScenarioCase.RANDOM, slices=10))
+        holds = {round(r.hold_static_energy_nj, 3) for r in result.records}
+        assert len(holds) == 1
+
+    def test_hybrid_has_zero_hold_static(self, runtimes):
+        result = runtimes["Hybrid-PIM"].run(
+            scenario(ScenarioCase.RANDOM, slices=10)
+        )
+        assert all(r.hold_static_energy_nj == 0.0 for r in result.records)

@@ -1,0 +1,195 @@
+"""Unit tests for the PIM ISA (encoding, instructions, queue, assembler)."""
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    DecodingError,
+    EncodingError,
+    QueueEmptyError,
+    QueueFullError,
+)
+from repro.isa import (
+    BROADCAST_MODULE,
+    Category,
+    ClusterId,
+    Compute,
+    ComputeOp,
+    Config,
+    ConfigOp,
+    GateTarget,
+    Halt,
+    InstructionQueue,
+    LoadOperands,
+    Move,
+    StoreResult,
+    Sync,
+    assemble,
+    assemble_line,
+    decode,
+    decode_word,
+    disassemble,
+    encode_fields,
+)
+
+ALL_INSTRUCTIONS = [
+    Compute(ClusterId.HP, 0, op=ComputeOp.MAC, count=123),
+    Compute(ClusterId.LP, 3, op=ComputeOp.CLEAR, count=0),
+    Compute(ClusterId.HP, BROADCAST_MODULE, op=ComputeOp.EMIT, count=0),
+    LoadOperands(ClusterId.LP, 1, mram_count=17, sram_count=1000),
+    StoreResult(ClusterId.HP, 2, address=0xFFFFF),
+    Move(ClusterId.HP, 0, dst_module=3, block=200, count=16),
+    Sync(ClusterId.LP, BROADCAST_MODULE),
+    Config(ClusterId.HP, 1, op=ConfigOp.GATE_OFF, target=GateTarget.SRAM),
+    Config(ClusterId.LP, 2, op=ConfigOp.GATE_ON, target=GateTarget.ALL),
+    Halt(ClusterId.HP, 0),
+]
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("instruction", ALL_INSTRUCTIONS,
+                             ids=lambda i: type(i).__name__ + str(i.module))
+    def test_roundtrip(self, instruction):
+        assert decode(instruction.encode()) == instruction
+
+    def test_word_is_32bit(self):
+        for instruction in ALL_INSTRUCTIONS:
+            assert 0 <= instruction.encode() < 2**32
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_fields(Category.COMPUTE, ClusterId.HP, 16, 0, 0)
+
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            Compute(ClusterId.HP, 0, count=1 << 20).encode()
+
+    def test_load_count_overflow(self):
+        with pytest.raises(EncodingError):
+            LoadOperands(ClusterId.HP, 0, mram_count=1024).encode()
+
+    def test_unknown_category_rejected(self):
+        word = encode_fields(Category.HALT, ClusterId.HP, 0, 0, 0)
+        bad = (word & ~(0x7 << 29)) | (0x7 << 29)
+        with pytest.raises(DecodingError):
+            decode(bad)
+
+    def test_decode_word_fields(self):
+        word = Compute(ClusterId.LP, 5, count=42).encode()
+        fields = decode_word(word)
+        assert fields["cluster"] is ClusterId.LP
+        assert fields["module"] == 5
+        assert fields["immediate"] == 42
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_word(2**32)
+
+    def test_move_targets_opposite_cluster(self):
+        move = Move(ClusterId.HP, 0, dst_module=1)
+        assert move.dst_cluster is ClusterId.LP
+        assert ClusterId.LP.other is ClusterId.HP
+
+
+class TestQueue:
+    def test_fifo_order(self):
+        queue = InstructionQueue(depth=4)
+        queue.push(Sync(ClusterId.HP, 0))
+        queue.push(Halt(ClusterId.HP, 0))
+        assert isinstance(queue.pop(), Sync)
+        assert isinstance(queue.pop(), Halt)
+
+    def test_full_rejects(self):
+        queue = InstructionQueue(depth=1)
+        queue.push(Sync(ClusterId.HP, 0))
+        with pytest.raises(QueueFullError):
+            queue.push(Sync(ClusterId.HP, 0))
+
+    def test_empty_rejects(self):
+        with pytest.raises(QueueEmptyError):
+            InstructionQueue().pop()
+
+    def test_invalid_word_rejected_at_push(self):
+        queue = InstructionQueue()
+        with pytest.raises(DecodingError):
+            queue.push_word(0xFFFFFFFF)
+
+    def test_peek_does_not_remove(self):
+        queue = InstructionQueue()
+        queue.push(Sync(ClusterId.LP, 2))
+        assert isinstance(queue.peek(), Sync)
+        assert len(queue) == 1
+
+    def test_counters(self):
+        queue = InstructionQueue()
+        queue.push(Sync(ClusterId.HP, 0))
+        queue.pop()
+        assert queue.total_pushed == 1
+        assert queue.total_popped == 1
+
+    def test_clear(self):
+        queue = InstructionQueue()
+        queue.push(Sync(ClusterId.HP, 0))
+        queue.clear()
+        assert queue.empty
+
+
+class TestAssembler:
+    def test_assemble_program(self):
+        program = assemble(
+            """
+            # setup
+            load    hp.0  mram=16 sram=16
+            mac     hp.0  count=32
+            emit    hp.0
+            store   hp.0  addr=0x100
+            move    hp.0  dst=2 block=5 count=8
+            sync    hp.*
+            gate_off lp.1 target=sram
+            halt    hp.0
+            """
+        )
+        assert len(program) == 8
+        assert isinstance(program[0], LoadOperands)
+        assert program[1].count == 32
+        assert program[5].module == BROADCAST_MODULE
+
+    def test_blank_and_comment_lines(self):
+        assert assemble_line("") is None
+        assert assemble_line("# only a comment") is None
+        assert assemble_line("   ; semicolon comment") is None
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("frobnicate hp.0", 3)
+
+    def test_unknown_cluster(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("mac xx.0", 1)
+
+    def test_missing_target(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("mac", 1)
+
+    def test_unexpected_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("sync hp.0 bogus=1", 1)
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("mac hp.0 count=banana", 1)
+
+    def test_bad_gate_target(self):
+        with pytest.raises(AssemblerError):
+            assemble_line("gate_on hp.0 target=warp", 1)
+
+    def test_hex_operands(self):
+        instruction = assemble_line("store lp.3 addr=0xff")
+        assert instruction.address == 0xFF
+
+    @pytest.mark.parametrize("instruction", ALL_INSTRUCTIONS,
+                             ids=lambda i: type(i).__name__ + str(i.module))
+    def test_disassemble_reassemble_roundtrip(self, instruction):
+        text = disassemble(instruction)
+        again = assemble_line(text)
+        assert again == instruction

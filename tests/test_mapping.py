@@ -1,0 +1,138 @@
+"""Tests for the inference compiler (placement -> PIM instruction stream)."""
+
+import pytest
+
+from repro.arch import HH_PIM, PimFabric
+from repro.core.spaces import SpaceKind
+from repro.errors import PlacementError
+from repro.isa import ClusterId, Compute, Config, LoadOperands, Move, Sync
+from repro.mapping import InferenceCompiler
+from repro.memory.hybrid import BankKind
+from repro.workloads import EFFICIENTNET_B0
+
+from .conftest import SMALL_BLOCKS
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return InferenceCompiler(model=EFFICIENTNET_B0, block_count=SMALL_BLOCKS)
+
+
+class TestPartition:
+    def test_blocks_striped_over_modules(self, compiler, hh_lut):
+        work = compiler.partition(hh_lut.peak_placement)
+        modules = {(w.cluster, w.module) for w in work}
+        assert len(modules) == len(work)
+        # The peak placement engages both clusters.
+        assert any(w.cluster is ClusterId.HP for w in work)
+        assert any(w.cluster is ClusterId.LP for w in work)
+
+    def test_total_macs_conserved(self, compiler, hh_lut):
+        placement = hh_lut.peak_placement
+        work = compiler.partition(placement)
+        expected = sum(placement.counts.values()) * compiler.macs_per_block
+        assert sum(w.total_macs for w in work) == expected
+
+    def test_lp_mram_only_uses_only_lp_mram(self, compiler, hh_lut):
+        work = compiler.partition(hh_lut.most_relaxed_placement)
+        assert all(w.cluster is ClusterId.LP for w in work)
+        assert all(w.sram_macs == 0 for w in work)
+
+    def test_missing_cluster_rejected(self, hh_lut):
+        solo = InferenceCompiler(
+            model=EFFICIENTNET_B0, block_count=SMALL_BLOCKS,
+            modules_per_cluster={ClusterId.HP: 4},
+        )
+        with pytest.raises(PlacementError):
+            solo.partition(hh_lut.most_relaxed_placement)
+
+
+class TestCompileInference:
+    def test_stream_structure(self, compiler, hh_lut):
+        compiled = compiler.compile_inference(hh_lut.peak_placement)
+        kinds = {type(i) for i in compiled.instructions}
+        assert kinds >= {LoadOperands, Compute, Sync}
+        # Barrier per engaged cluster, at the end of the stream.
+        syncs = [i for i in compiled.instructions if isinstance(i, Sync)]
+        assert 1 <= len(syncs) <= 2
+
+    def test_loads_chunked_to_field_width(self, compiler, hh_lut):
+        compiled = compiler.compile_inference(hh_lut.peak_placement)
+        for instruction in compiled.instructions:
+            if isinstance(instruction, LoadOperands):
+                assert instruction.mram_count <= 1023
+                assert instruction.sram_count <= 1023
+            if isinstance(instruction, Compute):
+                assert instruction.count <= (1 << 20) - 1
+
+    def test_every_instruction_encodes(self, compiler, hh_lut):
+        compiled = compiler.compile_inference(hh_lut.peak_placement)
+        for instruction in compiled.instructions:
+            word = instruction.encode()
+            assert 0 <= word < 2**32
+
+    def test_total_macs_reported(self, compiler, hh_lut):
+        compiled = compiler.compile_inference(hh_lut.peak_placement)
+        assert compiled.total_macs == pytest.approx(
+            EFFICIENTNET_B0.pim_macs, rel=0.05
+        )
+
+
+class TestCompileTransition:
+    def test_inter_cluster_moves_emitted(self, compiler, hh_lut):
+        old = hh_lut.peak_placement
+        new = hh_lut.most_relaxed_placement
+        transition = compiler.compile_transition(old, new)
+        moves = [i for i in transition.instructions if isinstance(i, Move)]
+        assert moves, "HP->LP shift must emit MOVEs"
+        hp_blocks = sum(
+            old.counts.get(k, 0) for k in SpaceKind
+            if k.cluster is ClusterId.HP
+        )
+        assert transition.blocks_moved == hp_blocks
+
+    def test_gating_of_emptied_spaces(self, compiler, hh_lut):
+        transition = compiler.compile_transition(
+            hh_lut.peak_placement, hh_lut.most_relaxed_placement
+        )
+        gates = [i for i in transition.instructions if isinstance(i, Config)]
+        assert gates, "emptied SRAM spaces must be gated"
+
+    def test_identity_transition_is_empty_or_moveless(self, compiler, hh_lut):
+        placement = hh_lut.peak_placement
+        transition = compiler.compile_transition(placement, placement)
+        assert transition.blocks_moved == 0
+        assert not any(
+            isinstance(i, Move) for i in transition.instructions
+        )
+
+
+class TestExecutionOnFabric:
+    def test_runs_and_charges_the_fabric(self, compiler, hh_lut):
+        fabric = PimFabric(HH_PIM, queue_depth=32)
+        compiled = compiler.compile_inference(hh_lut.peak_placement)
+        elapsed = compiler.run_on_fabric(fabric, compiled)
+        assert elapsed > 0
+        executed_macs = sum(
+            module.pe.stats.macs
+            for cluster in fabric.clusters.values()
+            for module in cluster.modules
+        )
+        assert executed_macs == compiled.total_macs
+
+    def test_executed_time_tracks_analytic_model(self, hh_optimizer, hh_lut):
+        """The fabric-executed task time must track the cost model.
+
+        The fabric runs at unscaled Table III latencies; the analytic
+        model applies the FPGA latency scale — divide it out and the two
+        should agree within the chunking/controller overheads.
+        """
+        fabric = PimFabric(HH_PIM, queue_depth=64)
+        compiler = InferenceCompiler.for_fabric(
+            fabric, EFFICIENTNET_B0, hh_optimizer.block_count
+        )
+        placement = hh_lut.most_relaxed_placement
+        compiled = compiler.compile_inference(placement)
+        elapsed = compiler.run_on_fabric(fabric, compiled)
+        analytic = placement.task_time_ns / hh_optimizer.latency_scale
+        assert elapsed == pytest.approx(analytic, rel=0.30)

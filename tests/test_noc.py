@@ -1,0 +1,115 @@
+"""Unit tests for the interconnect substrate (AXI + µNoC)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NocError
+from repro.noc import AxiBus, AxiTransaction, BurstType, MicroNoc, NocLink
+
+
+class TestAxi:
+    def test_beats_rounding(self):
+        bus = AxiBus(data_width_bytes=8)
+        assert bus.beats_of(AxiTransaction(0, 64, False)) == 8
+        assert bus.beats_of(AxiTransaction(0, 65, False)) == 9
+
+    def test_burst_length_cap(self):
+        bus = AxiBus(data_width_bytes=8)
+        with pytest.raises(NocError):
+            bus.beats_of(AxiTransaction(0, 8 * 257, False))
+
+    def test_transfer_time(self):
+        bus = AxiBus(data_width_bytes=8, clock_ns=20.0,
+                     address_phase_cycles=2, beat_cycles=1)
+        # 2 address cycles + 4 beats = 6 cycles = 120 ns.
+        assert bus.transfer_time_ns(AxiTransaction(0, 32, True)) == pytest.approx(120.0)
+
+    def test_incr_addresses(self):
+        bus = AxiBus(data_width_bytes=4)
+        txn = AxiTransaction(0x100, 16, False, burst=BurstType.INCR)
+        assert bus.beat_addresses(txn) == [0x100, 0x104, 0x108, 0x10C]
+
+    def test_fixed_addresses(self):
+        bus = AxiBus(data_width_bytes=4)
+        txn = AxiTransaction(0x40, 16, False, burst=BurstType.FIXED)
+        assert bus.beat_addresses(txn) == [0x40] * 4
+
+    def test_wrap_addresses(self):
+        bus = AxiBus(data_width_bytes=4)
+        txn = AxiTransaction(0x48, 16, False, burst=BurstType.WRAP)
+        # Window [0x40, 0x50); wraps back to the start.
+        assert bus.beat_addresses(txn) == [0x48, 0x4C, 0x40, 0x44]
+
+    def test_long_transfer_splits(self):
+        bus = AxiBus(data_width_bytes=8)
+        elapsed = bus.transfer(0, 8 * 600, is_write=True)
+        assert bus.transactions == 3
+        assert elapsed > 0
+        assert bus.bytes_transferred == 8 * 600
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            AxiBus(data_width_bytes=3)
+
+    def test_invalid_transaction(self):
+        with pytest.raises(NocError):
+            AxiTransaction(0, 0, False)
+
+
+class TestMicroNoc:
+    def test_edge_soc_routes(self):
+        noc = MicroNoc.edge_soc()
+        assert noc.route("core", "hhpim") == ["core", "interconnect", "hhpim"]
+
+    def test_self_route(self):
+        noc = MicroNoc.edge_soc()
+        assert noc.route("core", "core") == ["core"]
+
+    def test_unknown_node(self):
+        noc = MicroNoc.edge_soc()
+        with pytest.raises(NocError):
+            noc.route("core", "gpu")
+
+    def test_no_route(self):
+        noc = MicroNoc()
+        noc.add_node("a")
+        noc.add_node("b")
+        with pytest.raises(NocError):
+            noc.route("a", "b")
+
+    def test_transfer_time_scales_with_length(self):
+        noc = MicroNoc.edge_soc()
+        short = noc.transfer_time_ns("core", "hhpim", 8)
+        long = noc.transfer_time_ns("core", "hhpim", 256)
+        assert long > short
+
+    def test_transfer_records_history(self):
+        noc = MicroNoc.edge_soc()
+        noc.transfer("core", "system_memory", 64)
+        assert noc.total_bytes == 64
+        assert noc.history[0].hops == 2
+
+    def test_narrowest_link_dominates(self):
+        noc = MicroNoc(clock_ns=10.0)
+        noc.add_link(NocLink("a", "b", width_bytes=8))
+        noc.add_link(NocLink("b", "c", width_bytes=2))
+        # 16 bytes over the 2-byte link = 8 flits; 2 hops of router latency.
+        assert noc.transfer_time_ns("a", "c", 16) == pytest.approx((8 + 2) * 10.0)
+
+    def test_self_link_rejected(self):
+        noc = MicroNoc()
+        with pytest.raises(ConfigurationError):
+            noc.add_link(NocLink("x", "x"))
+
+    def test_zero_length_rejected(self):
+        noc = MicroNoc.edge_soc()
+        with pytest.raises(NocError):
+            noc.transfer_time_ns("core", "hhpim", 0)
+
+    def test_deterministic_routing(self):
+        noc = MicroNoc()
+        noc.add_link(NocLink("a", "b"))
+        noc.add_link(NocLink("a", "c"))
+        noc.add_link(NocLink("b", "d"))
+        noc.add_link(NocLink("c", "d"))
+        # Two equal-length paths; BFS over sorted neighbours picks via 'b'.
+        assert noc.route("a", "d") == ["a", "b", "d"]

@@ -1,0 +1,157 @@
+"""Unit tests for the PE package (MAC datapath + timing wrapper)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.technology import HP_VDD, LP_VDD
+from repro.pe import (
+    MacUnit,
+    ProcessingElement,
+    int8_mac,
+    requantize,
+    saturate_int8,
+    saturate_int32,
+)
+
+
+class TestSaturation:
+    def test_int8_in_range(self):
+        assert saturate_int8(100) == 100
+
+    def test_int8_clamps_high(self):
+        assert saturate_int8(200) == 127
+
+    def test_int8_clamps_low(self):
+        assert saturate_int8(-200) == -128
+
+    def test_int32_clamps(self):
+        assert saturate_int32(2**40) == 2**31 - 1
+        assert saturate_int32(-(2**40)) == -(2**31)
+
+
+class TestInt8Mac:
+    def test_basic(self):
+        assert int8_mac(10, 3, 4) == 22
+
+    def test_negative_operands(self):
+        assert int8_mac(0, -128, -128) == 16384
+
+    def test_saturates_accumulator(self):
+        acc = 2**31 - 10
+        assert int8_mac(acc, 127, 127) == 2**31 - 1
+
+    def test_rejects_out_of_range_weight(self):
+        with pytest.raises(ConfigurationError):
+            int8_mac(0, 128, 0)
+
+    def test_rejects_out_of_range_activation(self):
+        with pytest.raises(ConfigurationError):
+            int8_mac(0, 0, -129)
+
+
+class TestRequantize:
+    def test_identity(self):
+        assert requantize(100, 1, 0) == 100
+
+    def test_shift(self):
+        assert requantize(256, 1, 8) == 1
+
+    def test_rounding_half_up(self):
+        assert requantize(3, 1, 1) == 2  # 1.5 rounds away from zero
+
+    def test_negative_rounds_away(self):
+        assert requantize(-3, 1, 1) == -2
+
+    def test_saturates_to_int8(self):
+        assert requantize(10_000, 1, 0) == 127
+        assert requantize(-10_000, 1, 0) == -128
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            requantize(1, 1, -1)
+
+
+class TestMacUnit:
+    def test_dot_product_matches_python(self):
+        unit = MacUnit()
+        weights = [1, -2, 3, -4]
+        activations = [5, 6, -7, 8]
+        expected = sum(w * a for w, a in zip(weights, activations))
+        assert unit.dot(weights, activations) == expected
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            MacUnit().dot([1, 2], [1])
+
+    def test_emit_clears(self):
+        unit = MacUnit()
+        unit.step(10, 10)
+        assert unit.emit() == 100
+        assert unit.accumulator == 0
+
+    def test_ops_counted(self):
+        unit = MacUnit()
+        unit.dot([1] * 5, [1] * 5)
+        assert unit.ops == 5
+
+
+class TestProcessingElement:
+    def test_hp_latency(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        assert pe.mac_latency_ns == pytest.approx(5.52)
+
+    def test_lp_latency(self):
+        pe = ProcessingElement(name="pe", vdd=LP_VDD)
+        assert pe.mac_latency_ns == pytest.approx(10.68)
+
+    def test_mac_energy(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        assert pe.mac_energy_nj == pytest.approx(0.9 * 5.52 / 1000.0)
+
+    def test_execute_mac_functional_and_charged(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        assert pe.execute_mac(3, 7) == 21
+        assert pe.stats.macs == 1
+        assert pe.stats.busy_time_ns == pytest.approx(5.52)
+
+    def test_charge_macs_bulk(self):
+        pe = ProcessingElement(name="pe", vdd=LP_VDD)
+        elapsed = pe.charge_macs(100)
+        assert elapsed == pytest.approx(100 * 10.68)
+        assert pe.stats.macs == 100
+
+    def test_charge_macs_zero(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        assert pe.charge_macs(0) == 0.0
+
+    def test_gated_compute_rejected(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        pe.power_off()
+        with pytest.raises(ConfigurationError):
+            pe.execute_mac(1, 1)
+
+    def test_gating_clears_accumulator(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        pe.execute_mac(2, 2)
+        pe.power_off()
+        pe.power_on()
+        assert pe.mac.accumulator == 0
+
+    def test_idle_static(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        pe.account_idle(1000.0)
+        assert pe.stats.static_energy_nj == pytest.approx(0.48)
+
+    def test_idle_gated_free(self):
+        pe = ProcessingElement(name="pe", vdd=HP_VDD)
+        pe.power_off()
+        pe.account_idle(1000.0)
+        assert pe.stats.static_energy_nj == 0.0
+
+    def test_hp_faster_but_hungrier_than_lp(self):
+        hp = ProcessingElement(name="hp", vdd=HP_VDD)
+        lp = ProcessingElement(name="lp", vdd=LP_VDD)
+        assert hp.mac_latency_ns < lp.mac_latency_ns
+        assert hp.dynamic_power_mw > lp.dynamic_power_mw
+        # Per-MAC *energy* is what LP wins on.
+        assert lp.mac_energy_nj > 0

@@ -1,0 +1,160 @@
+"""Unit tests for PIM modules and clusters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.isa.encoding import ClusterId
+from repro.memory.hybrid import BankKind
+from repro.pim import ModuleKind, PIMCluster, PIMModule
+
+
+def make_module(kind=ModuleKind.HP, **kwargs):
+    return PIMModule(name="m0", kind=kind, mram_capacity=1024,
+                     sram_capacity=1024, **kwargs)
+
+
+class TestPIMModule:
+    def test_vdd_follows_kind(self):
+        assert make_module(ModuleKind.HP).memory.vdd == 1.2
+        assert make_module(ModuleKind.LP).memory.vdd == 0.8
+
+    def test_mac_time_sram(self):
+        module = make_module()
+        sram = module.memory.bank(BankKind.SRAM)
+        expected = sram.read_latency_ns + module.pe.mac_latency_ns
+        assert module.mac_time_ns(BankKind.SRAM) == pytest.approx(expected)
+
+    def test_mac_time_mram_waits_for_slower_stream(self):
+        module = make_module()
+        mram = module.memory.bank(BankKind.MRAM)
+        expected = mram.read_latency_ns + module.pe.mac_latency_ns
+        assert module.mac_time_ns(BankKind.MRAM) == pytest.approx(expected)
+
+    def test_mac_dynamic_energy_components(self):
+        module = make_module()
+        mram = module.memory.bank(BankKind.MRAM)
+        sram = module.memory.bank(BankKind.SRAM)
+        expected = (mram.read_energy_nj + sram.read_energy_nj
+                    + module.pe.mac_energy_nj)
+        assert module.mac_dynamic_energy_nj(BankKind.MRAM) == pytest.approx(expected)
+
+    def test_compute_dot_functional(self):
+        module = make_module()
+        weights = bytes([1, 2, 3, 0xFF])        # 0xFF = -1 signed
+        activations = bytes([10, 20, 30, 40])
+        module.write_weights(BankKind.MRAM, 0, weights)
+        module.write_activations(0, activations)
+        result, elapsed = module.compute_dot(BankKind.MRAM, 0, 0, 4)
+        assert result == 1 * 10 + 2 * 20 + 3 * 30 + (-1) * 40
+        assert elapsed > 0
+
+    def test_compute_dot_matches_run_macs_timing(self):
+        functional = make_module()
+        fast = make_module()
+        functional.write_weights(BankKind.SRAM, 0, bytes(8))
+        functional.write_activations(8, bytes(8))
+        _, elapsed = functional.compute_dot(BankKind.SRAM, 0, 8, 8)
+        assert fast.run_macs(8, BankKind.SRAM) == pytest.approx(elapsed)
+
+    def test_run_macs_zero(self):
+        assert make_module().run_macs(0, BankKind.SRAM) == 0.0
+
+    def test_run_macs_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_module().run_macs(-1, BankKind.SRAM)
+
+    def test_gate_targets(self):
+        module = make_module()
+        module.gate("sram")
+        assert not module.memory.bank(BankKind.SRAM).powered
+        assert module.memory.bank(BankKind.MRAM).powered
+        module.ungate("all")
+        assert module.memory.bank(BankKind.SRAM).powered
+        assert module.pe.powered
+
+    def test_bad_gate_target(self):
+        with pytest.raises(ConfigurationError):
+            make_module().gate("dram")
+
+    def test_energy_breakdown(self):
+        module = make_module()
+        module.run_macs(10, BankKind.SRAM)
+        energy = module.energy()
+        assert energy.memory_dynamic_nj > 0
+        assert energy.pe_dynamic_nj > 0
+        assert energy.total_nj == pytest.approx(
+            energy.memory_dynamic_nj + energy.memory_static_nj
+            + energy.pe_dynamic_nj + energy.pe_static_nj
+        )
+
+    def test_reset_stats(self):
+        module = make_module()
+        module.run_macs(5, BankKind.MRAM)
+        module.reset_stats()
+        assert module.energy().total_nj == 0.0
+        assert module.busy_time_ns == 0.0
+
+
+class TestPIMCluster:
+    def make(self, count=4, kind=ModuleKind.HP):
+        return PIMCluster(
+            cluster_id=ClusterId.HP if kind is ModuleKind.HP else ClusterId.LP,
+            kind=kind, module_count=count,
+            mram_capacity=1024, sram_capacity=1024,
+        )
+
+    def test_split_macs_even(self):
+        assert self.make(4).split_macs(8) == [2, 2, 2, 2]
+
+    def test_split_macs_remainder_front_loaded(self):
+        assert self.make(4).split_macs(10) == [3, 3, 2, 2]
+
+    def test_split_macs_zero(self):
+        assert self.make(4).split_macs(0) == [0, 0, 0, 0]
+
+    def test_split_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make().split_macs(-1)
+
+    def test_run_macs_parallel_speedup(self):
+        single = self.make(1)
+        quad = self.make(4)
+        t1 = single.run_macs(100, BankKind.SRAM)
+        t4 = quad.run_macs(100, BankKind.SRAM)
+        assert t4 == pytest.approx(t1 * 25 / 100)
+
+    def test_run_mixed_macs_serializes_banks(self):
+        cluster = self.make(1)
+        mixed = cluster.run_mixed_macs(10, 10)
+        only = self.make(1)
+        expected = (only.run_macs(10, BankKind.MRAM)
+                    + only.run_macs(10, BankKind.SRAM))
+        assert mixed == pytest.approx(expected)
+
+    def test_module_index_bounds(self):
+        cluster = self.make(2)
+        with pytest.raises(ConfigurationError):
+            cluster.module(2)
+
+    def test_bank_capacity(self):
+        assert self.make(4).bank_capacity(BankKind.SRAM) == 4 * 1024
+
+    def test_gate_all(self):
+        cluster = self.make(2)
+        cluster.gate_all("pe")
+        assert all(not m.pe.powered for m in cluster.modules)
+
+    def test_total_energy_accumulates(self):
+        cluster = self.make(2)
+        assert cluster.total_energy_nj() == 0.0
+        cluster.run_macs(10, BankKind.SRAM)
+        assert cluster.total_energy_nj() > 0
+
+    def test_needs_positive_module_count(self):
+        with pytest.raises(ConfigurationError):
+            PIMCluster(ClusterId.HP, ModuleKind.HP, module_count=0)
+
+    def test_lp_cluster_slower(self):
+        hp = self.make(4, ModuleKind.HP)
+        lp = self.make(4, ModuleKind.LP)
+        assert lp.mac_time_ns(BankKind.SRAM) > hp.mac_time_ns(BankKind.SRAM)

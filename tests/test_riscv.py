@@ -1,0 +1,308 @@
+"""Unit tests for the RV32IM ISS (decoder, CPU, MMIO, assembler)."""
+
+import pytest
+
+from repro.errors import IllegalInstructionError, MmioError, RiscvError
+from repro.isa import ClusterId, Compute, InstructionQueue
+from repro.riscv import (
+    Cpu,
+    MmioBus,
+    PimMmioBridge,
+    RamRegion,
+    asm,
+    decode,
+)
+
+
+def make_soc(ram_size=64 * 1024, queue_depth=16):
+    bus = MmioBus()
+    ram = bus.map(RamRegion(0, ram_size))
+    queue = InstructionQueue(depth=queue_depth)
+    bridge = bus.map(PimMmioBridge(0x4000_0000, queue))
+    cpu = Cpu(bus)
+    return cpu, bus, ram, queue, bridge
+
+
+def run_program(source, max_instructions=100_000):
+    cpu, bus, ram, queue, bridge = make_soc()
+    ram.load_blob(0, asm(source).to_bytes())
+    cpu.run(max_instructions=max_instructions)
+    return cpu, queue, bridge
+
+
+class TestDecoder:
+    def test_addi(self):
+        decoded = decode(asm("addi t0, zero, 42").words[0])
+        assert decoded.mnemonic == "addi"
+        assert decoded.imm == 42
+
+    def test_negative_immediate(self):
+        decoded = decode(asm("addi t0, zero, -5").words[0])
+        assert decoded.imm == -5
+
+    def test_branch_offset(self):
+        program = asm("loop: beq zero, zero, loop")
+        decoded = decode(program.words[0])
+        assert decoded.mnemonic == "beq"
+        assert decoded.imm == 0
+
+    def test_illegal_word(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0xFFFFFFFF)
+
+    def test_mul_decodes(self):
+        decoded = decode(asm("mul a0, a1, a2").words[0])
+        assert decoded.mnemonic == "mul"
+
+    def test_shift_decodes(self):
+        decoded = decode(asm("srai a0, a1, 3").words[0])
+        assert decoded.mnemonic == "srai"
+        assert decoded.imm == 3
+
+
+class TestCpuArithmetic:
+    def test_addi_chain(self):
+        cpu, _, _ = run_program("""
+            addi t0, zero, 10
+            addi t0, t0, 20
+            ebreak
+        """)
+        assert cpu.state.read(5) == 30
+
+    def test_li_large_constant(self):
+        cpu, _, _ = run_program("""
+            li a0, 0x12345678
+            ebreak
+        """)
+        assert cpu.state.read(10) == 0x12345678
+
+    def test_li_negative(self):
+        cpu, _, _ = run_program("""
+            li a0, -1000000
+            ebreak
+        """)
+        assert cpu.state.read(10) == (-1000000) & 0xFFFFFFFF
+
+    def test_sub_and_compare(self):
+        cpu, _, _ = run_program("""
+            li t0, 7
+            li t1, 10
+            sub t2, t0, t1
+            slt t3, t0, t1
+            sltu t4, t0, t1
+            ebreak
+        """)
+        assert cpu.state.read(7) == (-3) & 0xFFFFFFFF
+        assert cpu.state.read(28) == 1
+        assert cpu.state.read(29) == 1
+
+    def test_mul_div_rem(self):
+        cpu, _, _ = run_program("""
+            li t0, -7
+            li t1, 2
+            mul t2, t0, t1
+            div t3, t0, t1
+            rem t4, t0, t1
+            ebreak
+        """)
+        assert cpu.state.read(7) == (-14) & 0xFFFFFFFF
+        assert cpu.state.read(28) == (-3) & 0xFFFFFFFF   # trunc toward zero
+        assert cpu.state.read(29) == (-1) & 0xFFFFFFFF
+
+    def test_div_by_zero_semantics(self):
+        cpu, _, _ = run_program("""
+            li t0, 5
+            li t1, 0
+            div t2, t0, t1
+            divu t3, t0, t1
+            rem t4, t0, t1
+            ebreak
+        """)
+        assert cpu.state.read(7) == 0xFFFFFFFF
+        assert cpu.state.read(28) == 0xFFFFFFFF
+        assert cpu.state.read(29) == 5
+
+    def test_shifts(self):
+        cpu, _, _ = run_program("""
+            li t0, -16
+            srai t1, t0, 2
+            srli t2, t0, 2
+            slli t3, t0, 1
+            ebreak
+        """)
+        assert cpu.state.read(6) == (-4) & 0xFFFFFFFF
+        assert cpu.state.read(7) == ((-16) & 0xFFFFFFFF) >> 2
+        assert cpu.state.read(28) == (-32) & 0xFFFFFFFF
+
+    def test_x0_hardwired(self):
+        cpu, _, _ = run_program("""
+            addi zero, zero, 5
+            ebreak
+        """)
+        assert cpu.state.read(0) == 0
+
+    def test_loop_sum(self):
+        cpu, _, _ = run_program("""
+                li a0, 0      # sum
+                li a1, 10     # counter
+            loop:
+                add a0, a0, a1
+                addi a1, a1, -1
+                bne a1, zero, loop
+                ebreak
+        """)
+        assert cpu.state.read(10) == 55
+
+    def test_function_call(self):
+        cpu, _, _ = run_program("""
+                li a0, 4
+                jal ra, square
+                ebreak
+            square:
+                mul a0, a0, a0
+                jalr zero, 0(ra)
+        """)
+        assert cpu.state.read(10) == 16
+
+
+class TestCpuMemory:
+    def test_store_load_word(self):
+        cpu, _, _ = run_program("""
+            li a0, 0x1000
+            li t0, 0xdeadbeef
+            sw t0, 0(a0)
+            lw t1, 0(a0)
+            ebreak
+        """)
+        assert cpu.state.read(6) == 0xDEADBEEF
+
+    def test_byte_sign_extension(self):
+        cpu, _, _ = run_program("""
+            li a0, 0x1000
+            li t0, 0xff
+            sb t0, 0(a0)
+            lb t1, 0(a0)
+            lbu t2, 0(a0)
+            ebreak
+        """)
+        assert cpu.state.read(6) == 0xFFFFFFFF
+        assert cpu.state.read(7) == 0xFF
+
+    def test_halfword(self):
+        cpu, _, _ = run_program("""
+            li a0, 0x1000
+            li t0, 0x8000
+            sh t0, 0(a0)
+            lh t1, 0(a0)
+            lhu t2, 0(a0)
+            ebreak
+        """)
+        assert cpu.state.read(6) == 0xFFFF8000
+        assert cpu.state.read(7) == 0x8000
+
+    def test_unmapped_access(self):
+        cpu, bus, ram, _, _ = make_soc()
+        ram.load_blob(0, asm("""
+            li a0, 0x70000000
+            lw t0, 0(a0)
+            ebreak
+        """).to_bytes())
+        with pytest.raises(MmioError):
+            cpu.run()
+
+    def test_instruction_budget(self):
+        cpu, bus, ram, _, _ = make_soc()
+        ram.load_blob(0, asm("loop: j loop").to_bytes())
+        with pytest.raises(RiscvError):
+            cpu.run(max_instructions=100)
+
+    def test_elapsed_time(self):
+        cpu, _, _ = run_program("""
+            nop
+            nop
+            ebreak
+        """)
+        assert cpu.elapsed_ns == pytest.approx(3 * 20.0)
+
+
+class TestPimBridge:
+    def test_doorbell_enqueues(self):
+        word = Compute(ClusterId.HP, 0, count=7).encode()
+        cpu, queue, _ = run_program(f"""
+            li a0, 0x40000000
+            li t0, {word}
+            sw t0, 0(a0)
+            ebreak
+        """)
+        assert len(queue) == 1
+        instruction = queue.pop()
+        assert instruction.count == 7
+
+    def test_status_register(self):
+        cpu, queue, _ = run_program("""
+            li a0, 0x40000000
+            lw t0, 4(a0)      # STATUS: empty
+            lw t1, 8(a0)      # LEVEL
+            ebreak
+        """)
+        assert cpu.state.read(5) == 2  # bit1 = empty
+        assert cpu.state.read(6) == 0
+
+    def test_full_queue_drops_and_counts(self):
+        bus = MmioBus()
+        queue = InstructionQueue(depth=1)
+        bridge = bus.map(PimMmioBridge(0x0, queue))
+        word = Compute(ClusterId.HP, 0, count=1).encode()
+        bridge.store(0, word, 4)
+        bridge.store(0, word, 4)  # dropped
+        assert len(queue) == 1
+        assert bridge.rejected_pushes == 1
+        assert bridge.load(4, 4) & 1 == 1  # full flag
+
+    def test_narrow_access_rejected(self):
+        bus = MmioBus()
+        bridge = bus.map(PimMmioBridge(0x0, InstructionQueue()))
+        with pytest.raises(MmioError):
+            bridge.load(4, 2)
+
+    def test_overlapping_regions_rejected(self):
+        bus = MmioBus()
+        bus.map(RamRegion(0, 0x1000))
+        with pytest.raises(MmioError):
+            bus.map(RamRegion(0x800, 0x1000))
+
+
+class TestAssembler:
+    def test_labels_forward_and_back(self):
+        program = asm("""
+                j end
+            middle:
+                nop
+            end:
+                beq zero, zero, middle
+                ebreak
+        """)
+        assert len(program.words) == 4
+        assert program.labels["middle"] == 4
+
+    def test_duplicate_label_rejected(self):
+        from repro.errors import AssemblerError
+        with pytest.raises(AssemblerError):
+            asm("x: nop\nx: nop")
+
+    def test_unknown_register(self):
+        from repro.errors import AssemblerError
+        with pytest.raises(AssemblerError):
+            asm("addi q0, zero, 1")
+
+    def test_ecall_hook(self):
+        cpu, bus, ram, _, _ = make_soc()
+        ram.load_blob(0, asm("""
+            li a0, 99
+            ecall
+            ebreak
+        """).to_bytes())
+        seen = []
+        cpu.ecall_handler = lambda c: seen.append(c.state.read(10))
+        cpu.run()
+        assert seen == [99]

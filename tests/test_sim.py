@@ -1,0 +1,154 @@
+"""Unit tests for the simulation package (events, trace, engine)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.encoding import ClusterId
+from repro.pim import ModuleKind, PIMCluster
+from repro.sim import CycleEngine, EventQueue, TraceRecorder
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(10.0, lambda: order.append("b"))
+        queue.schedule(5.0, lambda: order.append("a"))
+        queue.run()
+        assert order == ["a", "b"]
+        assert queue.now_ns == pytest.approx(10.0)
+
+    def test_tie_break_by_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(1.0, lambda: order.append("first"))
+        queue.schedule(1.0, lambda: order.append("second"))
+        queue.run()
+        assert order == ["first", "second"]
+
+    def test_nested_scheduling(self):
+        queue = EventQueue()
+        seen = []
+        def fire():
+            seen.append(queue.now_ns)
+            if len(seen) < 3:
+                queue.schedule(2.0, fire)
+        queue.schedule(1.0, fire)
+        queue.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_run_until_horizon(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1.0, lambda: seen.append(1))
+        queue.schedule(100.0, lambda: seen.append(2))
+        queue.run(until_ns=50.0)
+        assert seen == [1]
+        assert len(queue) == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(10.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule_at(5.0, lambda: None)
+
+    def test_event_budget(self):
+        queue = EventQueue()
+        def forever():
+            queue.schedule(1.0, forever)
+        queue.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            queue.run(max_events=10)
+
+    def test_step_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().step()
+
+
+class TestTraceRecorder:
+    def test_emit_and_filter(self):
+        trace = TraceRecorder()
+        trace.emit(1.0, "start", "a")
+        trace.emit(2.0, "stop", "a", reason="done")
+        assert len(trace.events) == 2
+        assert trace.of_kind("stop")[0].detail["reason"] == "done"
+
+    def test_window_filter(self):
+        trace = TraceRecorder()
+        for t in (1.0, 5.0, 9.0):
+            trace.emit(t, "tick", "x")
+        assert len(trace.between(2.0, 8.0)) == 1
+
+    def test_bounded(self):
+        trace = TraceRecorder(limit=2)
+        for t in range(5):
+            trace.emit(float(t), "tick", "x")
+        assert len(trace.events) == 2
+        assert trace.events[0].time_ns == 3.0
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.emit(0.0, "tick", "x")
+        trace.clear()
+        assert not trace.events
+
+
+class TestCycleEngine:
+    def make_engine(self):
+        clusters = {
+            ClusterId.HP: PIMCluster(ClusterId.HP, ModuleKind.HP, 4),
+            ClusterId.LP: PIMCluster(ClusterId.LP, ModuleKind.LP, 4),
+        }
+        return CycleEngine(clusters)
+
+    def test_task_time_is_cluster_max(self):
+        from repro.core.spaces import SpaceKind
+        engine = self.make_engine()
+        execution = engine.execute_task(
+            {SpaceKind.HP_SRAM: 4, SpaceKind.LP_SRAM: 4}, macs_per_block=100
+        )
+        assert execution.task_time_ns == pytest.approx(
+            max(execution.per_cluster_time_ns.values())
+        )
+        assert execution.per_cluster_time_ns[ClusterId.LP] > (
+            execution.per_cluster_time_ns[ClusterId.HP]
+        )
+
+    def test_dynamic_energy_positive(self):
+        from repro.core.spaces import SpaceKind
+        engine = self.make_engine()
+        execution = engine.execute_task(
+            {SpaceKind.LP_MRAM: 8}, macs_per_block=50
+        )
+        assert execution.dynamic_energy_nj > 0
+
+    def test_trace_emitted(self):
+        from repro.core.spaces import SpaceKind
+        engine = self.make_engine()
+        engine.execute_task({SpaceKind.HP_SRAM: 2}, macs_per_block=10)
+        assert engine.trace.of_kind("task_done")
+
+    def test_run_slice_repeats(self):
+        from repro.core.spaces import SpaceKind
+        engine = self.make_engine()
+        executions = engine.run_slice(
+            {SpaceKind.HP_SRAM: 2}, macs_per_block=10, tasks=3
+        )
+        assert len(executions) == 3
+        times = {e.task_time_ns for e in executions}
+        assert len(times) == 1  # identical placements -> identical times
+
+    def test_negative_blocks_rejected(self):
+        from repro.core.spaces import SpaceKind
+        engine = self.make_engine()
+        with pytest.raises(SimulationError):
+            engine.execute_task({SpaceKind.HP_SRAM: -1}, macs_per_block=10)
+
+    def test_empty_clusters_rejected(self):
+        with pytest.raises(SimulationError):
+            CycleEngine({})

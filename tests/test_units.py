@@ -1,0 +1,95 @@
+"""Unit tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    Clock,
+    PROTOTYPE_CLOCK,
+    energy_mj,
+    energy_nj,
+    mhz,
+    ms,
+    seconds,
+    to_ms,
+    to_us,
+    us,
+)
+
+
+class TestConversions:
+    def test_us_to_ns(self):
+        assert us(1.5) == 1500.0
+
+    def test_ms_to_ns(self):
+        assert ms(2) == 2_000_000.0
+
+    def test_seconds_to_ns(self):
+        assert seconds(0.001) == ms(1)
+
+    def test_roundtrip_ms(self):
+        assert to_ms(ms(3.25)) == pytest.approx(3.25)
+
+    def test_roundtrip_us(self):
+        assert to_us(us(7.5)) == pytest.approx(7.5)
+
+    def test_energy_mw_times_ns_is_pj(self):
+        # 1 mW for 1 ns = 1 pJ = 0.001 nJ.
+        assert energy_nj(1.0, 1.0) == pytest.approx(0.001)
+
+    def test_energy_large(self):
+        # 100 mW for 1 ms = 0.1 mJ = 1e5 nJ.
+        assert energy_nj(100.0, ms(1)) == pytest.approx(1e5)
+
+    def test_energy_mj(self):
+        assert energy_mj(1e6) == pytest.approx(1.0)
+
+    def test_mhz(self):
+        assert mhz(50) == 50e6
+
+
+class TestClock:
+    def test_prototype_period(self):
+        assert PROTOTYPE_CLOCK.period_ns == pytest.approx(20.0)
+
+    def test_cycles_for_exact(self):
+        assert PROTOTYPE_CLOCK.cycles_for(40.0) == 2
+
+    def test_cycles_for_rounds_up(self):
+        assert PROTOTYPE_CLOCK.cycles_for(20.1) == 2
+
+    def test_cycles_for_zero(self):
+        assert PROTOTYPE_CLOCK.cycles_for(0.0) == 0
+
+    def test_cycles_for_sub_cycle(self):
+        assert PROTOTYPE_CLOCK.cycles_for(1.0) == 1
+
+    def test_time_of(self):
+        assert PROTOTYPE_CLOCK.time_of(5) == pytest.approx(100.0)
+
+    def test_quantize(self):
+        assert PROTOTYPE_CLOCK.quantize(25.0) == pytest.approx(40.0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Clock(frequency_hz=-1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PROTOTYPE_CLOCK.cycles_for(-1.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PROTOTYPE_CLOCK.time_of(-2)
+
+    def test_quantize_is_idempotent(self):
+        once = PROTOTYPE_CLOCK.quantize(33.3)
+        assert PROTOTYPE_CLOCK.quantize(once) == pytest.approx(once)
+
+    def test_cycles_float_robustness(self):
+        clock = Clock(frequency_hz=mhz(100))
+        # 10 ns period; 30 ns must be exactly 3 cycles despite float math.
+        assert clock.cycles_for(30.0) == 3
+        assert not math.isnan(clock.period_ns)

@@ -1,0 +1,218 @@
+"""Unit tests for workloads: layers, models, scenarios, tasks."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ALL_CASES,
+    Conv2d,
+    DepthwiseConv2d,
+    EFFICIENTNET_B0,
+    InferenceTask,
+    Linear,
+    MOBILENET_V2,
+    RESNET_18,
+    Scenario,
+    ScenarioCase,
+    TABLE_IV,
+    TaskBuffer,
+    model_by_name,
+    scenario,
+)
+from repro.workloads.layers import network_stats
+
+
+class TestLayers:
+    def test_conv_params_and_macs(self):
+        conv = Conv2d("c", 3, 8, kernel=3, padding=1)
+        stats = conv.stats((3, 16, 16))
+        assert stats.params == 8 * 3 * 3 * 3
+        assert stats.macs == 16 * 16 * 8 * 3 * 3 * 3
+        assert stats.out_shape == (8, 16, 16)
+
+    def test_conv_stride_halves(self):
+        conv = Conv2d("c", 4, 4, kernel=3, stride=2, padding=1)
+        assert conv.stats((4, 16, 16)).out_shape == (4, 8, 8)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(WorkloadError):
+            Conv2d("c", 3, 8, kernel=3).stats((4, 16, 16))
+
+    def test_conv_collapse_rejected(self):
+        with pytest.raises(WorkloadError):
+            Conv2d("c", 3, 8, kernel=5).stats((3, 4, 4))
+
+    def test_conv_bias_params(self):
+        with_bias = Conv2d("c", 2, 4, kernel=1, bias=True).stats((2, 4, 4))
+        without = Conv2d("c", 2, 4, kernel=1).stats((2, 4, 4))
+        assert with_bias.params == without.params + 4
+
+    def test_depthwise(self):
+        dw = DepthwiseConv2d("d", 8, kernel=3, padding=1)
+        stats = dw.stats((8, 10, 10))
+        assert stats.params == 8 * 9
+        assert stats.macs == 10 * 10 * 8 * 9
+
+    def test_linear_flattens(self):
+        fc = Linear("f", 32, 10)
+        stats = fc.stats((2, 4, 4))
+        assert stats.params == 32 * 10 + 10
+        assert stats.macs == 320
+
+    def test_linear_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            Linear("f", 16, 10).stats((2, 4, 4))
+
+    def test_network_stats_chains_shapes(self):
+        layers = [
+            Conv2d("c1", 3, 4, kernel=3, padding=1),
+            Conv2d("c2", 4, 8, kernel=3, stride=2, padding=1),
+            DepthwiseConv2d("d", 8, kernel=4),
+            Linear("f", 8, 2),
+        ]
+        stats = network_stats(layers, (3, 8, 8))
+        assert stats[-1].out_shape == (2,)
+
+
+class TestModels:
+    def test_table_iv_totals(self):
+        assert EFFICIENTNET_B0.params == 95_000
+        assert EFFICIENTNET_B0.macs == 3_245_000
+        assert EFFICIENTNET_B0.pim_ratio == 0.85
+        assert MOBILENET_V2.params == 101_000
+        assert RESNET_18.macs == 29_580_000
+        assert RESNET_18.pim_ratio == 0.75
+
+    def test_pim_core_split(self):
+        assert (EFFICIENTNET_B0.pim_macs + EFFICIENTNET_B0.core_macs
+                == EFFICIENTNET_B0.macs)
+        assert EFFICIENTNET_B0.pim_macs == round(3_245_000 * 0.85)
+
+    def test_macs_per_weight(self):
+        assert EFFICIENTNET_B0.macs_per_weight == pytest.approx(
+            EFFICIENTNET_B0.pim_macs / 95_000
+        )
+
+    def test_weight_bytes_int8(self):
+        assert RESNET_18.weight_bytes == 256_000
+
+    def test_lookup_by_name(self):
+        assert model_by_name("resnet-18") is RESNET_18
+        with pytest.raises(WorkloadError):
+            model_by_name("vgg")
+
+    @pytest.mark.parametrize("model", TABLE_IV, ids=lambda m: m.name)
+    def test_backbones_shape_check(self, model):
+        stats = model.backbone_stats()
+        assert stats[-1].out_shape == (10,)
+        total_params = sum(s.params for s in stats)
+        total_macs = sum(s.macs for s in stats)
+        # The synthetic backbones approximate Table IV within 5x; the
+        # experiments always use the published totals.
+        assert 0.2 < total_params / model.params < 5
+        assert total_macs > 0
+
+    def test_reference_times_present(self):
+        for model in TABLE_IV:
+            assert model.peak_inference_ns > 0
+            assert model.mram_only_inference_ns > model.peak_inference_ns
+
+
+class TestScenarios:
+    def test_case1_constant_low(self):
+        sc = scenario(ScenarioCase.LOW_CONSTANT, slices=20, peak=10, low=2)
+        assert sc.loads == (2,) * 20
+
+    def test_case2_constant_high(self):
+        sc = scenario(ScenarioCase.HIGH_CONSTANT, slices=10)
+        assert sc.loads == (10,) * 10
+
+    def test_case3_spikes_every_10(self):
+        sc = scenario(ScenarioCase.PERIODIC_SPIKE, slices=50)
+        assert sum(1 for load in sc.loads if load == 10) == 5
+        assert sc.loads[9] == 10
+
+    def test_case4_more_frequent_than_case3(self):
+        sparse = scenario(ScenarioCase.PERIODIC_SPIKE, slices=48)
+        frequent = scenario(ScenarioCase.PERIODIC_SPIKE_FREQUENT, slices=48)
+        assert frequent.total_inferences > sparse.total_inferences
+
+    def test_case5_pulsing_blocks(self):
+        sc = scenario(ScenarioCase.PULSING, slices=20)
+        assert sc.loads[:5] == (10,) * 5
+        assert sc.loads[5:10] == (2,) * 5
+
+    def test_case6_random_seeded(self):
+        a = scenario(ScenarioCase.RANDOM, seed=7)
+        b = scenario(ScenarioCase.RANDOM, seed=7)
+        c = scenario(ScenarioCase.RANDOM, seed=8)
+        assert a.loads == b.loads
+        assert a.loads != c.loads
+
+    def test_loads_bounded(self):
+        for case in ALL_CASES:
+            sc = scenario(case)
+            assert all(1 <= load <= 10 for load in sc.loads)
+
+    def test_mean_load(self):
+        sc = scenario(ScenarioCase.LOW_CONSTANT, slices=10, low=2)
+        assert sc.mean_load == pytest.approx(2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            scenario(ScenarioCase.RANDOM, slices=0)
+        with pytest.raises(WorkloadError):
+            scenario(ScenarioCase.RANDOM, low=0)
+        with pytest.raises(WorkloadError):
+            scenario(ScenarioCase.RANDOM, low=11, peak=10)
+
+    def test_scenario_validation(self):
+        with pytest.raises(WorkloadError):
+            Scenario(case=ScenarioCase.RANDOM, loads=(11,), peak=10)
+
+
+class TestTaskBuffer:
+    def test_double_buffering(self):
+        buffer = TaskBuffer(model=EFFICIENTNET_B0)
+        buffer.arrive(3)
+        # Arrivals of slice 0 are processed when slice 0 closes.
+        tasks = buffer.advance_slice()
+        assert len(tasks) == 3
+        assert all(t.arrival_slice == 0 for t in tasks)
+        assert buffer.advance_slice() == []
+
+    def test_latency_bound_2T(self):
+        buffer = TaskBuffer(model=EFFICIENTNET_B0)
+        buffer.arrive(1)
+        tasks = buffer.advance_slice()
+        # A task arriving in slice s is processed during slice s+1, so its
+        # completion is at most 2 slices after its arrival instant.
+        assert tasks[0].arrival_slice == 0
+        assert buffer.slice_index == 1
+
+    def test_sequence_numbers_monotone(self):
+        buffer = TaskBuffer(model=EFFICIENTNET_B0)
+        buffer.arrive(2)
+        first = buffer.advance_slice()
+        buffer.arrive(2)
+        second = buffer.advance_slice()
+        sequences = [t.sequence for t in first + second]
+        assert sequences == sorted(sequences)
+        assert len(set(sequences)) == 4
+
+    def test_task_macs(self):
+        task = InferenceTask(model=MOBILENET_V2, arrival_slice=0, sequence=0)
+        assert task.pim_macs == MOBILENET_V2.pim_macs
+        assert task.core_macs == MOBILENET_V2.core_macs
+
+    def test_negative_arrivals_rejected(self):
+        buffer = TaskBuffer(model=EFFICIENTNET_B0)
+        with pytest.raises(WorkloadError):
+            buffer.arrive(-1)
+
+    def test_totals(self):
+        buffer = TaskBuffer(model=EFFICIENTNET_B0)
+        buffer.arrive(5)
+        buffer.advance_slice()
+        assert buffer.total_arrived == 5
+        assert buffer.total_processed == 5
