@@ -1,0 +1,19 @@
+"""Benchmark artifact output, importable absolutely.
+
+Benchmark modules import this with ``from _artifacts import
+write_artifact`` (the benchmarks directory is on ``sys.path`` under
+pytest's rootdir-style collection); relative imports like ``from
+.conftest import ...`` break because the directory is not a package.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered table/figure next to the benchmarks."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text + "\n")

@@ -2,29 +2,19 @@
 
 Benchmarks regenerate the paper's tables and figures at *full* resolution
 (the default block count and time-step cap), unlike the unit tests.  The
-expensive grid is computed once per session and shared; rendered artifacts
-are written under ``benchmarks/output/`` for inspection.
+expensive grid is computed once per session through the shared
+:class:`repro.api.Engine` (so allocation LUTs are built exactly once per
+(architecture, model) pair); rendered artifacts are written under
+``benchmarks/output/`` for inspection.
 """
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
 
 from repro.analysis import compute_savings_grid
-from repro.core import DataPlacementOptimizer
-from repro.core.runtime import default_time_slice_ns
-from repro.arch import HH_PIM
-from repro.workloads import EFFICIENTNET_B0
-
-OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
-
-
-def write_artifact(name: str, text: str) -> None:
-    """Persist a rendered table/figure next to the benchmarks."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / name).write_text(text + "\n")
+from repro.api import ExperimentConfig
+from repro.api.engine import shared_engine
 
 
 @pytest.fixture(scope="session")
@@ -36,8 +26,7 @@ def savings_grid():
 @pytest.fixture(scope="session")
 def hh_effnet_lut():
     """Full-resolution HH-PIM LUT for EfficientNet-B0 (Fig. 6)."""
-    t_slice = default_time_slice_ns(EFFICIENTNET_B0)
-    optimizer = DataPlacementOptimizer(
-        HH_PIM, EFFICIENTNET_B0, t_slice_ns=t_slice
+    runtime = shared_engine().runtime(
+        ExperimentConfig(arch="HH-PIM", model="EfficientNet-B0")
     )
-    return optimizer, optimizer.build_lut()
+    return runtime.optimizer, runtime.lut

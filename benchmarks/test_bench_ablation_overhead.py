@@ -19,7 +19,7 @@ from repro.core.runtime import (
 )
 from repro.workloads import EFFICIENTNET_B0, ScenarioCase, scenario
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 
 def test_movement_overhead_share(benchmark):

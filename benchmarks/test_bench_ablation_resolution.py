@@ -17,7 +17,7 @@ from repro.core import DataPlacementOptimizer
 from repro.core.runtime import default_time_slice_ns
 from repro.workloads import EFFICIENTNET_B0
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 BLOCK_COUNTS = (15, 30, 60, 120, 240)
 

@@ -3,7 +3,7 @@
 from repro.analysis import render_fig4
 from repro.workloads import ALL_CASES, ScenarioCase, scenario
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 
 def materialise():

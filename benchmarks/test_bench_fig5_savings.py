@@ -14,7 +14,7 @@ from repro.analysis import average_savings, render_fig5
 from repro.analysis.savings import BASELINE_NAMES
 from repro.workloads import ScenarioCase
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 #: Paper reference points (EfficientNet-family headline numbers).
 PAPER_CASE1 = {"Baseline-PIM": 0.8623, "Heterogeneous-PIM": 0.787,

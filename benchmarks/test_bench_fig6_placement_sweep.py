@@ -14,7 +14,7 @@ from repro.core.runtime import default_time_slice_ns
 from repro.core.spaces import CORE_MAC_TIME_NS
 from repro.workloads import TABLE_IV
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 
 def test_fig6_reproduction(hh_effnet_lut, benchmark):

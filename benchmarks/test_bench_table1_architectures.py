@@ -3,7 +3,7 @@
 from repro.analysis import TextTable
 from repro.arch import TABLE_I, PimFabric
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 
 def render_table_i() -> str:

@@ -3,7 +3,7 @@
 from repro.arch import HH_PIM
 from repro.fpga import estimate_processor, table_ii_report
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 #: (LUTs, FFs, BRAMs, DSPs) per Table II row.
 PAPER_ROWS = {

@@ -11,7 +11,7 @@ from repro.analysis import TextTable
 from repro.memory import NvSimModel, PE_45NM, SRAM_45NM, STT_MRAM_45NM
 from repro.memory.technology import HP_VDD, LP_VDD
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 PAPER = {
     # cluster: (mram_r, mram_w, sram_r, sram_w, pe)

@@ -3,7 +3,7 @@
 from repro.analysis import TextTable
 from repro.workloads import TABLE_IV
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 PAPER = {
     "EfficientNet-B0": (95_000, 3_245_000, 0.85),

@@ -5,7 +5,7 @@ import pytest
 from repro.analysis import TextTable
 from repro.energy import table_v_rows
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 PAPER = {
     "HP-PIM": dict(mram_r=428.48, mram_w=133.78, mram_s=2.98,

@@ -10,7 +10,7 @@ from repro.analysis import TextTable, table_vi
 from repro.analysis.savings import BASELINE_NAMES
 from repro.workloads import ScenarioCase
 
-from .conftest import write_artifact
+from _artifacts import write_artifact
 
 PAPER = {
     ScenarioCase.PERIODIC_SPIKE: (72.01, 55.78, 54.09),

@@ -3,7 +3,9 @@
 
 Part 1 regenerates the paper's Fig. 6 for a chosen model: how the optimal
 weight distribution walks from SRAM-heavy (peak performance) to
-LP-MRAM-only (maximum efficiency) as the latency budget relaxes.
+LP-MRAM-only (maximum efficiency) as the latency budget relaxes.  The
+LUT comes from the :class:`repro.api.Engine`, so re-running for the same
+model reuses the memoized optimizer state.
 
 Part 2 goes beyond the paper: the calibrated technology model supports
 *arbitrary* supply voltages, so we sweep the LP cluster's Vdd and watch
@@ -15,9 +17,8 @@ Run:  python examples/placement_explorer.py [model-name]
 
 import sys
 
-from repro import DataPlacementOptimizer, HH_PIM, model_by_name
 from repro.analysis import render_fig6
-from repro.core.runtime import default_time_slice_ns
+from repro.api import Engine, ExperimentConfig, MODELS
 from repro.core.spaces import CORE_MAC_TIME_NS
 from repro.memory import NvSimModel, SRAM_45NM, STT_MRAM_45NM
 from repro.memory.technology import PE_45NM
@@ -25,14 +26,14 @@ from repro.memory.technology import PE_45NM
 BLOCKS, STEPS = 48, 6000
 
 
-def part1_fig6(model) -> None:
+def part1_fig6(engine: Engine, model_name: str) -> None:
+    model = MODELS.get(model_name)
     print(f"=== Fig. 6 sweep: {model.name} ===\n")
-    t_slice = default_time_slice_ns(model, block_count=BLOCKS, time_steps=STEPS)
-    optimizer = DataPlacementOptimizer(
-        HH_PIM, model, t_slice_ns=t_slice,
+    runtime = engine.runtime(ExperimentConfig(
+        arch="HH-PIM", model=model_name,
         block_count=BLOCKS, time_steps=STEPS,
-    )
-    lut = optimizer.build_lut()
+    ))
+    lut = runtime.lut
     print(render_fig6(lut, points=24))
     peak = lut.peak_placement
     inference_ms = (peak.task_time_ns + model.core_macs * CORE_MAC_TIME_NS) / 1e6
@@ -61,8 +62,7 @@ def part2_voltage_sweep() -> None:
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "EfficientNet-B0"
-    model = model_by_name(name)
-    part1_fig6(model)
+    part1_fig6(Engine(), name)
     part2_voltage_sweep()
 
 

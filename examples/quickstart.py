@@ -1,21 +1,15 @@
 #!/usr/bin/env python3
 """Quickstart: run HH-PIM against the baselines on one scenario.
 
-Builds a time-slice runtime for every Table I architecture, replays the
-periodic-spike workload (Fig. 4, Case 3) on EfficientNet-B0, and prints
+Fans one :class:`repro.api.ExperimentConfig` out over every registered
+architecture, executes the batch through the :class:`repro.api.Engine`
+(one allocation LUT per architecture, built exactly once), and prints
 the energy comparison — a miniature of the paper's Fig. 5.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    EFFICIENTNET_B0,
-    TABLE_I,
-    TimeSliceRuntime,
-    ScenarioCase,
-    default_time_slice_ns,
-    scenario,
-)
+from repro.api import ARCHITECTURES, Engine, ExperimentConfig
 
 # Reduced optimizer resolution keeps this demo snappy (~seconds); the
 # benchmarks use the full default resolution.
@@ -23,37 +17,36 @@ BLOCKS, STEPS = 48, 6000
 
 
 def main() -> None:
-    model = EFFICIENTNET_B0
-    t_slice = default_time_slice_ns(model, block_count=BLOCKS, time_steps=STEPS)
+    engine = Engine()
+    base = ExperimentConfig(
+        model="EfficientNet-B0",
+        scenario="case3",  # Fig. 4 periodic-spike pattern
+        block_count=BLOCKS,
+        time_steps=STEPS,
+    )
+    resolved = engine.resolve(base)
+    model = resolved.model
     print(f"model: {model.name}  ({model.params:,} weights, "
           f"{model.macs / 1e6:.2f}M MACs, {model.pim_ratio:.0%} on PIM)")
-    print(f"time slice T = {t_slice / 1e6:.1f} ms "
+    print(f"time slice T = {resolved.t_slice_ns / 1e6:.1f} ms "
           f"(10 peak-rate inferences + headroom)\n")
 
-    workload = scenario(ScenarioCase.PERIODIC_SPIKE)
+    workload = engine.scenario(base)
     print(f"workload: {workload.case.label}, {len(workload)} slices, "
           f"{workload.total_inferences} inferences\n")
 
-    results = {}
-    for spec in TABLE_I:
-        runtime = TimeSliceRuntime(
-            spec, model, t_slice_ns=t_slice,
-            block_count=BLOCKS, time_steps=STEPS,
-        )
-        result = runtime.run(workload)
-        results[spec.name] = result
-        print(f"{spec.name:<18} policy={result.policy.value:<22} "
-              f"energy={result.total_energy_nj / 1e6:9.2f} mJ   "
-              f"mean power={result.mean_power_mw:7.2f} mW   "
-              f"deadlines {'OK' if result.deadlines_met else 'MISSED'}")
+    results = engine.run_many(base.sweep(arch=ARCHITECTURES.keys()))
+    for record in results:
+        print(f"{record.arch:<18} policy={record.policy:<22} "
+              f"energy={record.total_energy_nj / 1e6:9.2f} mJ   "
+              f"mean power={record.mean_power_mw:7.2f} mW   "
+              f"deadlines {'OK' if record.deadlines_met else 'MISSED'}")
 
-    hh = results["HH-PIM"].total_energy_nj
     print("\nHH-PIM energy savings:")
-    for name, result in results.items():
-        if name == "HH-PIM":
-            continue
-        saving = 1 - hh / result.total_energy_nj
-        print(f"  vs {name:<18} {saving:6.1%}")
+    for arch, saving in results.savings_vs("HH-PIM").items():
+        print(f"  vs {arch:<18} {saving:6.1%}")
+    print(f"\n(engine built {engine.stats.lut_builds} LUTs for "
+          f"{engine.stats.runs} runs)")
 
 
 if __name__ == "__main__":

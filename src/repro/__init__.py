@@ -10,14 +10,29 @@ memory estimation, RV32IM core, AXI/µNoC interconnect, FPGA resource
 model), and the analysis layer that regenerates the paper's tables and
 figures.
 
+The front door is :mod:`repro.api`: string-keyed registries of
+architectures, models, scenarios and placement policies; a frozen,
+serialisable :class:`~repro.api.ExperimentConfig`; an
+:class:`~repro.api.Engine` that memoizes allocation LUTs across runs and
+batches grids over a process pool; and a :class:`~repro.api.ResultSet`
+with filtering, aggregation and JSON/CSV export.
+
 Quickstart
 ----------
->>> from repro import (HH_PIM, EFFICIENTNET_B0, TimeSliceRuntime,
-...                    scenario, ScenarioCase)
->>> runtime = TimeSliceRuntime(HH_PIM, EFFICIENTNET_B0)
->>> result = runtime.run(scenario(ScenarioCase.PERIODIC_SPIKE))
+>>> from repro.api import Engine, ExperimentConfig
+>>> engine = Engine()
+>>> result = engine.run(ExperimentConfig(scenario="case3"))
 >>> result.deadlines_met
 True
+>>> results = engine.run_many(
+...     ExperimentConfig(slices=20).sweep(arch=["Baseline-PIM", "HH-PIM"])
+... )
+>>> results.savings_vs("HH-PIM")  # doctest: +SKIP
+{'Baseline-PIM': 0.62}
+
+The lower-level constructors (:class:`TimeSliceRuntime`,
+:class:`DataPlacementOptimizer`, :func:`scenario`, ...) remain public
+and unchanged for callers that want to wire the pipeline by hand.
 """
 
 from .arch.specs import (
@@ -49,8 +64,21 @@ from .workloads.models import (
     model_by_name,
 )
 from .workloads.scenarios import Scenario, ScenarioCase, scenario
+from .api import (
+    ARCHITECTURES,
+    Engine,
+    ExperimentConfig,
+    MODELS,
+    POLICIES,
+    ResultSet,
+    RunRecord,
+    SCENARIOS,
+    register_architecture,
+    register_model,
+    register_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchitectureSpec",
@@ -82,5 +110,16 @@ __all__ = [
     "Scenario",
     "ScenarioCase",
     "scenario",
+    "ARCHITECTURES",
+    "MODELS",
+    "SCENARIOS",
+    "POLICIES",
+    "Engine",
+    "ExperimentConfig",
+    "ResultSet",
+    "RunRecord",
+    "register_architecture",
+    "register_model",
+    "register_scenario",
     "__version__",
 ]

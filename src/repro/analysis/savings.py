@@ -2,21 +2,27 @@
 
 Runs the full comparison matrix — every Table I architecture, every
 Table IV model, every Fig. 4 scenario over 50 time slices — and reports
-HH-PIM's savings against each comparison architecture.  Results are
-cached per (model, slices, seed, block_count) so that the Fig. 5 and
-Table VI benchmarks share one grid computation.
+HH-PIM's savings against each comparison architecture.  Execution goes
+through the shared :class:`repro.api.Engine`, which memoizes allocation
+LUTs per (architecture, model, resolution), so the whole grid computes
+each knapsack table exactly once; computed grids and runs are
+additionally cached here so the Fig. 5 and Table VI benchmarks share one
+grid computation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.config import ExperimentConfig
+from ..api.engine import shared_engine
+from ..api.registry import ARCHITECTURES, MODELS, ensure_registered
 from ..arch.specs import TABLE_I, ArchitectureSpec, HH_PIM
 from ..core.placement import DEFAULT_BLOCK_COUNT
-from ..core.runtime import RunResult, TimeSliceRuntime, default_time_slice_ns
+from ..core.runtime import RunResult
 from ..errors import ConfigurationError
 from ..workloads.models import TABLE_IV, ModelSpec
-from ..workloads.scenarios import ALL_CASES, ScenarioCase, scenario
+from ..workloads.scenarios import ALL_CASES, ScenarioCase
 
 #: Comparison architectures, in the paper's column order.
 BASELINE_NAMES = ("Baseline-PIM", "Heterogeneous-PIM", "Hybrid-PIM")
@@ -69,6 +75,26 @@ _GRID_CACHE: dict = {}
 _RUN_CACHE: dict = {}
 
 
+def _config_for(
+    spec: ArchitectureSpec,
+    model: ModelSpec,
+    case: ScenarioCase,
+    slices: int,
+    seed: int,
+    block_count: int,
+) -> ExperimentConfig:
+    ensure_registered(ARCHITECTURES, spec.name, spec)
+    ensure_registered(MODELS, model.name, model)
+    return ExperimentConfig(
+        arch=spec.name,
+        model=model.name,
+        scenario=f"case{case.value}",
+        slices=slices,
+        seed=seed,
+        block_count=block_count,
+    )
+
+
 def run_architecture(
     spec: ArchitectureSpec,
     model: ModelSpec,
@@ -77,41 +103,19 @@ def run_architecture(
     seed: int = 2025,
     block_count: int = DEFAULT_BLOCK_COUNT,
 ) -> RunResult:
-    """Run one (architecture, model, scenario) cell, with caching."""
-    key = (spec.name, model.name, case, slices, seed, block_count)
+    """Run one (architecture, model, scenario) cell, with caching.
+
+    Thin wrapper over :meth:`repro.api.Engine.run`, kept for callers that
+    hold spec objects rather than registry keys.
+    """
+    config = _config_for(spec, model, case, slices, seed, block_count)
+    # The cache key carries the spec *objects*, not just the config's name
+    # strings: a different spec reusing a builtin name must not be served
+    # the old architecture's numbers.
+    key = (spec, model, config)
     if key not in _RUN_CACHE:
-        runtime = _runtime_for(spec, model, block_count)
-        _RUN_CACHE[key] = runtime.run(
-            scenario(case, slices=slices, seed=seed)
-        )
+        _RUN_CACHE[key] = shared_engine().run(config)
     return _RUN_CACHE[key]
-
-
-_RUNTIME_CACHE: dict = {}
-_TSLICE_CACHE: dict = {}
-
-
-def _t_slice_for(model: ModelSpec, block_count: int) -> float:
-    key = (model.name, block_count)
-    if key not in _TSLICE_CACHE:
-        _TSLICE_CACHE[key] = default_time_slice_ns(
-            model, block_count=block_count
-        )
-    return _TSLICE_CACHE[key]
-
-
-def _runtime_for(
-    spec: ArchitectureSpec, model: ModelSpec, block_count: int
-) -> TimeSliceRuntime:
-    key = (spec.name, model.name, block_count)
-    if key not in _RUNTIME_CACHE:
-        _RUNTIME_CACHE[key] = TimeSliceRuntime(
-            spec,
-            model,
-            t_slice_ns=_t_slice_for(model, block_count),
-            block_count=block_count,
-        )
-    return _RUNTIME_CACHE[key]
 
 
 def compute_savings_grid(
@@ -120,20 +124,44 @@ def compute_savings_grid(
     slices: int = 50,
     seed: int = 2025,
     block_count: int = DEFAULT_BLOCK_COUNT,
+    max_workers: int | None = None,
 ) -> SavingsGrid:
-    """Compute (or fetch) the Fig. 5 savings grid."""
+    """Compute (or fetch) the Fig. 5 savings grid.
+
+    The whole matrix is submitted as one :meth:`Engine.run_many` batch;
+    pass ``max_workers`` to spread it over a process pool.
+    """
     key = (
         tuple(m.name for m in models), tuple(cases), slices, seed, block_count
     )
     if key in _GRID_CACHE:
         return _GRID_CACHE[key]
+
+    cache_keys = {}
+    for model in models:
+        for case in cases:
+            for spec in TABLE_I:
+                config = _config_for(
+                    spec, model, case, slices, seed, block_count
+                )
+                cache_keys[(model.name, case, spec.name)] = (
+                    spec, model, config
+                )
+    missing = [k for k in cache_keys.values() if k not in _RUN_CACHE]
+    if missing:
+        records = shared_engine().run_many(
+            [config for _, _, config in missing], max_workers=max_workers
+        )
+        for cache_key, record in zip(missing, records):
+            _RUN_CACHE[cache_key] = record.result
+
     cells = []
     for model in models:
         for case in cases:
             energies = {
-                spec.name: run_architecture(
-                    spec, model, case, slices, seed, block_count
-                ).total_energy_nj
+                spec.name: _RUN_CACHE[
+                    cache_keys[(model.name, case, spec.name)]
+                ].total_energy_nj
                 for spec in TABLE_I
             }
             hh = energies[HH_PIM.name]
@@ -187,8 +215,16 @@ def table_vi(grid: SavingsGrid) -> dict:
 
 
 def clear_caches() -> None:
-    """Drop all memoised grids/runs (tests use this for isolation)."""
+    """Drop all memoised grids/runs and the shared engine's LUT cache.
+
+    Also re-asserts the builtin Table I / Table IV registrations, undoing
+    any latest-wins overwrite a spec-object helper performed under a
+    builtin name, so subsequent key lookups reproduce the paper again.
+    """
     _GRID_CACHE.clear()
     _RUN_CACHE.clear()
-    _RUNTIME_CACHE.clear()
-    _TSLICE_CACHE.clear()
+    shared_engine().clear()
+    for spec in TABLE_I:
+        ensure_registered(ARCHITECTURES, spec.name, spec)
+    for model in TABLE_IV:
+        ensure_registered(MODELS, model.name, model)

@@ -2,17 +2,19 @@
 
 The paper evaluates one fabric (4 HP + 4 LP, 64+64 kB).  These helpers
 sweep the axes a designer would explore next — HP/LP module split, supply
-voltage of the LP cluster, and time-slice length — reusing the same
-optimizer/runtime stack, so results are directly comparable with the
-Table I configurations.
+voltage of the LP cluster, and time-slice length — through the shared
+:class:`repro.api.Engine`, so LUTs are memoized across sweep points and
+results are directly comparable with the Table I configurations.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..api.config import ExperimentConfig
+from ..api.engine import shared_engine
+from ..api.registry import ARCHITECTURES, MODELS, ensure_registered
 from ..arch.specs import ArchitectureSpec, ClusterSpec
-from ..core.runtime import TimeSliceRuntime, default_time_slice_ns
 from ..errors import ConfigurationError
 from ..pim.module import ModuleKind
 from ..workloads.models import ModelSpec
@@ -38,7 +40,12 @@ def hh_variant(
     mram_kb: int = 64,
     sram_kb: int = 64,
 ) -> ArchitectureSpec:
-    """An HH-PIM variant with arbitrary module split and bank sizes."""
+    """An HH-PIM variant with arbitrary module split and bank sizes.
+
+    The variant is registered in :data:`repro.api.ARCHITECTURES` under
+    its generated name, so it is immediately runnable by key (CLI,
+    configs, sweeps).
+    """
     if hp_modules <= 0:
         raise ConfigurationError("need at least one HP module")
     lp = None
@@ -46,13 +53,21 @@ def hh_variant(
         lp = ClusterSpec(ModuleKind.LP, lp_modules,
                          mram_capacity=mram_kb * KB,
                          sram_capacity=sram_kb * KB)
-    return ArchitectureSpec(
+    spec = ArchitectureSpec(
         name=f"HH-{hp_modules}H{lp_modules}L-{mram_kb}M{sram_kb}S",
         hp=ClusterSpec(ModuleKind.HP, hp_modules,
                        mram_capacity=mram_kb * KB,
                        sram_capacity=sram_kb * KB),
         lp=lp,
     )
+    # The name encodes the geometry, so re-registration is a no-op.
+    ARCHITECTURES.register(spec.name, spec)
+    return spec
+
+
+def _peak_task_time_ns(engine, config: ExperimentConfig) -> float:
+    """Peak (latency-optimal) task time of a config's memoized runtime."""
+    return engine.runtime(config).reference_placement.task_time_ns
 
 
 def sweep_module_split(
@@ -68,27 +83,24 @@ def sweep_module_split(
     All variants face the same time slice (sized for the paper's 4+4
     reference unless overridden), so deadline behaviour is comparable.
     """
-    if t_slice_ns is None:
-        t_slice_ns = default_time_slice_ns(
-            model, block_count=block_count, time_steps=time_steps
-        )
+    engine = shared_engine()
+    ensure_registered(MODELS, model.name, model)
     points = []
     for hp_count, lp_count in splits:
         spec = hh_variant(hp_count, lp_count)
-        runtime = TimeSliceRuntime(
-            spec, model, t_slice_ns=t_slice_ns,
+        config = ExperimentConfig(
+            arch=spec.name, model=model.name,
+            t_slice_ns=t_slice_ns,
             block_count=block_count, time_steps=time_steps,
         )
-        result = runtime.run(workload)
-        peak = (runtime.lut.peak_placement if runtime.lut is not None
-                else runtime.optimizer.fixed_placement(runtime.policy))
+        result = engine.run(config, scenario=workload)
         points.append(
             SweepPoint(
                 label=spec.name,
                 total_energy_nj=result.total_energy_nj,
                 mean_power_mw=result.mean_power_mw,
                 deadlines_met=result.deadlines_met,
-                peak_task_time_ns=peak.task_time_ns,
+                peak_task_time_ns=_peak_task_time_ns(engine, config),
             )
         )
     return points
@@ -107,26 +119,26 @@ def sweep_time_slice(
     placement sink deeper into LP-MRAM: energy per inference must be
     non-increasing in the slice length (asserted by the tests).
     """
-    from ..arch.specs import HH_PIM
-    base = default_time_slice_ns(
-        model, block_count=block_count, time_steps=time_steps
+    engine = shared_engine()
+    ensure_registered(MODELS, model.name, model)
+    reference = ExperimentConfig(
+        arch="HH-PIM", model=model.name,
+        block_count=block_count, time_steps=time_steps,
     )
+    base = engine.resolve(reference).t_slice_ns
     points = []
     for factor in scale_factors:
         if factor <= 0:
             raise ConfigurationError("scale factors must be positive")
-        runtime = TimeSliceRuntime(
-            HH_PIM, model, t_slice_ns=base * factor,
-            block_count=block_count, time_steps=time_steps,
-        )
-        result = runtime.run(workload)
+        config = reference.replace(t_slice_ns=base * factor)
+        result = engine.run(config, scenario=workload)
         points.append(
             SweepPoint(
                 label=f"T x {factor:g}",
                 total_energy_nj=result.total_energy_nj,
                 mean_power_mw=result.mean_power_mw,
                 deadlines_met=result.deadlines_met,
-                peak_task_time_ns=runtime.lut.peak_placement.task_time_ns,
+                peak_task_time_ns=_peak_task_time_ns(engine, config),
             )
         )
     return points

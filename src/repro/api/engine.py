@@ -1,0 +1,307 @@
+"""The experiment engine: one front door to every layer of the library.
+
+:class:`Engine` turns an :class:`~repro.api.config.ExperimentConfig`
+into a :class:`~repro.core.runtime.RunResult` — resolving registry keys,
+sizing the time slice with the paper's rule, and (most importantly)
+**memoizing the allocation LUTs**: every run sharing the same
+(architecture, model, policy, time slice, resolution, granularity)
+reuses one :class:`~repro.core.runtime.TimeSliceRuntime`, so a Fig. 5
+style sweep computes each knapsack table exactly once instead of once
+per scenario.
+
+``run_many`` executes batches.  Serially it streams through the shared
+runtime cache; with ``max_workers > 1`` it fans *runtime groups* out
+over a ``concurrent.futures`` process pool — one worker task per
+distinct runtime, so the exactly-once LUT property survives
+parallelisation — and reassembles results in input order, making the
+batch deterministic regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import inspect
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.placement import PlacementPolicy
+from ..core.runtime import RunResult, TimeSliceRuntime, default_time_slice_ns
+from ..errors import RegistryError
+from ..workloads.scenarios import Scenario
+from .config import ExperimentConfig
+from .registry import ARCHITECTURES, MODELS, POLICIES, SCENARIOS
+from .results import ResultSet, RunRecord
+
+
+@dataclass
+class EngineStats:
+    """Observable cache behaviour (the tests assert on these)."""
+
+    #: Times a TimeSliceRuntime (and hence its LUT) was actually built.
+    lut_builds: int = 0
+    #: Times a run was served by an already-built runtime.
+    lut_hits: int = 0
+    #: Total scenario runs executed.
+    runs: int = 0
+    #: Distinct (model, resolution) time-slice sizings computed.
+    t_slice_builds: int = 0
+
+
+@dataclass(frozen=True)
+class _ResolvedRuntime:
+    """An ExperimentConfig with every registry key resolved to its spec."""
+
+    spec: object
+    model: object
+    policy: PlacementPolicy
+    t_slice_ns: float
+    block_count: int
+    time_steps: int
+    granule_bytes: int
+
+    @property
+    def key(self) -> tuple:
+        """The memoization key: all runtime-construction parameters."""
+        return (
+            self.spec, self.model, self.policy, self.t_slice_ns,
+            self.block_count, self.time_steps, self.granule_bytes,
+        )
+
+    def build(self) -> TimeSliceRuntime:
+        return TimeSliceRuntime(
+            self.spec,
+            self.model,
+            t_slice_ns=self.t_slice_ns,
+            policy=self.policy,
+            block_count=self.block_count,
+            time_steps=self.time_steps,
+            granule_bytes=self.granule_bytes,
+        )
+
+
+def _run_group(resolved: _ResolvedRuntime, jobs: list) -> tuple:
+    """Worker task: build one runtime, run all its scenarios.
+
+    ``jobs`` is ``[(position, scenario), ...]``; the positions travel
+    with the results so the parent can reassemble input order.  Shipping
+    resolved specs (not registry keys) keeps worker processes independent
+    of any registrations made after the interpreter forked.  The built
+    runtime ships back with the results so the parent engine can cache
+    it for later batches.
+    """
+    runtime = resolved.build()
+    return [(position, runtime.run(scn)) for position, scn in jobs], runtime
+
+
+class Engine:
+    """Executes experiment configs with cross-run LUT memoization.
+
+    One engine instance is one cache domain: keep an engine alive across
+    sweeps to amortise LUT construction, or create a fresh one for
+    isolated measurements.  ``max_workers`` sets the default parallelism
+    of :meth:`run_many` (``None``/``1`` = in-process serial execution).
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers
+        self.stats = EngineStats()
+        self._runtimes: dict = {}
+        self._t_slices: dict = {}
+
+    # -- resolution -------------------------------------------------------------
+
+    def resolve(self, config: ExperimentConfig) -> _ResolvedRuntime:
+        """Resolve registry keys and size the time slice for a config."""
+        spec = ARCHITECTURES.get(config.arch)
+        model = MODELS.get(config.model)
+        if config.policy is None:
+            policy = PlacementPolicy.default_for(spec)
+        else:
+            policy = POLICIES.get(config.policy)
+        t_slice_ns = config.t_slice_ns
+        if t_slice_ns is None:
+            t_slice_ns = self._default_t_slice(config, model)
+        return _ResolvedRuntime(
+            spec=spec,
+            model=model,
+            policy=policy,
+            t_slice_ns=t_slice_ns,
+            block_count=config.block_count,
+            time_steps=config.time_steps,
+            granule_bytes=config.granule_bytes,
+        )
+
+    def _default_t_slice(self, config: ExperimentConfig, model) -> float:
+        key = (
+            model, config.peak_inferences, config.block_count,
+            config.time_steps,
+        )
+        if key not in self._t_slices:
+            self._t_slices[key] = default_time_slice_ns(
+                model,
+                peak_inferences=config.peak_inferences,
+                block_count=config.block_count,
+                time_steps=config.time_steps,
+            )
+            self.stats.t_slice_builds += 1
+        return self._t_slices[key]
+
+    def scenario(self, config: ExperimentConfig) -> Scenario:
+        """Materialise the config's scenario from the registry.
+
+        Registry entries are either pre-built :class:`Scenario` instances
+        (returned as-is) or factories.  Factories are always called with
+        the config's four materialisation knobs (``slices``, ``peak``,
+        ``low``, ``seed``) — the config wins over any defaults the
+        factory declares, so a config fully describes its workload.
+        """
+        entry = SCENARIOS.get(config.scenario)
+        if isinstance(entry, Scenario):
+            return entry
+        knobs = dict(
+            slices=config.slices, peak=config.peak, low=config.low,
+            seed=config.seed,
+        )
+        try:
+            inspect.signature(entry).bind(**knobs)
+        except TypeError as error:
+            raise RegistryError(
+                f"scenario factory {config.scenario!r} must accept the "
+                f"keyword arguments slices, peak, low and seed: {error}"
+            ) from error
+        return entry(**knobs)
+
+    def runtime(self, config: ExperimentConfig) -> TimeSliceRuntime:
+        """The memoized runtime (and LUT) for a config's runtime key."""
+        runtime, _ = self._runtime_cached(self.resolve(config))
+        return runtime
+
+    def _runtime_cached(self, resolved: _ResolvedRuntime):
+        """Returns ``(runtime, was_cached)``, building on first use."""
+        key = resolved.key
+        if key in self._runtimes:
+            self.stats.lut_hits += 1
+            return self._runtimes[key], True
+        runtime = resolved.build()
+        self._runtimes[key] = runtime
+        self.stats.lut_builds += 1
+        return runtime, False
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, config: ExperimentConfig,
+            scenario: Scenario | None = None) -> RunResult:
+        """Execute one experiment; ``scenario`` overrides the config's.
+
+        Identical inputs produce bit-for-bit identical results to a
+        hand-constructed :class:`TimeSliceRuntime` — the engine adds
+        caching, never approximation.
+        """
+        return self.run_record(config, scenario=scenario).result
+
+    def run_record(self, config: ExperimentConfig,
+                   scenario: Scenario | None = None) -> RunRecord:
+        """Like :meth:`run` but keeps the config and cache provenance."""
+        runtime, cached = self._runtime_cached(self.resolve(config))
+        workload = scenario if scenario is not None else self.scenario(config)
+        result = runtime.run(workload)
+        self.stats.runs += 1
+        return RunRecord(config=config, result=result, lut_cached=cached)
+
+    def run_many(self, configs, max_workers: int | None = None) -> ResultSet:
+        """Execute a batch of configs; results follow the input order.
+
+        With ``max_workers > 1`` the batch is partitioned by runtime key
+        and each partition runs as one process-pool task, preserving the
+        exactly-once LUT construction per (arch, model, resolution)
+        group.  Groups whose runtime this engine already cached run
+        in-process from the cache.
+        """
+        configs = tuple(configs)
+        workers = max_workers if max_workers is not None else self.max_workers
+        if not configs:
+            return ResultSet(())
+        if workers is None or workers <= 1 or len(configs) == 1:
+            return ResultSet(self.run_record(c) for c in configs)
+        return self._run_pooled(configs, workers)
+
+    def _run_pooled(self, configs: tuple, workers: int) -> ResultSet:
+        groups: dict = {}  # runtime key -> (resolved, [(position, scenario)])
+        cached_jobs: list = []  # [(position, config, scenario)]
+        for position, config in enumerate(configs):
+            resolved = self.resolve(config)
+            if resolved.key in self._runtimes:
+                cached_jobs.append((position, config, self.scenario(config)))
+            else:
+                group = groups.setdefault(resolved.key, (resolved, []))
+                group[1].append((position, self.scenario(config)))
+
+        results: list = [None] * len(configs)
+        cached_flags: list = [False] * len(configs)
+
+        def drain_cached() -> None:
+            for position, config, workload in cached_jobs:
+                record = self.run_record(config, scenario=workload)
+                results[position] = record.result
+                cached_flags[position] = True
+
+        if not groups:
+            drain_cached()
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    key: pool.submit(_run_group, resolved, jobs)
+                    for key, (resolved, jobs) in groups.items()
+                }
+                # Drain the cache-hit jobs in the parent while the pool
+                # chews on the uncached groups, overlapping the two.
+                drain_cached()
+                for key, future in futures.items():
+                    group_results, runtime = future.result()
+                    # Adopt the worker's runtime so later batches (pooled
+                    # or serial) reuse its LUT instead of rebuilding it.
+                    self._runtimes[key] = runtime
+                    for index, (position, result) in enumerate(group_results):
+                        results[position] = result
+                        # Mirror the serial path's provenance: the group's
+                        # first run built the LUT, the rest reused it.
+                        cached_flags[position] = index > 0
+            self.stats.lut_builds += len(groups)
+            pooled_runs = sum(len(jobs) for _, jobs in groups.values())
+            self.stats.lut_hits += pooled_runs - len(groups)
+            self.stats.runs += pooled_runs
+
+        return ResultSet(
+            RunRecord(
+                config=config, result=results[position],
+                lut_cached=cached_flags[position],
+            )
+            for position, config in enumerate(configs)
+        )
+
+    # -- cache control ----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached runtime/time slice and reset the stats."""
+        self._runtimes.clear()
+        self._t_slices.clear()
+        self.stats = EngineStats()
+
+    @property
+    def cached_runtimes(self) -> int:
+        """Number of distinct runtimes currently memoized."""
+        return len(self._runtimes)
+
+
+_SHARED: Engine | None = None
+
+
+def shared_engine() -> Engine:
+    """The process-wide engine the analysis layers and CLI share.
+
+    Sharing one cache domain means a CLI invocation, a savings grid and
+    a sweep all reuse each other's LUTs within one interpreter.
+    """
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = Engine()
+    return _SHARED

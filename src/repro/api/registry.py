@@ -1,0 +1,272 @@
+"""String-keyed registries: the extension seam of the experiment engine.
+
+Every axis of an :class:`~repro.api.config.ExperimentConfig` — the
+architecture, the model, the scenario and the placement policy — is a
+*string key* resolved against one of the registries below.  The paper's
+Table I architectures, Table IV models, Fig. 4 scenario generators and
+the three placement policies are pre-registered; users plug in their own
+specs without touching core code::
+
+    from repro.api import ARCHITECTURES, SCENARIOS, register_architecture
+    from repro import ArchitectureSpec, ClusterSpec
+
+    register_architecture(my_spec)                  # key = spec.name
+
+    @SCENARIOS.register("bursty")                   # decorator form
+    def bursty(slices=50, peak=10, low=2, seed=2025):
+        ...
+        return Scenario(...)
+
+Keys are case-insensitive (``"hh-pim"`` finds ``"HH-PIM"``); the
+canonical spelling is whatever was passed at registration time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..arch.specs import TABLE_I, ArchitectureSpec
+from ..core.placement import PlacementPolicy
+from ..errors import RegistryError
+from ..workloads.models import TABLE_IV, ModelSpec
+from ..workloads.scenarios import ALL_CASES, Scenario, ScenarioCase, scenario
+
+_MISSING = object()
+
+
+class Registry:
+    """An ordered, case-insensitive mapping from string keys to specs.
+
+    ``register`` works both as a direct call and as a decorator; lookups
+    raise :class:`~repro.errors.RegistryError` listing the available keys
+    so typos fail loudly and helpfully.
+    """
+
+    def __init__(self, kind: str, validator: Callable | None = None) -> None:
+        self.kind = kind
+        self._validator = validator
+        #: normalised key -> (canonical key, value), in registration order.
+        self._entries: dict = {}
+        #: normalised alias -> normalised target key (resolved per lookup,
+        #: so an alias tracks later overwrites of its target).
+        self._aliases: dict = {}
+
+    @staticmethod
+    def _normalize(key) -> str:
+        if not isinstance(key, str) or not key.strip():
+            raise RegistryError("registry keys must be non-empty strings")
+        return key.strip().lower()
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, key: str, value=_MISSING, *, overwrite: bool = False):
+        """Register ``value`` under ``key``; decorator form when value is omitted.
+
+        Re-registering an existing key raises unless ``overwrite=True``,
+        or the new value compares equal to the old one (a harmless no-op
+        for value-comparable specs like :class:`ArchitectureSpec`; note
+        that re-executing a ``def`` produces a *new* function object, so
+        re-registering a factory needs ``overwrite=True``).
+        """
+        if value is _MISSING:
+            def decorator(obj):
+                self.register(key, obj, overwrite=overwrite)
+                return obj
+            return decorator
+
+        norm = self._normalize(key)
+        if self._validator is not None:
+            self._validator(key, value)
+        if norm in self._entries and not overwrite:
+            existing = self._entries[norm][1]
+            if existing == value:
+                return value  # idempotent re-registration
+            raise RegistryError(
+                f"{self.kind} {key!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries[norm] = (key.strip(), value)
+        return value
+
+    def alias(self, alias: str, key: str) -> None:
+        """Register ``alias`` as another spelling of an existing ``key``.
+
+        Aliases resolve through the target at lookup time, so
+        overwriting the target later is reflected by the alias too.
+        """
+        target = self._resolve(key)
+        if target not in self._entries:
+            raise RegistryError(
+                f"cannot alias unknown {self.kind} {key!r}"
+            )
+        self._aliases[self._normalize(alias)] = target
+
+    def unregister(self, key: str) -> None:
+        """Drop a key or alias (and only that spelling)."""
+        norm = self._normalize(key)
+        if norm in self._aliases:
+            del self._aliases[norm]
+        elif norm in self._entries:
+            del self._entries[norm]
+            # drop aliases left dangling by the removal
+            self._aliases = {
+                a: t for a, t in self._aliases.items() if t != norm
+            }
+        else:
+            raise RegistryError(f"unknown {self.kind} {key!r}")
+
+    # -- lookup -----------------------------------------------------------------
+
+    def _resolve(self, key: str) -> str:
+        """Normalise a key, following a (single-level) alias."""
+        norm = self._normalize(key)
+        if norm in self._entries:
+            return norm
+        return self._aliases.get(norm, norm)
+
+    def get(self, key: str):
+        """Resolve a key or alias, raising a helpful error for unknown ones."""
+        try:
+            return self._entries[self._resolve(key)][1]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {key!r}; available: "
+                f"{', '.join(self.keys()) or '(none)'}"
+            ) from None
+
+    def canonical(self, key: str) -> str:
+        """The canonical spelling of a key or alias."""
+        try:
+            return self._entries[self._resolve(key)][0]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {key!r}; available: "
+                f"{', '.join(self.keys()) or '(none)'}"
+            ) from None
+
+    def __contains__(self, key) -> bool:
+        try:
+            return self._resolve(key) in self._entries
+        except RegistryError:
+            return False
+
+    def keys(self) -> list:
+        """Canonical keys, in registration order (aliases not repeated)."""
+        return [canonical for canonical, _ in self._entries.values()]
+
+    def items(self) -> list:
+        """(canonical key, value) pairs, in registration order."""
+        return list(self._entries.values())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, keys={self.keys()})"
+
+
+# -- validators -------------------------------------------------------------------
+
+
+def _check_architecture(key, value) -> None:
+    if not isinstance(value, ArchitectureSpec):
+        raise RegistryError(
+            f"architecture {key!r} must be an ArchitectureSpec, "
+            f"got {type(value).__name__}"
+        )
+
+
+def _check_model(key, value) -> None:
+    if not isinstance(value, ModelSpec):
+        raise RegistryError(
+            f"model {key!r} must be a ModelSpec, got {type(value).__name__}"
+        )
+
+
+def _check_scenario(key, value) -> None:
+    if not (isinstance(value, Scenario) or callable(value)):
+        raise RegistryError(
+            f"scenario {key!r} must be a Scenario or a factory callable, "
+            f"got {type(value).__name__}"
+        )
+
+
+def _check_policy(key, value) -> None:
+    if not isinstance(value, PlacementPolicy):
+        raise RegistryError(
+            f"policy {key!r} must be a PlacementPolicy, "
+            f"got {type(value).__name__}"
+        )
+
+
+#: Table I architectures plus any user-registered fabrics.
+ARCHITECTURES = Registry("architecture", _check_architecture)
+
+#: Table IV models plus any user-registered workload models.
+MODELS = Registry("model", _check_model)
+
+#: Fig. 4 scenario factories (``case1`` .. ``case6``) plus custom traces.
+#: Entries are either factories ``f(slices, peak, low, seed) -> Scenario``
+#: or pre-materialised :class:`Scenario` instances.
+SCENARIOS = Registry("scenario", _check_scenario)
+
+#: Placement policies by their string value (``dynamic_lut``, ...).
+POLICIES = Registry("placement policy", _check_policy)
+
+
+def ensure_registered(registry: Registry, name: str, value) -> None:
+    """Make a spec resolvable by key, latest-wins on name collisions.
+
+    Used by callers that accept spec *objects* (analysis helpers, legacy
+    entry points): the passed object must be what the engine resolves,
+    even if a different spec already claimed the same name.
+    """
+    if name in registry and registry.get(name) == value:
+        return
+    registry.register(name, value, overwrite=True)
+
+
+def register_architecture(spec: ArchitectureSpec, name: str | None = None,
+                          *, overwrite: bool = False) -> ArchitectureSpec:
+    """Register an architecture under its (or an explicit) name."""
+    return ARCHITECTURES.register(name or spec.name, spec, overwrite=overwrite)
+
+
+def register_model(spec: ModelSpec, name: str | None = None,
+                   *, overwrite: bool = False) -> ModelSpec:
+    """Register a workload model under its (or an explicit) name."""
+    return MODELS.register(name or spec.name, spec, overwrite=overwrite)
+
+
+def register_scenario(name: str, value=None, *, overwrite: bool = False):
+    """Register a scenario factory or instance; decorator without value."""
+    if value is None:
+        return SCENARIOS.register(name, overwrite=overwrite)
+    return SCENARIOS.register(name, value, overwrite=overwrite)
+
+
+def _case_factory(case: ScenarioCase):
+    def factory(slices: int = 50, peak: int = 10, low: int = 2,
+                seed: int = 2025) -> Scenario:
+        return scenario(case, slices=slices, peak=peak, low=low, seed=seed)
+    factory.__name__ = f"case{case.value}"
+    factory.__doc__ = f"Fig. 4 Case {case.value}: {case.label}."
+    return factory
+
+
+def _register_builtins() -> None:
+    for spec in TABLE_I:
+        ARCHITECTURES.register(spec.name, spec)
+    for model in TABLE_IV:
+        MODELS.register(model.name, model)
+    for case in ALL_CASES:
+        SCENARIOS.register(f"case{case.value}", _case_factory(case))
+        SCENARIOS.alias(case.name.lower(), f"case{case.value}")
+    for policy in PlacementPolicy:
+        POLICIES.register(policy.value, policy)
+
+
+_register_builtins()

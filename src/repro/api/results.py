@@ -1,0 +1,333 @@
+"""Batched results: filtering, aggregation and export.
+
+:class:`ResultSet` is what :meth:`repro.api.engine.Engine.run_many`
+returns — an ordered, immutable collection of :class:`RunRecord`
+(config + its :class:`~repro.core.runtime.RunResult`).  It slices like a
+sequence, filters by any config axis, aggregates energy/latency/deadline
+statistics per group, and exports to JSON or CSV for external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+from ..core.runtime import RunResult
+from ..errors import ConfigurationError
+from .config import ExperimentConfig
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed experiment: the config and its run outcome."""
+
+    config: ExperimentConfig
+    result: RunResult
+    #: Whether the engine served this run's allocation LUT from cache.
+    lut_cached: bool = False
+
+    # -- flat accessors (used by filtering/aggregation/export) ------------------
+
+    @property
+    def arch(self) -> str:
+        return self.config.arch
+
+    @property
+    def model(self) -> str:
+        return self.config.model
+
+    @property
+    def scenario(self) -> str:
+        return self.config.scenario
+
+    @property
+    def policy(self) -> str:
+        """The *resolved* policy (config may have left it defaulted)."""
+        return self.result.policy.value
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.result.total_energy_nj
+
+    @property
+    def energy_per_inference_nj(self) -> float:
+        return self.result.energy_per_inference_nj
+
+    @property
+    def mean_power_mw(self) -> float:
+        return self.result.mean_power_mw
+
+    @property
+    def deadlines_met(self) -> bool:
+        return self.result.deadlines_met
+
+    @property
+    def missed_slices(self) -> int:
+        """Slices that blew their deadline."""
+        return sum(1 for r in self.result.records if not r.deadline_met)
+
+    @property
+    def total_inferences(self) -> int:
+        return self.result.total_inferences
+
+    @property
+    def mean_slice_busy_ns(self) -> float:
+        """Mean busy time per slice (compute + core + movement)."""
+        records = self.result.records
+        if not records:
+            return 0.0
+        return sum(r.busy_time_ns for r in records) / len(records)
+
+    @property
+    def worst_slice_busy_ns(self) -> float:
+        """The most loaded slice's busy time."""
+        records = self.result.records
+        return max((r.busy_time_ns for r in records), default=0.0)
+
+    @property
+    def blocks_moved(self) -> int:
+        """Weight blocks migrated over the whole run."""
+        return sum(r.movement.blocks_moved for r in self.result.records)
+
+    def to_row(self) -> dict:
+        """A flat, JSON/CSV-ready summary of this run."""
+        return {
+            "arch": self.arch,
+            "model": self.model,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            # The *realized* slice count: a registered Scenario instance
+            # ignores the config's slices knob, so the executed length is
+            # the truthful value to export.
+            "slices": len(self.result.records),
+            "seed": self.config.seed,
+            "block_count": self.config.block_count,
+            "time_steps": self.config.time_steps,
+            "t_slice_ns": self.result.t_slice_ns,
+            "total_energy_nj": self.total_energy_nj,
+            "energy_per_inference_nj": self.energy_per_inference_nj,
+            "mean_power_mw": self.mean_power_mw,
+            "deadlines_met": self.deadlines_met,
+            "missed_slices": self.missed_slices,
+            "total_inferences": self.total_inferences,
+            "mean_slice_busy_ns": self.mean_slice_busy_ns,
+            "worst_slice_busy_ns": self.worst_slice_busy_ns,
+            "blocks_moved": self.blocks_moved,
+            "lut_cached": self.lut_cached,
+        }
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Energy/latency/deadline statistics over one group of runs."""
+
+    runs: int
+    total_energy_nj: float
+    mean_energy_nj: float
+    min_energy_nj: float
+    max_energy_nj: float
+    energy_per_inference_nj: float
+    mean_power_mw: float
+    total_inferences: int
+    deadline_rate: float
+    missed_slices: int
+    mean_slice_busy_ns: float
+
+
+#: The config axes `ResultSet.filter` / `.aggregate` understand.
+_AXES = ("arch", "model", "scenario", "policy")
+
+
+class ResultSet:
+    """An ordered, immutable batch of experiment outcomes."""
+
+    def __init__(self, records) -> None:
+        self._records = tuple(records)
+        for record in self._records:
+            if not isinstance(record, RunRecord):
+                raise ConfigurationError(
+                    f"ResultSet holds RunRecord entries, "
+                    f"got {type(record).__name__}"
+                )
+
+    # -- sequence protocol ------------------------------------------------------
+
+    @property
+    def records(self) -> tuple:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        picked = self._records[index]
+        if isinstance(index, slice):
+            return ResultSet(picked)
+        return picked
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(self._records + other.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultSet({len(self)} runs)"
+
+    # -- filtering --------------------------------------------------------------
+
+    def filter(self, predicate=None, **axes) -> "ResultSet":
+        """Select runs by config axis values and/or a predicate.
+
+        Axis keywords (``arch=``, ``model=``, ``scenario=``, ``policy=``)
+        accept a single value or an iterable of accepted values;
+        ``predicate`` is a callable over :class:`RunRecord`.
+        """
+        unknown = set(axes) - set(_AXES)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown filter axes: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(_AXES)}"
+            )
+        wanted = {}
+        for name, values in axes.items():
+            if isinstance(values, str) or not hasattr(values, "__iter__"):
+                values = [values]
+            wanted[name] = {str(v).lower() for v in values}
+        out = []
+        for record in self._records:
+            if any(
+                getattr(record, name).lower() not in accepted
+                for name, accepted in wanted.items()
+            ):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return ResultSet(out)
+
+    def best(self, metric: str = "total_energy_nj",
+             minimize: bool = True) -> RunRecord:
+        """The single best run under a flat metric."""
+        if not self._records:
+            raise ConfigurationError("cannot pick best of an empty ResultSet")
+        chooser = min if minimize else max
+        return chooser(self._records, key=lambda r: getattr(r, metric))
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    @property
+    def total_energy_nj(self) -> float:
+        return sum(r.total_energy_nj for r in self._records)
+
+    @property
+    def deadlines_met(self) -> bool:
+        return all(r.deadlines_met for r in self._records)
+
+    def aggregate(self, by: str = "arch") -> dict:
+        """Group stats by a config axis (or a callable over records).
+
+        Returns ``{group_key: AggregateStats}`` with groups in first-seen
+        order.
+        """
+        if callable(by):
+            key_of = by
+        elif by in _AXES:
+            key_of = lambda record: getattr(record, by)  # noqa: E731
+        else:
+            raise ConfigurationError(
+                f"unknown aggregation axis {by!r}; known: {', '.join(_AXES)}"
+            )
+        groups: dict = {}
+        for record in self._records:
+            groups.setdefault(key_of(record), []).append(record)
+        out = {}
+        for key, records in groups.items():
+            energies = [r.total_energy_nj for r in records]
+            inferences = sum(r.total_inferences for r in records)
+            slices = sum(len(r.result.records) for r in records)
+            busy = sum(
+                rec.busy_time_ns for r in records for rec in r.result.records
+            )
+            out[key] = AggregateStats(
+                runs=len(records),
+                total_energy_nj=sum(energies),
+                mean_energy_nj=sum(energies) / len(records),
+                min_energy_nj=min(energies),
+                max_energy_nj=max(energies),
+                energy_per_inference_nj=(
+                    sum(energies) / inferences if inferences else 0.0
+                ),
+                mean_power_mw=(
+                    sum(r.mean_power_mw for r in records) / len(records)
+                ),
+                total_inferences=inferences,
+                deadline_rate=(
+                    sum(1 for r in records if r.deadlines_met) / len(records)
+                ),
+                missed_slices=sum(r.missed_slices for r in records),
+                mean_slice_busy_ns=busy / slices if slices else 0.0,
+            )
+        return out
+
+    def savings_vs(self, reference_arch: str) -> dict:
+        """Fractional energy savings of the reference arch vs each other.
+
+        For every (model, scenario) pair present, computes
+        ``1 - E_ref / E_other`` — the paper's Fig. 5 statistic — and
+        averages over pairs.  Returns ``{other_arch: mean_savings}``.
+        """
+        by_cell: dict = {}
+        for record in self._records:
+            by_cell.setdefault((record.model, record.scenario), {})[
+                record.arch
+            ] = record.total_energy_nj
+        sums: dict = {}
+        counts: dict = {}
+        for cell in by_cell.values():
+            matches = [a for a in cell if a.lower() == reference_arch.lower()]
+            if not matches:
+                continue
+            ref_energy = cell[matches[0]]
+            for arch, energy in cell.items():
+                if arch == matches[0]:
+                    continue
+                sums[arch] = sums.get(arch, 0.0) + (1.0 - ref_energy / energy)
+                counts[arch] = counts.get(arch, 0) + 1
+        if not sums:
+            raise ConfigurationError(
+                f"no (model, scenario) cell contains {reference_arch!r}"
+            )
+        return {arch: sums[arch] / counts[arch] for arch in sums}
+
+    # -- export -----------------------------------------------------------------
+
+    def to_rows(self) -> list:
+        """Flat per-run summary dicts, in run order."""
+        return [record.to_row() for record in self._records]
+
+    def to_json(self, path=None, indent: int = 2) -> str:
+        """Serialise the per-run summaries as JSON (optionally to a file)."""
+        text = json.dumps(self.to_rows(), indent=indent)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def to_csv(self, path=None) -> str:
+        """Serialise the per-run summaries as CSV (optionally to a file)."""
+        rows = self.to_rows()
+        buffer = io.StringIO()
+        if rows:
+            writer = csv.DictWriter(
+                buffer, fieldnames=list(rows[0]), lineterminator="\n"
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text

@@ -7,10 +7,16 @@ Usage::
     python -m repro fig4                   # Fig. 4 scenario strips
     python -m repro fig6 --model ResNet-18 # Fig. 6 sweep
     python -m repro run --case 3           # one scenario, all architectures
-    python -m repro list                   # models / cases / architectures
+    python -m repro run --case 1 --json    # machine-readable run summary
+    python -m repro sweep --model ResNet-18 --case 1 --case 2
+    python -m repro list                   # registered specs
 
-Heavy artifacts accept ``--blocks/--steps`` to trade fidelity for speed
-(the defaults match the benchmarks' full resolution).
+Every experiment command goes through :class:`repro.api.Engine`, so
+architectures, models and scenarios registered via :mod:`repro.api`
+are immediately available on the command line.  Heavy artifacts accept
+``--blocks/--steps`` to trade fidelity for speed, and ``--workers`` to
+batch over a process pool.  Library failures (bad configuration,
+infeasible placements) exit with code 2 and a one-line error.
 """
 
 from __future__ import annotations
@@ -19,14 +25,14 @@ import argparse
 import sys
 
 from .analysis import TextTable, render_fig4, render_fig6
+from .api import ARCHITECTURES, MODELS, POLICIES, SCENARIOS, ExperimentConfig
+from .api.engine import shared_engine
 from .arch import TABLE_I
-from .core import DataPlacementOptimizer, TimeSliceRuntime
 from .core.placement import DEFAULT_BLOCK_COUNT, DEFAULT_TIME_STEPS
-from .core.runtime import default_time_slice_ns
-from .arch.specs import HH_PIM
 from .energy import table_v_rows
+from .errors import ReproError
 from .fpga import table_ii_report
-from .workloads import ALL_CASES, TABLE_IV, ScenarioCase, model_by_name, scenario
+from .workloads import ALL_CASES, TABLE_IV, scenario
 
 
 def _cmd_table1(_args) -> str:
@@ -92,57 +98,135 @@ def _cmd_fig4(args) -> str:
 
 
 def _cmd_fig6(args) -> str:
-    model = model_by_name(args.model)
-    t_slice = default_time_slice_ns(
-        model, block_count=args.blocks, time_steps=args.steps
-    )
-    optimizer = DataPlacementOptimizer(
-        HH_PIM, model, t_slice_ns=t_slice,
+    config = ExperimentConfig(
+        arch="HH-PIM", model=MODELS.canonical(args.model),
         block_count=args.blocks, time_steps=args.steps,
     )
-    return render_fig6(optimizer.build_lut(), points=args.points)
+    runtime = shared_engine().runtime(config)
+    return render_fig6(runtime.lut, points=args.points)
+
+
+def _base_config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        slices=args.slices, block_count=args.blocks, time_steps=args.steps,
+    )
+
+
+def _resolve_axis(values, registry) -> list:
+    """Canonicalise a repeatable CLI axis, defaulting to every key."""
+    if not values:
+        return registry.keys()
+    return [registry.canonical(value) for value in values]
+
+
+def _results_table(results) -> TextTable:
+    """Per-run comparison table with savings against HH-PIM if present."""
+    hh = {
+        (r.model, r.scenario): r.total_energy_nj
+        for r in results
+        if r.arch == "HH-PIM"
+    }
+    table = TextTable(["Architecture", "Model", "Scenario", "Energy (mJ)",
+                       "Mean power (mW)", "Deadlines", "Savings vs HH"])
+    for record in results:
+        reference = hh.get((record.model, record.scenario))
+        if reference is None or record.arch == "HH-PIM":
+            saving = "-"
+        else:
+            saving = f"{1 - reference / record.total_energy_nj:.1%}"
+        table.add_row(
+            record.arch,
+            record.model,
+            record.scenario,
+            round(record.total_energy_nj / 1e6, 2),
+            round(record.mean_power_mw, 2),
+            "met" if record.deadlines_met else "MISSED",
+            saving,
+        )
+    return table
 
 
 def _cmd_run(args) -> str:
-    model = model_by_name(args.model)
-    case = ScenarioCase(args.case)
-    t_slice = default_time_slice_ns(
-        model, block_count=args.blocks, time_steps=args.steps
+    engine = shared_engine()
+    configs = _base_config(args).sweep(
+        arch=_resolve_axis(args.arch, ARCHITECTURES),
+        model=MODELS.canonical(args.model),
+        scenario=f"case{args.case}",
     )
-    workload = scenario(case, slices=args.slices)
-    table = TextTable(["Architecture", "Energy (mJ)", "Mean power (mW)",
-                       "Deadlines", "Savings vs HH"])
-    results = {}
-    for spec in TABLE_I:
-        runtime = TimeSliceRuntime(
-            spec, model, t_slice_ns=t_slice,
-            block_count=args.blocks, time_steps=args.steps,
+    results = engine.run_many(configs, max_workers=args.workers)
+    if args.json:
+        return results.to_json()
+    first = results[0]
+    header = (
+        f"{first.model}, Case {args.case} "
+        f"({ALL_CASES[args.case - 1].label}), "
+        f"{args.slices} slices of {first.result.t_slice_ns / 1e6:.1f} ms"
+    )
+    return header + "\n\n" + _results_table(results).render()
+
+
+def _cmd_sweep(args) -> str:
+    engine = shared_engine()
+    archs = _resolve_axis(args.arch, ARCHITECTURES)
+    models = _resolve_axis(args.model, MODELS)
+    cases = args.case or [case.value for case in ALL_CASES]
+    configs = _base_config(args).sweep(
+        arch=archs,
+        model=models,
+        scenario=[f"case{case}" for case in cases],
+    )
+    results = engine.run_many(configs, max_workers=args.workers)
+    if args.csv:
+        results.to_csv(args.csv)
+    if args.json:
+        return results.to_json()
+
+    lines = [
+        f"{len(results)} runs "
+        f"({len(archs)} architectures x {len(models)} models x "
+        f"{len(cases)} scenarios), "
+        f"LUTs built: {engine.stats.lut_builds}, reused: "
+        f"{engine.stats.lut_hits}",
+        "",
+        _results_table(results).render(),
+    ]
+    aggregate = results.aggregate(by=args.by)
+    summary = TextTable([args.by, "runs", "mean energy (mJ)",
+                         "energy/inf (uJ)", "deadline rate"])
+    for key, stats in aggregate.items():
+        summary.add_row(
+            key,
+            stats.runs,
+            round(stats.mean_energy_nj / 1e6, 2),
+            round(stats.energy_per_inference_nj / 1e3, 2),
+            f"{stats.deadline_rate:.0%}",
         )
-        results[spec.name] = runtime.run(workload)
-    hh_energy = results["HH-PIM"].total_energy_nj
-    for name, result in results.items():
-        saving = (1 - hh_energy / result.total_energy_nj
-                  if name != "HH-PIM" else 0.0)
-        table.add_row(
-            name,
-            round(result.total_energy_nj / 1e6, 2),
-            round(result.mean_power_mw, 2),
-            "met" if result.deadlines_met else "MISSED",
-            f"{saving:.1%}" if name != "HH-PIM" else "-",
-        )
-    header = (f"{model.name}, Case {case.value} ({case.label}), "
-              f"{args.slices} slices of {t_slice / 1e6:.1f} ms")
-    return header + "\n\n" + table.render()
+    lines += ["", f"aggregate by {args.by}:", summary.render()]
+    if args.csv:
+        lines.append(f"\nwrote {len(results)} rows to {args.csv}")
+    return "\n".join(lines)
 
 
 def _cmd_list(_args) -> str:
     lines = ["architectures:"]
-    lines += [f"  {spec.name}" for spec in TABLE_I]
+    lines += [f"  {name}" for name in ARCHITECTURES.keys()]
     lines.append("models:")
-    lines += [f"  {model.name}" for model in TABLE_IV]
+    lines += [f"  {name}" for name in MODELS.keys()]
     lines.append("cases:")
     lines += [f"  {case.value}: {case.label}" for case in ALL_CASES]
+    lines.append("scenarios:")
+    lines += [f"  {name}" for name in SCENARIOS.keys()]
+    lines.append("policies:")
+    lines += [f"  {name}" for name in POLICIES.keys()]
     return "\n".join(lines)
+
+
+def _add_resolution_args(parser, blocks: int, steps: int) -> None:
+    parser.add_argument("--slices", type=int, default=50)
+    parser.add_argument("--blocks", type=int, default=blocks)
+    parser.add_argument("--steps", type=int, default=steps)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for batched runs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -152,7 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     for name in ("table1", "table2", "table3", "table4", "table5", "list"):
-        sub.add_parser(name)
+        table = sub.add_parser(name)
+        # Uniform resolution knobs: the analytic tables derive from the
+        # technology model alone and ignore them, but scripts can pass
+        # the same --blocks/--steps to every subcommand.
+        table.add_argument("--blocks", type=int, default=DEFAULT_BLOCK_COUNT)
+        table.add_argument("--steps", type=int, default=DEFAULT_TIME_STEPS)
     fig4 = sub.add_parser("fig4")
     fig4.add_argument("--slices", type=int, default=50)
     fig6 = sub.add_parser("fig6")
@@ -160,12 +249,32 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--blocks", type=int, default=DEFAULT_BLOCK_COUNT)
     fig6.add_argument("--steps", type=int, default=DEFAULT_TIME_STEPS)
     fig6.add_argument("--points", type=int, default=32)
-    run = sub.add_parser("run")
+    run = sub.add_parser("run", help="one scenario over selected architectures")
     run.add_argument("--model", default="EfficientNet-B0")
     run.add_argument("--case", type=int, default=3, choices=range(1, 7))
-    run.add_argument("--slices", type=int, default=50)
-    run.add_argument("--blocks", type=int, default=48)
-    run.add_argument("--steps", type=int, default=6000)
+    run.add_argument("--arch", action="append", default=None,
+                     help="architecture to run (repeatable; default: all)")
+    run.add_argument("--json", action="store_true",
+                     help="emit machine-readable per-run summaries")
+    _add_resolution_args(run, blocks=48, steps=6000)
+    sweep = sub.add_parser(
+        "sweep", help="grid over architectures x models x scenarios"
+    )
+    sweep.add_argument("--arch", action="append", default=None,
+                       help="architecture axis (repeatable; default: all)")
+    sweep.add_argument("--model", action="append", default=None,
+                       help="model axis (repeatable; default: all)")
+    sweep.add_argument("--case", action="append", type=int, default=None,
+                       choices=range(1, 7),
+                       help="scenario case axis (repeatable; default: all)")
+    sweep.add_argument("--by", default="arch",
+                       choices=("arch", "model", "scenario", "policy"),
+                       help="aggregation axis for the summary table")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit machine-readable per-run summaries")
+    sweep.add_argument("--csv", metavar="FILE", default=None,
+                       help="also write per-run rows to a CSV file")
+    _add_resolution_args(sweep, blocks=48, steps=6000)
     return parser
 
 
@@ -178,13 +287,20 @@ _HANDLERS = {
     "fig4": _cmd_fig4,
     "fig6": _cmd_fig6,
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "list": _cmd_list,
 }
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    print(_HANDLERS[args.command](args))
+    try:
+        print(_HANDLERS[args.command](args))
+    except ReproError as error:
+        # Library failures (bad configs, infeasible placements, unknown
+        # registry keys) are user errors: one line, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

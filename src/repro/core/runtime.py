@@ -185,6 +185,19 @@ class TimeSliceRuntime:
             self.lut = None
             self._fixed = self.optimizer.fixed_placement(self.policy)
 
+    @property
+    def reference_placement(self) -> Placement:
+        """The runtime's anchor placement without recomputation.
+
+        For the dynamic policy this is the LUT's peak (latency-optimal)
+        placement; for fixed policies it is the installed placement
+        itself.  Exposed so callers (sweeps, the experiment engine) never
+        need to rebuild a LUT just to inspect the placement.
+        """
+        if self.lut is not None:
+            return self.lut.peak_placement
+        return self._fixed
+
     # -- per-slice placement selection ------------------------------------------
 
     @property

@@ -103,3 +103,13 @@ class InfeasibleError(PlacementError):
 
 class WorkloadError(ReproError):
     """A workload model or scenario description is invalid."""
+
+
+class RegistryError(ConfigurationError):
+    """A registry lookup or registration failed.
+
+    Raised for unknown keys, duplicate registrations without
+    ``overwrite=True``, and values that fail the registry's validation.
+    Derives from :class:`ConfigurationError` so existing callers that
+    catch configuration problems also catch registry misuse.
+    """

@@ -1,0 +1,11 @@
+"""Shared test constants, importable absolutely.
+
+Test modules import these with ``from _shared import ...`` (the tests
+directory is on ``sys.path`` under pytest's rootdir-style collection);
+relative imports like ``from .conftest import ...`` break because the
+test directory is not a package.
+"""
+
+#: Reduced optimizer resolution used across the test suite.
+SMALL_BLOCKS = 24
+SMALL_STEPS = 3000

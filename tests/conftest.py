@@ -10,14 +10,11 @@ from __future__ import annotations
 
 import pytest
 
+from _shared import SMALL_BLOCKS, SMALL_STEPS
 from repro.arch import BASELINE_PIM, HETEROGENEOUS_PIM, HH_PIM, HYBRID_PIM
 from repro.core import DataPlacementOptimizer, TimeSliceRuntime
 from repro.core.runtime import default_time_slice_ns
 from repro.workloads import EFFICIENTNET_B0
-
-#: Reduced resolution used across the test suite.
-SMALL_BLOCKS = 24
-SMALL_STEPS = 3000
 
 
 @pytest.fixture(scope="session")

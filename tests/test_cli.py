@@ -1,7 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 
@@ -55,6 +61,76 @@ class TestFigures:
                       "--blocks", "16", "--steps", "1500")
         assert "HH-PIM" in out
         assert "met" in out
+
+    def test_run_single_arch(self, capsys):
+        out = run_cli(capsys, "run", "--case", "1", "--slices", "4",
+                      "--blocks", "16", "--steps", "1500",
+                      "--arch", "hh-pim")
+        assert "HH-PIM" in out
+        assert "Baseline-PIM" not in out
+
+
+class TestJsonAndSweep:
+    def test_run_json(self, capsys):
+        out = run_cli(capsys, "run", "--case", "1", "--slices", "4",
+                      "--blocks", "16", "--steps", "1500", "--json")
+        rows = json.loads(out)
+        assert {row["arch"] for row in rows} >= {"HH-PIM", "Baseline-PIM"}
+        for row in rows:
+            assert row["scenario"] == "case1"
+            assert row["total_energy_nj"] > 0
+
+    def test_sweep_table_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        out = run_cli(capsys, "sweep", "--model", "EfficientNet-B0",
+                      "--case", "1", "--case", "2",
+                      "--arch", "HH-PIM", "--arch", "Hybrid-PIM",
+                      "--slices", "4", "--blocks", "16", "--steps", "1500",
+                      "--csv", str(csv_path))
+        assert "aggregate by arch" in out
+        assert "LUTs built" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert len(lines) == 5  # header + 2 archs x 2 cases
+
+    def test_sweep_json(self, capsys):
+        out = run_cli(capsys, "sweep", "--model", "EfficientNet-B0",
+                      "--case", "1", "--arch", "HH-PIM",
+                      "--slices", "4", "--blocks", "16", "--steps", "1500",
+                      "--json")
+        rows = json.loads(out)
+        assert len(rows) == 1 and rows[0]["arch"] == "HH-PIM"
+
+
+class TestErrorExit:
+    def test_unknown_model_exits_2_without_traceback(self, capsys):
+        code = main(["run", "--model", "NoSuchModel",
+                     "--blocks", "16", "--steps", "1500"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "NoSuchModel" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_arch_exits_2(self, capsys):
+        code = main(["run", "--arch", "NoSuchFabric",
+                     "--blocks", "16", "--steps", "1500"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_python_m_repro_clean_error(self):
+        """``python -m repro`` must exit non-zero with one clean line."""
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--model", "NoSuchModel",
+             "--blocks", "16", "--steps", "1500"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr
+        assert proc.stdout == ""
 
 
 class TestParser:

@@ -10,7 +10,7 @@ from repro.core.spaces import CORE_MAC_TIME_NS, PIM_LATENCY_SCALE
 from repro.errors import InfeasibleError, PlacementError
 from repro.workloads import EFFICIENTNET_B0, RESNET_18, scenario, ScenarioCase
 
-from .conftest import SMALL_BLOCKS, SMALL_STEPS
+from _shared import SMALL_BLOCKS, SMALL_STEPS
 
 
 class TestSpaces:

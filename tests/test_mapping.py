@@ -10,7 +10,7 @@ from repro.mapping import InferenceCompiler
 from repro.memory.hybrid import BankKind
 from repro.workloads import EFFICIENTNET_B0
 
-from .conftest import SMALL_BLOCKS
+from _shared import SMALL_BLOCKS
 
 
 @pytest.fixture(scope="module")

@@ -54,6 +54,27 @@ class TestModuleSplitSweep:
         assert by_label["HH-4H4L-64M64S"].deadlines_met
 
 
+class TestModifiedModelSpec:
+    def test_sweep_runs_the_passed_model_not_the_registered_one(self):
+        """A modified spec sharing a builtin name must be what runs."""
+        import dataclasses
+        from repro.api.registry import MODELS, ensure_registered
+
+        custom = dataclasses.replace(EFFICIENTNET_B0, pim_ratio=0.5)
+        workload = scenario(ScenarioCase.LOW_CONSTANT, slices=3)
+        try:
+            stock = sweep_module_split(
+                EFFICIENTNET_B0, workload, splits=((4, 4),), **SWEEP_KW
+            )[0]
+            modified = sweep_module_split(
+                custom, workload, splits=((4, 4),), **SWEEP_KW
+            )[0]
+            assert modified.total_energy_nj != stock.total_energy_nj
+        finally:
+            # restore the builtin registration for other tests
+            ensure_registered(MODELS, EFFICIENTNET_B0.name, EFFICIENTNET_B0)
+
+
 class TestTimeSliceSweep:
     def test_energy_per_inference_non_increasing(self):
         workload = scenario(ScenarioCase.LOW_CONSTANT, slices=6)
