@@ -15,6 +15,14 @@ import pytest
 from repro.analysis import compute_savings_grid
 from repro.api import ExperimentConfig
 from repro.api.engine import shared_engine
+from repro.core.lutcache import temporary_cache_dir
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_lut_cache(tmp_path_factory):
+    """Persistent LUT cache in a throwaway directory (hermetic runs)."""
+    with temporary_cache_dir(tmp_path_factory.mktemp("lut-cache")):
+        yield
 
 
 @pytest.fixture(scope="session")

@@ -9,7 +9,6 @@ navigates.
 
 import time
 
-import pytest
 
 from repro.analysis import TextTable
 from repro.arch import HH_PIM

@@ -52,6 +52,10 @@ class ExperimentConfig:
     block_count: int = DEFAULT_BLOCK_COUNT
     time_steps: int = DEFAULT_TIME_STEPS
     granule_bytes: int = FINE_GRANULE_BYTES
+    #: Consult the persistent on-disk LUT cache (see
+    #: :mod:`repro.core.lutcache`); identical results either way, so
+    #: disable only to benchmark or debug cold builds.
+    lut_cache: bool = True
 
     def __post_init__(self) -> None:
         for name in ("arch", "model", "scenario"):
@@ -82,6 +86,10 @@ class ExperimentConfig:
             )
         if self.granule_bytes <= 0:
             raise ConfigurationError("granule_bytes must be positive")
+        if not isinstance(self.lut_cache, bool):
+            raise ConfigurationError(
+                f"lut_cache must be a bool, got {self.lut_cache!r}"
+            )
 
     # -- registry resolution ----------------------------------------------------
 

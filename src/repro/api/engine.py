@@ -15,6 +15,14 @@ over a ``concurrent.futures`` process pool — one worker task per
 distinct runtime, so the exactly-once LUT property survives
 parallelisation — and reassembles results in input order, making the
 batch deterministic regardless of completion order.
+
+Beneath the in-memory memoization sits the *persistent* LUT cache
+(:mod:`repro.core.lutcache`): every runtime materialisation — in this
+process or inside a pool worker — first consults the on-disk store, so
+repeated CLI invocations and sweeps across processes rebuild zero DP
+tables once the cache is warm.  ``EngineStats.dp_builds`` counts the DP
+tables actually computed (aggregated across workers), which is how the
+zero-rebuild property is asserted.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ import inspect
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..core import lutcache
+from ..core.knapsack import dp_build_count
 from ..core.placement import PlacementPolicy
 from ..core.runtime import RunResult, TimeSliceRuntime, default_time_slice_ns
 from ..errors import RegistryError
@@ -36,14 +46,21 @@ from .results import ResultSet, RunRecord
 class EngineStats:
     """Observable cache behaviour (the tests assert on these)."""
 
-    #: Times a TimeSliceRuntime (and hence its LUT) was actually built.
+    #: Times a TimeSliceRuntime was materialised (built or disk-loaded).
     lut_builds: int = 0
-    #: Times a run was served by an already-built runtime.
+    #: Times a run was served by an already-materialised runtime.
     lut_hits: int = 0
     #: Total scenario runs executed.
     runs: int = 0
     #: Distinct (model, resolution) time-slice sizings computed.
     t_slice_builds: int = 0
+    #: DP tables actually computed (across this engine's pool workers
+    #: too); zero on a warm persistent cache.
+    dp_builds: int = 0
+    #: Runtime/t-slice materialisations served by the persistent cache.
+    lut_disk_hits: int = 0
+    #: Entries this engine persisted to the on-disk cache.
+    lut_disk_writes: int = 0
 
 
 @dataclass(frozen=True)
@@ -57,6 +74,9 @@ class _ResolvedRuntime:
     block_count: int
     time_steps: int
     granule_bytes: int
+    #: Whether the persistent on-disk cache participates (never part of
+    #: the memoization key: results are identical either way).
+    use_cache: bool = True
 
     @property
     def key(self) -> tuple:
@@ -78,31 +98,60 @@ class _ResolvedRuntime:
         )
 
 
+def _materialize_runtime(resolved: _ResolvedRuntime) -> tuple:
+    """Obtain a runtime through the persistent cache when permitted.
+
+    Returns ``(runtime, source, dp_delta)`` where ``source`` is
+    ``"disk"``/``"stored"``/``"built"`` (see
+    :func:`repro.core.lutcache.fetch_or_build`) and ``dp_delta`` is how
+    many DP tables the materialisation actually computed — zero on a
+    disk hit.
+    """
+    before = dp_build_count()
+    if resolved.use_cache and lutcache.enabled():
+        runtime, source = lutcache.fetch_or_build(
+            ("runtime",) + resolved.key, resolved.build
+        )
+    else:
+        runtime, source = resolved.build(), "built"
+    return runtime, source, dp_build_count() - before
+
+
 def _run_group(resolved: _ResolvedRuntime, jobs: list) -> tuple:
-    """Worker task: build one runtime, run all its scenarios.
+    """Worker task: materialise one runtime, run all its scenarios.
 
     ``jobs`` is ``[(position, scenario), ...]``; the positions travel
     with the results so the parent can reassemble input order.  Shipping
     resolved specs (not registry keys) keeps worker processes independent
-    of any registrations made after the interpreter forked.  The built
-    runtime ships back with the results so the parent engine can cache
-    it for later batches.
+    of any registrations made after the interpreter forked.  The runtime
+    ships back with the results — plus its cache provenance and DP-build
+    count, which only this worker process can observe — so the parent
+    engine can adopt it and fold the stats in.
     """
-    runtime = resolved.build()
-    return [(position, runtime.run(scn)) for position, scn in jobs], runtime
+    runtime, source, dp_delta = _materialize_runtime(resolved)
+    results = [(position, runtime.run(scn)) for position, scn in jobs]
+    return results, runtime, source, dp_delta
 
 
 class Engine:
     """Executes experiment configs with cross-run LUT memoization.
 
-    One engine instance is one cache domain: keep an engine alive across
-    sweeps to amortise LUT construction, or create a fresh one for
-    isolated measurements.  ``max_workers`` sets the default parallelism
-    of :meth:`run_many` (``None``/``1`` = in-process serial execution).
+    One engine instance is one in-memory cache domain: keep an engine
+    alive across sweeps to amortise LUT construction, or create a fresh
+    one for isolated measurements.  The *persistent* disk cache spans
+    engines and processes; ``use_disk_cache=False`` opts this engine out
+    of it (configs can also opt out individually via ``lut_cache``).
+    ``max_workers`` sets the default parallelism of :meth:`run_many`
+    (``None``/``1`` = in-process serial execution).
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        use_disk_cache: bool = True,
+    ) -> None:
         self.max_workers = max_workers
+        self.use_disk_cache = use_disk_cache
         self.stats = EngineStats()
         self._runtimes: dict = {}
         self._t_slices: dict = {}
@@ -128,6 +177,7 @@ class Engine:
             block_count=config.block_count,
             time_steps=config.time_steps,
             granule_bytes=config.granule_bytes,
+            use_cache=config.lut_cache and self.use_disk_cache,
         )
 
     def _default_t_slice(self, config: ExperimentConfig, model) -> float:
@@ -136,12 +186,30 @@ class Engine:
             config.time_steps,
         )
         if key not in self._t_slices:
-            self._t_slices[key] = default_time_slice_ns(
-                model,
-                peak_inferences=config.peak_inferences,
-                block_count=config.block_count,
-                time_steps=config.time_steps,
-            )
+            # The paper's sizing rule bootstraps a throwaway LUT, so it
+            # goes through the persistent cache too: a warm-cache sweep
+            # must trigger zero DP builds end to end.
+            def compute() -> float:
+                return default_time_slice_ns(
+                    model,
+                    peak_inferences=config.peak_inferences,
+                    block_count=config.block_count,
+                    time_steps=config.time_steps,
+                )
+
+            before = dp_build_count()
+            if config.lut_cache and self.use_disk_cache and lutcache.enabled():
+                value, source = lutcache.fetch_or_build(
+                    ("t_slice",) + key, compute
+                )
+                if source == "disk":
+                    self.stats.lut_disk_hits += 1
+                elif source == "stored":
+                    self.stats.lut_disk_writes += 1
+            else:
+                value = compute()
+            self.stats.dp_builds += dp_build_count() - before
+            self._t_slices[key] = value
             self.stats.t_slice_builds += 1
         return self._t_slices[key]
 
@@ -176,14 +244,19 @@ class Engine:
         return runtime
 
     def _runtime_cached(self, resolved: _ResolvedRuntime):
-        """Returns ``(runtime, was_cached)``, building on first use."""
+        """Returns ``(runtime, was_cached)``, materialising on first use."""
         key = resolved.key
         if key in self._runtimes:
             self.stats.lut_hits += 1
             return self._runtimes[key], True
-        runtime = resolved.build()
+        runtime, source, dp_delta = _materialize_runtime(resolved)
         self._runtimes[key] = runtime
         self.stats.lut_builds += 1
+        self.stats.dp_builds += dp_delta
+        if source == "disk":
+            self.stats.lut_disk_hits += 1
+        elif source == "stored":
+            self.stats.lut_disk_writes += 1
         return runtime, False
 
     # -- execution --------------------------------------------------------------
@@ -256,10 +329,17 @@ class Engine:
                 # chews on the uncached groups, overlapping the two.
                 drain_cached()
                 for key, future in futures.items():
-                    group_results, runtime = future.result()
+                    group_results, runtime, source, dp_delta = future.result()
                     # Adopt the worker's runtime so later batches (pooled
-                    # or serial) reuse its LUT instead of rebuilding it.
+                    # or serial) reuse its LUT instead of rebuilding it,
+                    # and fold in the cache behaviour only the worker
+                    # process could observe.
                     self._runtimes[key] = runtime
+                    self.stats.dp_builds += dp_delta
+                    if source == "disk":
+                        self.stats.lut_disk_hits += 1
+                    elif source == "stored":
+                        self.stats.lut_disk_writes += 1
                     for index, (position, result) in enumerate(group_results):
                         results[position] = result
                         # Mirror the serial path's provenance: the group's

@@ -9,6 +9,8 @@ Usage::
     python -m repro run --case 3           # one scenario, all architectures
     python -m repro run --case 1 --json    # machine-readable run summary
     python -m repro sweep --model ResNet-18 --case 1 --case 2
+    python -m repro bench --quick          # perf harness -> BENCH_*.json
+    python -m repro cache info             # persistent LUT cache state
     python -m repro list                   # registered specs
 
 Every experiment command goes through :class:`repro.api.Engine`, so
@@ -28,6 +30,7 @@ from .analysis import TextTable, render_fig4, render_fig6
 from .api import ARCHITECTURES, MODELS, POLICIES, SCENARIOS, ExperimentConfig
 from .api.engine import shared_engine
 from .arch import TABLE_I
+from .core import lutcache
 from .core.placement import DEFAULT_BLOCK_COUNT, DEFAULT_TIME_STEPS
 from .energy import table_v_rows
 from .errors import ReproError
@@ -109,6 +112,7 @@ def _cmd_fig6(args) -> str:
 def _base_config(args) -> ExperimentConfig:
     return ExperimentConfig(
         slices=args.slices, block_count=args.blocks, time_steps=args.steps,
+        lut_cache=not getattr(args, "no_cache", False),
     )
 
 
@@ -186,7 +190,8 @@ def _cmd_sweep(args) -> str:
         f"({len(archs)} architectures x {len(models)} models x "
         f"{len(cases)} scenarios), "
         f"LUTs built: {engine.stats.lut_builds}, reused: "
-        f"{engine.stats.lut_hits}",
+        f"{engine.stats.lut_hits}, DP builds: {engine.stats.dp_builds}, "
+        f"disk hits: {engine.stats.lut_disk_hits}",
         "",
         _results_table(results).render(),
     ]
@@ -204,6 +209,47 @@ def _cmd_sweep(args) -> str:
     lines += ["", f"aggregate by {args.by}:", summary.render()]
     if args.csv:
         lines.append(f"\nwrote {len(results)} rows to {args.csv}")
+    return "\n".join(lines)
+
+
+def _cmd_bench(args) -> str:
+    import json
+
+    from .perf import render_report, run_bench, write_reports
+
+    report = run_bench(
+        quick=args.quick,
+        model=MODELS.canonical(args.model),
+        block_count=args.blocks,
+        time_steps=args.steps,
+        repeats=args.repeats,
+    )
+    paths = write_reports(report, args.out)
+    speedup = report["lut_build"]["speedup"]
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        raise ReproError(
+            f"perf gate failed: vectorized LUT build speedup {speedup:.2f}x "
+            f"is below the required {args.min_speedup:.2f}x"
+        )
+    if args.json:
+        return json.dumps(report, indent=2, sort_keys=True)
+    lines = [render_report(report), ""]
+    lines += [f"wrote {path}" for path in paths]
+    return "\n".join(lines)
+
+
+def _cmd_cache(args) -> str:
+    if args.action == "clear":
+        removed = lutcache.clear()
+        return f"removed {removed} cached LUT entries from {lutcache.cache_dir()}"
+    state = lutcache.info()
+    lines = [
+        f"path:    {state['path']}",
+        f"enabled: {state['enabled']} "
+        "(set REPRO_LUT_CACHE=off to disable, or to a path to relocate)",
+        f"version: v{state['version']}",
+        f"entries: {state['entries']} ({state['bytes'] / 1024:.0f} kB)",
+    ]
     return "\n".join(lines)
 
 
@@ -227,6 +273,8 @@ def _add_resolution_args(parser, blocks: int, steps: int) -> None:
     parser.add_argument("--steps", type=int, default=steps)
     parser.add_argument("--workers", type=int, default=None,
                         help="process-pool width for batched runs")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent on-disk LUT cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -275,6 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="FILE", default=None,
                        help="also write per-run rows to a CSV file")
     _add_resolution_args(sweep, blocks=48, steps=6000)
+    bench = sub.add_parser(
+        "bench", help="perf harness: LUT build, cache, sweep, lookup timings"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized run: fewer repeats, smaller sweep grid")
+    bench.add_argument("--model", default="EfficientNet-B0")
+    bench.add_argument("--blocks", type=int, default=DEFAULT_BLOCK_COUNT)
+    bench.add_argument("--steps", type=int, default=DEFAULT_TIME_STEPS)
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="best-of repetitions per timing (default 3, 1 "
+                            "with --quick)")
+    bench.add_argument("--out", default=".",
+                       help="directory for the BENCH_*.json artifacts")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="fail (exit 2) if the vectorized LUT build is "
+                            "not this many times faster than the scalar "
+                            "reference")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full machine-readable report")
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent LUT cache"
+    )
+    cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -288,6 +359,8 @@ _HANDLERS = {
     "fig6": _cmd_fig6,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
+    "cache": _cmd_cache,
     "list": _cmd_list,
 }
 

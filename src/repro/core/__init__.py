@@ -10,7 +10,8 @@ Pipeline (paper, Section III):
 3. :mod:`repro.core.combine` runs Algorithm 2 — the optimal
    ``(k_hp, k_lp)`` split per time constraint;
 4. :mod:`repro.core.lut` compiles the result into the allocation-state
-   LUT consulted at runtime;
+   LUT consulted at runtime (:mod:`repro.core.lutcache` persists built
+   LUTs across processes);
 5. :mod:`repro.core.placement` wraps 1-4 into
    :class:`~repro.core.placement.DataPlacementOptimizer`;
 6. :mod:`repro.core.runtime` executes 50-time-slice scenarios with
@@ -24,8 +25,14 @@ from .spaces import (
     StorageSpace,
     build_spaces,
 )
-from .knapsack import ClusterDpResult, knapsack_min_energy, reconstruct_counts
-from .combine import CombinedRow, set_allocation_state
+from .knapsack import (
+    ClusterDpResult,
+    dp_build_count,
+    knapsack_min_energy,
+    reconstruct_counts,
+    scalar_dp,
+)
+from .combine import CombinedRow, set_allocation_state, unique_allocation_rows
 from .lut import AllocationLUT, Placement
 from .placement import DataPlacementOptimizer, PlacementPolicy
 from .runtime import RunResult, SliceRecord, TimeSliceRuntime
@@ -37,10 +44,13 @@ __all__ = [
     "StorageSpace",
     "build_spaces",
     "ClusterDpResult",
+    "dp_build_count",
     "knapsack_min_energy",
     "reconstruct_counts",
+    "scalar_dp",
     "CombinedRow",
     "set_allocation_state",
+    "unique_allocation_rows",
     "AllocationLUT",
     "Placement",
     "DataPlacementOptimizer",

@@ -7,12 +7,19 @@ and keeps the split minimising ``dp_hp[n/2][t][k_hp] +
 dp_lp[n/2][t][k_lp]``, producing the ``allocation_state`` rows that the
 LUT compiles (paper, Section III-B).
 
-The scan is vectorised: at each ``t`` the HP energy row (indexed by
-``k_hp``) is added to the *reversed* LP energy row (indexed by
-``K - k_hp``) and the argmin taken.  Unlike the paper's pseudo-code we
-include the degenerate splits ``k_hp = 0`` and ``k_lp = 0`` — Fig. 6's
-"LP-MRAM only" region *is* the ``k_hp = 0`` split, so the pseudo-code's
-1-based loop is read as an off-by-one simplification.
+The scan is vectorised: the whole ``(t, k_hp)`` plane is formed by adding
+the HP final table to the *column-reversed* LP final table and taking the
+argmin along ``k_hp``; path reconstruction then walks the count traces of
+every feasible budget at once.  Unlike the paper's pseudo-code we include
+the degenerate splits ``k_hp = 0`` and ``k_lp = 0`` — Fig. 6's "LP-MRAM
+only" region *is* the ``k_hp = 0`` split, so the pseudo-code's 1-based
+loop is read as an off-by-one simplification.
+
+A per-``t`` scalar reference (selected with ``REPRO_SCALAR_DP=1``, like
+the knapsack DP's) is kept for differential testing;
+:func:`unique_allocation_rows` is the LUT builder's fast path, which
+deduplicates identical placements *before* the expensive per-row
+evaluation instead of after.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import PlacementError
-from .knapsack import ClusterDpResult, reconstruct_counts
+from .knapsack import ClusterDpResult, reconstruct_counts, use_scalar_dp
 
 
 @dataclass(frozen=True)
@@ -42,19 +49,11 @@ class CombinedRow:
         return self.k_hp + self.k_lp
 
 
-def set_allocation_state(
+def _validate_tables(
     hp: ClusterDpResult,
     lp: ClusterDpResult | None,
     total_blocks: int,
-):
-    """Build the allocation-state rows for every time budget.
-
-    Returns a list of length ``t_steps + 1`` whose entries are
-    :class:`CombinedRow` or ``None`` where no feasible placement exists
-    (the grey region of Fig. 6).  ``lp`` may be ``None`` for single-cluster
-    architectures (Baseline-/Hybrid-PIM), in which case all blocks go to
-    the HP cluster.
-    """
+) -> None:
     if total_blocks <= 0:
         raise PlacementError("total block count must be positive")
     if total_blocks > hp.max_blocks:
@@ -68,6 +67,140 @@ def set_allocation_state(
     if lp is not None and lp.t_steps != hp.t_steps:
         raise PlacementError("HP and LP tables must share the time axis")
 
+
+def set_allocation_state(
+    hp: ClusterDpResult,
+    lp: ClusterDpResult | None,
+    total_blocks: int,
+):
+    """Build the allocation-state rows for every time budget.
+
+    Returns a list of length ``t_steps + 1`` whose entries are
+    :class:`CombinedRow` or ``None`` where no feasible placement exists
+    (the grey region of Fig. 6).  ``lp`` may be ``None`` for single-cluster
+    architectures (Baseline-/Hybrid-PIM), in which case all blocks go to
+    the HP cluster.
+    """
+    _validate_tables(hp, lp, total_blocks)
+    if use_scalar_dp():
+        return _set_allocation_state_scalar(hp, lp, total_blocks)
+    t_idx, k_hp, energies, counts_columns = _solve_splits(hp, lp, total_blocks)
+    rows: list = [None] * (hp.t_steps + 1)
+    for position, t in enumerate(t_idx):
+        rows[t] = _build_row(
+            position, t, k_hp, total_blocks, energies, counts_columns
+        )
+    return rows
+
+
+def unique_allocation_rows(
+    hp: ClusterDpResult,
+    lp: ClusterDpResult | None,
+    total_blocks: int,
+):
+    """The distinct placements of the allocation state, in budget order.
+
+    Consecutive budgets overwhelmingly select the same placement, so the
+    full ``t_steps + 1`` row list collapses to a handful of distinct
+    placements.  This returns only the *first* row of each distinct
+    per-space count vector — exactly the rows
+    :class:`~repro.core.lut.AllocationLUT` would keep after its own
+    dedupe — so the LUT builder evaluates dozens of rows instead of tens
+    of thousands.
+    """
+    _validate_tables(hp, lp, total_blocks)
+    t_idx, k_hp, energies, counts_columns = _solve_splits(hp, lp, total_blocks)
+    if len(t_idx) == 0:
+        return []
+    matrix = np.stack([column for _, column in counts_columns], axis=1)
+    _, first = np.unique(matrix, axis=0, return_index=True)
+    return [
+        _build_row(
+            int(position), int(t_idx[position]), k_hp, total_blocks,
+            energies, counts_columns,
+        )
+        for position in np.sort(first)
+    ]
+
+
+def _build_row(
+    position, t, k_hp, total_blocks, energies, counts_columns
+) -> CombinedRow:
+    """Materialise one feasible budget's :class:`CombinedRow`."""
+    split = int(k_hp[position])
+    return CombinedRow(
+        t_step=int(t),
+        k_hp=split,
+        k_lp=total_blocks - split,
+        energy_nj=float(energies[position]),
+        counts={
+            kind: int(column[position]) for kind, column in counts_columns
+        },
+    )
+
+
+def _solve_splits(
+    hp: ClusterDpResult,
+    lp: ClusterDpResult | None,
+    total_blocks: int,
+):
+    """Optimal split and per-space counts for every feasible budget.
+
+    Returns ``(t_idx, k_hp, energies, counts_columns)`` where ``t_idx``
+    holds the feasible budgets (ascending), ``k_hp``/``energies`` the
+    chosen split and its energy per feasible budget, and
+    ``counts_columns`` is a list of ``(SpaceKind, per-budget counts)``
+    pairs covering every space of both clusters.
+    """
+    t_count = hp.t_steps + 1
+    if lp is None:
+        energy = hp.dp[-1][:, total_blocks]
+        t_idx = np.nonzero(np.isfinite(energy))[0]
+        k_hp = np.full(len(t_idx), total_blocks, dtype=np.int64)
+        counts_columns = _reconstruct_many(hp, t_idx, k_hp)
+        return t_idx, k_hp, energy[t_idx], counts_columns
+
+    # combined[t, k_hp] = hp[t, k_hp] + lp[t, K - k_hp]
+    combined = (
+        hp.dp[-1][:, : total_blocks + 1]
+        + lp.dp[-1][:, : total_blocks + 1][:, ::-1]
+    )
+    best = np.argmin(combined, axis=1)
+    energy = combined[np.arange(t_count), best]
+    t_idx = np.nonzero(np.isfinite(energy))[0]
+    k_hp = best[t_idx].astype(np.int64)
+    counts_columns = _reconstruct_many(hp, t_idx, k_hp)
+    counts_columns += _reconstruct_many(lp, t_idx, total_blocks - k_hp)
+    return t_idx, k_hp, energy[t_idx], counts_columns
+
+
+def _reconstruct_many(table: ClusterDpResult, t_idx, k_idx):
+    """Vectorised path tracing: per-space counts for many budgets at once.
+
+    The same walk as :func:`~repro.core.knapsack.reconstruct_counts`,
+    with every budget's ``(t, k)`` cursor advanced in lockstep.
+    """
+    t = np.asarray(t_idx, dtype=np.int64).copy()
+    k = np.asarray(k_idx, dtype=np.int64).copy()
+    columns = []
+    for i in range(len(table.spaces), 0, -1):
+        taken = table.count[i][t, k].astype(np.int64)
+        columns.append((table.spaces[i - 1].kind, taken))
+        t -= taken * table.step_counts[i - 1]
+        k -= taken
+    if np.any(k != 0):
+        raise PlacementError(
+            "reconstruction lost blocks (inconsistent count trace)"
+        )
+    return columns
+
+
+def _set_allocation_state_scalar(
+    hp: ClusterDpResult,
+    lp: ClusterDpResult | None,
+    total_blocks: int,
+):
+    """Per-``t`` reference implementation of Algorithm 2."""
     rows = []
     for t in range(hp.t_steps + 1):
         if lp is None:

@@ -17,15 +17,57 @@ the paper's formulation leaves them implicit.
 Time is discretised to ``time_step_ns``; per-space step counts are rounded
 *up*, so a placement the DP declares feasible is feasible in continuous
 time too (the discretisation is conservative).
+
+Two implementations share this module: the *scalar* reference — a
+paper-faithful per-element translation of the recurrence — and the
+*vectorized* production path, which runs the same update order through
+whole-array NumPy operations and produces bit-identical tables.  The
+scalar path is selected with ``REPRO_SCALAR_DP=1`` (or the
+:func:`scalar_dp` context manager) and exists for differential testing
+and as the baseline of the ``repro bench`` perf gate.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..errors import ConfigurationError, PlacementError
+
+#: Process-wide count of DP table constructions, for cache verification
+#: (a warm persistent-cache run must leave this untouched).
+_DP_BUILDS = 0
+
+#: Programmatic override of the REPRO_SCALAR_DP environment switch.
+_FORCE_SCALAR: bool | None = None
+
+
+def dp_build_count() -> int:
+    """How many DP tables this process has actually computed."""
+    return _DP_BUILDS
+
+
+def use_scalar_dp() -> bool:
+    """Whether the scalar reference implementation is selected."""
+    if _FORCE_SCALAR is not None:
+        return _FORCE_SCALAR
+    value = os.environ.get("REPRO_SCALAR_DP", "").strip().lower()
+    return value in {"1", "true", "yes", "on"}
+
+
+@contextmanager
+def scalar_dp(enabled: bool = True):
+    """Force the scalar (or vectorized) path for the enclosed block."""
+    global _FORCE_SCALAR
+    previous = _FORCE_SCALAR
+    _FORCE_SCALAR = enabled
+    try:
+        yield
+    finally:
+        _FORCE_SCALAR = previous
 
 
 @dataclass(frozen=True)
@@ -96,16 +138,41 @@ def knapsack_min_energy(
     if t_steps <= 0 or max_blocks <= 0 or time_step_ns <= 0:
         raise ConfigurationError("t_steps, max_blocks and step must be positive")
 
+    global _DP_BUILDS
+    _DP_BUILDS += 1
+
     n = len(spaces)
-    dp = np.full((n + 1, t_steps + 1, max_blocks + 1), np.inf)
-    count = np.zeros((n + 1, t_steps + 1, max_blocks + 1), dtype=np.int32)
+    # Stored (space, k, t) so each budget row dp[i, k, :] is contiguous;
+    # the public dp[i, t, k] orientation is a transposed view of this.
+    dp = np.full((n + 1, max_blocks + 1, t_steps + 1), np.inf)
+    count = np.zeros((n + 1, max_blocks + 1, t_steps + 1), dtype=np.int32)
     # Base condition (Algorithm 1, line 3): zero blocks cost zero energy.
-    dp[:, :, 0] = 0.0
+    dp[:, 0, :] = 0.0
 
     step_counts = tuple(
         _step_count(space.time_per_block_ns, time_step_ns) for space in spaces
     )
 
+    if use_scalar_dp():
+        _dp_scalar(spaces, t_steps, max_blocks, step_counts, dp, count)
+    else:
+        _dp_vectorized(spaces, t_steps, max_blocks, step_counts, dp, count)
+    return ClusterDpResult(
+        spaces=tuple(spaces),
+        dp=dp.transpose(0, 2, 1),
+        count=count.transpose(0, 2, 1),
+        time_step_ns=time_step_ns,
+        step_counts=step_counts,
+    )
+
+
+def _dp_vectorized(spaces, t_steps, max_blocks, step_counts, dp, count):
+    """Whole-row NumPy form of the recurrence (the production path).
+
+    Every update compares a shifted budget row against the running
+    minimum with the same strict ``<`` and the same ascending take-count
+    order as the scalar reference, so the tables come out bit-identical.
+    """
     for i, space in enumerate(spaces, start=1):
         ti = step_counts[i - 1]
         ei = space.energy_per_block_nj
@@ -113,53 +180,71 @@ def knapsack_min_energy(
         # Carry the previous space's solutions (Algorithm 1, lines 12-13).
         dp[i] = dp[i - 1]
         count[i] = 0
+        cur, cnt, prev = dp[i], count[i], dp[i - 1]
         if cap >= max_blocks:
             # Paper-faithful unbounded recurrence: the capacity can never
             # bind, so dp[i][t-ti][k-1] + e_i extends any optimal prefix.
+            # The k-1 dependency is within space i, so k stays a loop while
+            # the whole time axis moves per iteration.
+            if ti > t_steps:
+                continue
             for k in range(1, max_blocks + 1):
-                if ti > t_steps:
-                    break
-                candidate = np.full(t_steps + 1, np.inf)
-                candidate[ti:] = dp[i, : t_steps + 1 - ti, k - 1] + ei
-                prev_count = np.zeros(t_steps + 1, dtype=np.int32)
-                prev_count[ti:] = count[i, : t_steps + 1 - ti, k - 1]
-                take = candidate < dp[i, :, k]
+                candidate = cur[k - 1, : t_steps + 1 - ti] + ei
+                dst = cur[k, ti:]
+                take = candidate < dst
                 if np.any(take):
-                    row = dp[i, :, k].copy()
-                    row[take] = candidate[take]
-                    dp[i, :, k] = row
-                    crow = count[i, :, k].copy()
-                    crow[take] = prev_count[take] + 1
-                    count[i, :, k] = crow
+                    dst[take] = candidate[take]
+                    cdst = cnt[k, ti:]
+                    cdst[take] = cnt[k - 1, : t_steps + 1 - ti][take] + 1
         else:
             # Bounded variant: extending the *minimum-energy* path would
             # lose capacity-feasible but energy-dominated prefixes, so
-            # take-j choices extend dp[i-1] directly (exact, O(K * cap)
-            # vector passes over the time axis).
+            # take-j choices extend dp[i-1] directly.  Each j updates the
+            # whole (k, t) plane at once — k >= j and t >= j * t_i.
+            for j in range(1, cap + 1):
+                shift = j * ti
+                if shift > t_steps:
+                    break
+                candidate = (
+                    prev[: max_blocks + 1 - j, : t_steps + 1 - shift] + j * ei
+                )
+                dst = cur[j:, shift:]
+                take = candidate < dst
+                if np.any(take):
+                    dst[take] = candidate[take]
+                    cnt[j:, shift:][take] = j
+
+
+def _dp_scalar(spaces, t_steps, max_blocks, step_counts, dp, count):
+    """Per-element reference translation of the recurrence (Eq. 2)."""
+    for i, space in enumerate(spaces, start=1):
+        ti = step_counts[i - 1]
+        ei = space.energy_per_block_nj
+        cap = space.capacity_blocks
+        dp[i] = dp[i - 1]
+        count[i] = 0
+        cur, cnt, prev = dp[i], count[i], dp[i - 1]
+        if cap >= max_blocks:
+            if ti > t_steps:
+                continue
+            for k in range(1, max_blocks + 1):
+                for t in range(ti, t_steps + 1):
+                    candidate = cur[k - 1, t - ti] + ei
+                    if candidate < cur[k, t]:
+                        cur[k, t] = candidate
+                        cnt[k, t] = cnt[k - 1, t - ti] + 1
+        else:
             for k in range(1, max_blocks + 1):
                 for j in range(1, min(cap, k) + 1):
                     shift = j * ti
                     if shift > t_steps:
                         break
-                    candidate = np.full(t_steps + 1, np.inf)
-                    candidate[shift:] = (
-                        dp[i - 1, : t_steps + 1 - shift, k - j] + j * ei
-                    )
-                    take = candidate < dp[i, :, k]
-                    if np.any(take):
-                        row = dp[i, :, k].copy()
-                        row[take] = candidate[take]
-                        dp[i, :, k] = row
-                        crow = count[i, :, k].copy()
-                        crow[take] = j
-                        count[i, :, k] = crow
-    return ClusterDpResult(
-        spaces=tuple(spaces),
-        dp=dp,
-        count=count,
-        time_step_ns=time_step_ns,
-        step_counts=step_counts,
-    )
+                    extend = j * ei
+                    for t in range(shift, t_steps + 1):
+                        candidate = prev[k - j, t - shift] + extend
+                        if candidate < cur[k, t]:
+                            cur[k, t] = candidate
+                            cnt[k, t] = j
 
 
 def reconstruct_counts(result: ClusterDpResult, t_step: int, blocks: int):

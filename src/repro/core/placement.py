@@ -25,8 +25,8 @@ from ..errors import ConfigurationError, InfeasibleError, PlacementError
 from ..isa.encoding import ClusterId
 from ..pim.cluster import PIMCluster
 from ..workloads.models import ModelSpec
-from .combine import set_allocation_state
-from .knapsack import knapsack_min_energy
+from .combine import set_allocation_state, unique_allocation_rows
+from .knapsack import knapsack_min_energy, use_scalar_dp
 from .lut import AllocationLUT, Placement
 from .spaces import PIM_LATENCY_SCALE, SpaceKind, StorageSpace, build_spaces
 
@@ -206,7 +206,17 @@ class DataPlacementOptimizer:
                     raise PlacementError("no usable spaces after restriction")
                 # Single-cluster LP-only restriction: 1-cluster path.
                 hp_table, lp_table = lp_table, None
-            rows = set_allocation_state(hp_table, lp_table, self.block_count)
+            if use_scalar_dp():
+                rows = set_allocation_state(
+                    hp_table, lp_table, self.block_count
+                )
+            else:
+                # Fast path: dedupe the distinct placements before the
+                # per-row continuous-time evaluation; the LUT keeps the
+                # same first-occurrence rows either way.
+                rows = unique_allocation_rows(
+                    hp_table, lp_table, self.block_count
+                )
             placements.extend(
                 self._evaluate_row(row) for row in rows if row is not None
             )

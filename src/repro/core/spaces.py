@@ -36,7 +36,6 @@ from enum import Enum
 from ..errors import ConfigurationError
 from ..isa.encoding import ClusterId
 from ..memory.hybrid import BankKind
-from ..pim.cluster import PIMCluster
 from ..workloads.models import ModelSpec
 
 #: FPGA-prototype latency scale (see module docstring for the derivation).

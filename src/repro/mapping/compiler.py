@@ -31,7 +31,6 @@ from ..isa.instructions import (
     GateTarget,
     LoadOperands,
     Move,
-    PimInstruction,
     Sync,
 )
 from ..memory.hybrid import BankKind

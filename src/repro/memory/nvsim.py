@@ -16,7 +16,6 @@ trends are physically shaped.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError

@@ -1,0 +1,24 @@
+"""Performance harness: reproducible timings behind ``repro bench``.
+
+The harness times the paths the ROADMAP cares about — LUT construction
+(vectorized vs the scalar reference, cold vs persistent-cache warm),
+sweep throughput through the experiment engine, and per-slice lookup
+latency — and writes machine-readable ``BENCH_*.json`` artifacts that CI
+uploads and gates on.
+"""
+
+from .bench import (
+    BENCH_PREFIX,
+    default_bench_settings,
+    render_report,
+    run_bench,
+    write_reports,
+)
+
+__all__ = [
+    "BENCH_PREFIX",
+    "default_bench_settings",
+    "render_report",
+    "run_bench",
+    "write_reports",
+]

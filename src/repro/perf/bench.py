@@ -1,0 +1,314 @@
+"""The ``repro bench`` measurement sections.
+
+Four sections, each emitted as one ``BENCH_<section>.json``:
+
+``lut_build``
+    Wall time of a full allocation-LUT construction on the vectorized
+    production path vs the ``REPRO_SCALAR_DP`` scalar reference —
+    the CI perf gate fails when the reported ``speedup`` drops below
+    ``--min-speedup``.
+``lut_cache``
+    Cold materialisation (build + persist) vs warm load of the same
+    runtime from the persistent cache, in an isolated cache directory;
+    ``warm_dp_builds`` must be zero or the cache is broken.
+``sweep``
+    Engine ``run_many`` throughput over a small grid: a cold pass, a
+    warm in-memory pass on the same engine, and a fresh-engine pass
+    served purely by the disk cache (``disk_warm_dp_builds == 0`` is the
+    cross-process zero-rebuild property).
+``lookup``
+    Mean per-slice ``AllocationLUT.lookup`` latency over budgets
+    spanning the feasible range — the paper's O(log n) runtime claim.
+
+All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..api.config import ExperimentConfig
+from ..api.engine import Engine
+from ..api.registry import MODELS
+from ..arch.specs import HH_PIM
+from ..core import lutcache
+from ..core.knapsack import scalar_dp
+from ..core.placement import (
+    DEFAULT_BLOCK_COUNT,
+    DEFAULT_TIME_STEPS,
+    DataPlacementOptimizer,
+)
+from ..core.runtime import default_time_slice_ns
+
+#: Common prefix of every benchmark artifact file.
+BENCH_PREFIX = "BENCH_"
+
+
+def default_bench_settings(quick: bool = False) -> dict:
+    """The knobs a bench run needs, scaled down under ``--quick``.
+
+    ``--quick`` trims repeats and the sweep grid for CI latency but keeps
+    the LUT build at the requested (default: full) resolution — the perf
+    gate is only meaningful against the real construction cost.
+    """
+    return {
+        "quick": quick,
+        "repeats": 1 if quick else 3,
+        "sweep_archs": ["HH-PIM", "Hybrid-PIM"] if quick
+        else ["Baseline-PIM", "Heterogeneous-PIM", "Hybrid-PIM", "HH-PIM"],
+        "sweep_cases": ["case1", "case3"] if quick
+        else ["case1", "case2", "case3", "case4", "case5", "case6"],
+        "sweep_slices": 10 if quick else 50,
+        "sweep_blocks": 24 if quick else 48,
+        "sweep_steps": 1500 if quick else 6000,
+        "lookups": 2000 if quick else 20000,
+    }
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _metadata(settings: dict) -> dict:
+    return {
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": np.__version__,
+        "quick": settings["quick"],
+    }
+
+
+# -- sections --------------------------------------------------------------------
+
+
+def bench_lut_build(
+    model_name: str,
+    block_count: int,
+    time_steps: int,
+    repeats: int,
+) -> dict:
+    """Vectorized vs scalar-reference LUT construction on HH-PIM."""
+    model = MODELS.get(model_name)
+    t_slice_ns = default_time_slice_ns(
+        model, block_count=block_count, time_steps=time_steps
+    )
+    optimizer = DataPlacementOptimizer(
+        HH_PIM,
+        model,
+        t_slice_ns=t_slice_ns,
+        block_count=block_count,
+        time_steps=time_steps,
+    )
+    built = {}
+
+    def build() -> None:
+        built["lut"] = optimizer.build_lut()
+
+    vectorized_s = _best_of(build, repeats)
+    with scalar_dp():
+        # The scalar reference is orders of magnitude slower; one
+        # repetition bounds bench latency without hurting the gate.
+        scalar_s = _best_of(optimizer.build_lut, 1)
+    return {
+        "arch": "HH-PIM",
+        "model": model.name,
+        "block_count": block_count,
+        "time_steps": optimizer.time_steps,
+        "t_slice_ns": t_slice_ns,
+        "vectorized_s": vectorized_s,
+        "scalar_s": scalar_s,
+        "speedup": scalar_s / vectorized_s,
+        "lut_candidates": len(built["lut"]),
+    }
+
+
+def bench_lut_cache(
+    model_name: str,
+    block_count: int,
+    time_steps: int,
+) -> dict:
+    """Cold build-and-persist vs warm load from the persistent cache.
+
+    Runs against a throwaway cache directory so the measurement is
+    always a true cold/warm pair, regardless of the user's cache state.
+    """
+    config = ExperimentConfig(
+        model=MODELS.canonical(model_name),
+        block_count=block_count,
+        time_steps=time_steps,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        with lutcache.temporary_cache_dir(tmp):
+            cold_engine = Engine()
+            cold_s = _best_of(lambda: cold_engine.runtime(config), 1)
+            cold_builds = cold_engine.stats.dp_builds
+
+            warm_engine = Engine()
+            warm_s = _best_of(lambda: warm_engine.runtime(config), 1)
+            warm_builds = warm_engine.stats.dp_builds
+            entries = lutcache.info()
+    return {
+        "model": config.model,
+        "block_count": block_count,
+        "time_steps": time_steps,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_dp_builds": cold_builds,
+        "warm_dp_builds": warm_builds,
+        "load_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cache_entries": entries["entries"],
+        "cache_bytes": entries["bytes"],
+    }
+
+
+def bench_sweep(settings: dict, model_name: str) -> dict:
+    """Engine ``run_many`` throughput: cold, memory-warm and disk-warm."""
+    grid = ExperimentConfig(
+        model=MODELS.canonical(model_name),
+        slices=settings["sweep_slices"],
+        block_count=settings["sweep_blocks"],
+        time_steps=settings["sweep_steps"],
+    ).sweep(arch=settings["sweep_archs"], scenario=settings["sweep_cases"])
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-sweep-") as tmp:
+        with lutcache.temporary_cache_dir(tmp):
+            engine = Engine()
+            cold_s = _best_of(lambda: engine.run_many(grid), 1)
+            cold_builds = engine.stats.dp_builds
+            warm_s = _best_of(lambda: engine.run_many(grid), 1)
+
+            fresh = Engine()
+            disk_warm_s = _best_of(lambda: fresh.run_many(grid), 1)
+            disk_builds = fresh.stats.dp_builds
+            disk_hits = fresh.stats.lut_disk_hits
+    return {
+        "runs": len(grid),
+        "archs": settings["sweep_archs"],
+        "cases": settings["sweep_cases"],
+        "slices": settings["sweep_slices"],
+        "cold_s": cold_s,
+        "cold_runs_per_s": len(grid) / cold_s,
+        "cold_dp_builds": cold_builds,
+        "warm_s": warm_s,
+        "warm_runs_per_s": len(grid) / warm_s,
+        "disk_warm_s": disk_warm_s,
+        "disk_warm_runs_per_s": len(grid) / disk_warm_s,
+        "disk_warm_dp_builds": disk_builds,
+        "disk_warm_disk_hits": disk_hits,
+    }
+
+
+def bench_lookup(model_name: str, lookups: int) -> dict:
+    """Mean per-slice LUT lookup latency over the feasible budget range."""
+    engine = Engine(use_disk_cache=False)
+    runtime = engine.runtime(
+        ExperimentConfig(
+            model=MODELS.canonical(model_name),
+            block_count=24,
+            time_steps=1500,
+        )
+    )
+    lut = runtime.lut
+    budgets = np.linspace(
+        lut.min_feasible_t_ns, runtime.t_slice_ns, lookups
+    ).tolist()
+    start = time.perf_counter()
+    for budget in budgets:
+        lut.lookup(budget)
+    elapsed = time.perf_counter() - start
+    return {
+        "model": MODELS.canonical(model_name),
+        "lookups": lookups,
+        "lut_candidates": len(lut),
+        "total_s": elapsed,
+        "mean_us": elapsed / lookups * 1e6,
+        "lookups_per_s": lookups / elapsed,
+    }
+
+
+# -- orchestration ---------------------------------------------------------------
+
+
+def run_bench(
+    quick: bool = False,
+    model: str = "EfficientNet-B0",
+    block_count: int = DEFAULT_BLOCK_COUNT,
+    time_steps: int = DEFAULT_TIME_STEPS,
+    repeats: int | None = None,
+) -> dict:
+    """Run every section; returns ``{section: metrics}`` plus metadata."""
+    settings = default_bench_settings(quick)
+    if repeats is not None:
+        settings["repeats"] = repeats
+    return {
+        "meta": _metadata(settings),
+        "lut_build": bench_lut_build(
+            model, block_count, time_steps, settings["repeats"]
+        ),
+        "lut_cache": bench_lut_cache(model, block_count, time_steps),
+        "sweep": bench_sweep(settings, model),
+        "lookup": bench_lookup(model, settings["lookups"]),
+    }
+
+
+def write_reports(report: dict, out_dir) -> list:
+    """Write one ``BENCH_<section>.json`` per section; returns the paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for section, metrics in report.items():
+        if section == "meta":
+            continue
+        path = out / f"{BENCH_PREFIX}{section}.json"
+        payload = {"bench": section, **report["meta"], "metrics": metrics}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        paths.append(path)
+    return paths
+
+
+def render_report(report: dict) -> str:
+    """Human-readable summary of a bench report."""
+    build = report["lut_build"]
+    cache = report["lut_cache"]
+    sweep = report["sweep"]
+    lookup = report["lookup"]
+    lines = [
+        (
+            f"LUT build ({build['arch']}/{build['model']}, "
+            f"K={build['block_count']}, T={build['time_steps']} steps): "
+            f"vectorized {build['vectorized_s'] * 1e3:.1f} ms, "
+            f"scalar reference {build['scalar_s'] * 1e3:.1f} ms, "
+            f"speedup {build['speedup']:.1f}x"
+        ),
+        (
+            f"LUT cache: cold build+persist {cache['cold_s'] * 1e3:.1f} ms "
+            f"({cache['cold_dp_builds']} DP builds), warm load "
+            f"{cache['warm_s'] * 1e3:.1f} ms ({cache['warm_dp_builds']} DP "
+            f"builds), load speedup {cache['load_speedup']:.1f}x"
+        ),
+        (
+            f"sweep ({sweep['runs']} runs): cold "
+            f"{sweep['cold_runs_per_s']:.1f} runs/s, memory-warm "
+            f"{sweep['warm_runs_per_s']:.1f} runs/s, disk-warm "
+            f"{sweep['disk_warm_runs_per_s']:.1f} runs/s "
+            f"({sweep['disk_warm_dp_builds']} DP builds on the warm pass)"
+        ),
+        (
+            f"lookup ({lookup['lut_candidates']}-candidate LUT): "
+            f"{lookup['mean_us']:.2f} us/lookup "
+            f"({lookup['lookups_per_s']:,.0f} lookups/s)"
+        ),
+    ]
+    return "\n".join(lines)

@@ -13,8 +13,21 @@ import pytest
 from _shared import SMALL_BLOCKS, SMALL_STEPS
 from repro.arch import BASELINE_PIM, HETEROGENEOUS_PIM, HH_PIM, HYBRID_PIM
 from repro.core import DataPlacementOptimizer, TimeSliceRuntime
+from repro.core.lutcache import temporary_cache_dir
 from repro.core.runtime import default_time_slice_ns
 from repro.workloads import EFFICIENTNET_B0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_lut_cache(tmp_path_factory):
+    """Point the persistent LUT cache at a throwaway directory.
+
+    Keeps the suite hermetic: no reads of a previously warmed user cache
+    (which would skew the engine's build-count assertions) and no writes
+    outside the pytest tmp tree.
+    """
+    with temporary_cache_dir(tmp_path_factory.mktemp("lut-cache")):
+        yield
 
 
 @pytest.fixture(scope="session")

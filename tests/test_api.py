@@ -7,7 +7,6 @@ import json
 
 import pytest
 
-from _shared import SMALL_BLOCKS, SMALL_STEPS
 from repro.api import (
     ARCHITECTURES,
     Engine,
@@ -215,6 +214,45 @@ class TestEngine:
         assert engine.stats.runs == 3
         assert engine.cached_runtimes == 1
 
+    def test_second_run_many_performs_zero_dp_builds(self, tmp_path,
+                                                     monkeypatch):
+        """Regression: the persistent cache spans engines and processes.
+
+        A second ``run_many`` over the same grid — even from a fresh
+        engine, which models a fresh process — must be served entirely
+        by the on-disk LUT cache: zero DP table constructions, including
+        the time-slice sizing bootstrap.
+        """
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        grid = ExperimentConfig(slices=3, **TINY).sweep(
+            arch=["HH-PIM", "Hybrid-PIM"], scenario=["case1", "case2"],
+        )
+        cold = Engine()
+        first = cold.run_many(grid)
+        assert cold.stats.dp_builds > 0
+
+        warm = Engine()
+        second = warm.run_many(grid)
+        assert warm.stats.dp_builds == 0
+        assert warm.stats.lut_disk_hits == 3  # 2 runtimes + 1 t_slice
+        for a, b in zip(first, second):
+            assert a.result.total_energy_nj == b.result.total_energy_nj
+            assert a.result.records == b.result.records
+
+    def test_pooled_workers_consult_disk_cache(self, tmp_path, monkeypatch):
+        """Pool workers must load cached LUTs instead of rebuilding."""
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        grid = ExperimentConfig(slices=3, **TINY).sweep(
+            arch=["HH-PIM", "Hybrid-PIM"], scenario=["case1", "case2"],
+        )
+        serial = Engine().run_many(grid)
+        pooled_engine = Engine()
+        pooled = pooled_engine.run_many(grid, max_workers=2)
+        # The workers' DP-build deltas travel back with their results.
+        assert pooled_engine.stats.dp_builds == 0
+        for a, b in zip(serial, pooled):
+            assert a.result.total_energy_nj == b.result.total_energy_nj
+
     def test_scenario_override(self):
         engine = Engine()
         trace = Scenario(case=ScenarioCase.RANDOM, loads=(1, 5, 2), peak=10)
@@ -303,7 +341,9 @@ class TestGridAcceptance:
 
     @pytest.fixture(scope="class")
     def grid_run(self):
-        engine = Engine()
+        # Disk cache off: this fixture counts *actual* optimizer builds,
+        # which a cache warmed by earlier tests would legitimately elide.
+        engine = Engine(use_disk_cache=False)
         build_calls = []
         original = DataPlacementOptimizer.build_lut
 

@@ -102,6 +102,50 @@ class TestJsonAndSweep:
 
 
 class TestErrorExit:
+    def test_bench_quick_writes_artifacts(self, capsys, tmp_path,
+                                          monkeypatch):
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        out = run_cli(capsys, "bench", "--quick", "--blocks", "12",
+                      "--steps", "600", "--out", str(tmp_path),
+                      "--min-speedup", "1.0")
+        assert "speedup" in out
+        names = {path.name for path in tmp_path.glob("BENCH_*.json")}
+        assert names == {"BENCH_lut_build.json", "BENCH_lut_cache.json",
+                         "BENCH_sweep.json", "BENCH_lookup.json"}
+        payload = json.loads((tmp_path / "BENCH_lut_build.json").read_text())
+        assert payload["bench"] == "lut_build"
+        assert payload["metrics"]["speedup"] > 0
+        assert json.loads(
+            (tmp_path / "BENCH_sweep.json").read_text()
+        )["metrics"]["disk_warm_dp_builds"] == 0
+
+    def test_bench_gate_failure_exits_2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        code = main(["bench", "--quick", "--blocks", "12", "--steps", "600",
+                     "--out", str(tmp_path), "--min-speedup", "1e9"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "perf gate failed" in captured.err
+
+    def test_cache_info_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        run_cli(capsys, "run", "--case", "1", "--slices", "2",
+                "--blocks", "12", "--steps", "600", "--arch", "HH-PIM")
+        out = run_cli(capsys, "cache", "info")
+        assert str(tmp_path / "cache") in out
+        assert "entries: 2" in out  # the runtime + the t-slice sizing
+        out = run_cli(capsys, "cache", "clear")
+        assert "removed 2" in out
+        out = run_cli(capsys, "cache", "info")
+        assert "entries: 0" in out
+
+    def test_no_cache_skips_the_disk(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        run_cli(capsys, "run", "--case", "1", "--slices", "2",
+                "--blocks", "12", "--steps", "600", "--arch", "HH-PIM",
+                "--no-cache")
+        assert not list((tmp_path / "cache").glob("**/*.pkl"))
+
     def test_unknown_model_exits_2_without_traceback(self, capsys):
         code = main(["run", "--model", "NoSuchModel",
                      "--blocks", "16", "--steps", "1500"])

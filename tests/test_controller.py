@@ -19,7 +19,6 @@ from repro.isa import (
     Category,
     ClusterId,
     Compute,
-    ComputeOp,
     Config,
     ConfigOp,
     GateTarget,

@@ -6,7 +6,7 @@ import pytest
 from repro.arch import BASELINE_PIM, HH_PIM, HYBRID_PIM
 from repro.core import DataPlacementOptimizer, PlacementPolicy, SpaceKind
 from repro.core.runtime import TimeSliceRuntime, default_time_slice_ns
-from repro.core.spaces import CORE_MAC_TIME_NS, PIM_LATENCY_SCALE
+from repro.core.spaces import CORE_MAC_TIME_NS
 from repro.errors import InfeasibleError, PlacementError
 from repro.workloads import EFFICIENTNET_B0, RESNET_18, scenario, ScenarioCase
 

@@ -7,7 +7,6 @@ from repro.core.spaces import SpaceKind
 from repro.errors import PlacementError
 from repro.isa import ClusterId, Compute, Config, LoadOperands, Move, Sync
 from repro.mapping import InferenceCompiler
-from repro.memory.hybrid import BankKind
 from repro.workloads import EFFICIENTNET_B0
 
 from _shared import SMALL_BLOCKS

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core invariants."""
 
-import itertools
 
 import numpy as np
 from hypothesis import given, settings, strategies as st
