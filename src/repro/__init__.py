@@ -52,9 +52,12 @@ from .core.runtime import (
     SliceRecord,
     TimeSliceRuntime,
     default_time_slice_ns,
+    scalar_runtime,
 )
 from .core.spaces import SpaceKind, StorageSpace
 from .errors import ReproError
+from .serving import DispatchPolicy, Fleet, FleetResult
+from .workloads.arrivals import ArrivalProcess
 from .workloads.models import (
     EFFICIENTNET_B0,
     MOBILENET_V2,
@@ -66,6 +69,7 @@ from .workloads.models import (
 from .workloads.scenarios import Scenario, ScenarioCase, scenario
 from .api import (
     ARCHITECTURES,
+    DISPATCH,
     Engine,
     ExperimentConfig,
     MODELS,
@@ -98,9 +102,14 @@ __all__ = [
     "SliceRecord",
     "TimeSliceRuntime",
     "default_time_slice_ns",
+    "scalar_runtime",
     "SpaceKind",
     "StorageSpace",
     "ReproError",
+    "ArrivalProcess",
+    "DispatchPolicy",
+    "Fleet",
+    "FleetResult",
     "EFFICIENTNET_B0",
     "MOBILENET_V2",
     "RESNET_18",
@@ -114,6 +123,7 @@ __all__ = [
     "MODELS",
     "SCENARIOS",
     "POLICIES",
+    "DISPATCH",
     "Engine",
     "ExperimentConfig",
     "ResultSet",

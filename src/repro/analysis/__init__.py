@@ -1,4 +1,4 @@
-"""Analysis: energy-savings grids (Fig. 5 / Table VI) and figure renderers."""
+"""Analysis: savings grids (Fig. 5 / Table VI), figures, fleet reports."""
 
 from .savings import (
     SavingsCell,
@@ -7,10 +7,14 @@ from .savings import (
     table_vi,
     average_savings,
 )
-from .figures import render_fig4, render_fig5, render_fig6, fig6_series
+from .figures import render_fig4, render_fig5, render_fig6, fig6_series, sparkline
+from .fleet import fleet_table, render_fleet
 from .reporting import TextTable
 
 __all__ = [
+    "fleet_table",
+    "render_fleet",
+    "sparkline",
     "SavingsCell",
     "SavingsGrid",
     "compute_savings_grid",

@@ -19,7 +19,8 @@ from .savings import BASELINE_NAMES, SavingsGrid
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
 
-def _spark(values, peak) -> str:
+def sparkline(values, peak) -> str:
+    """A unicode block-strip of ``values`` normalised to ``peak``."""
     chars = []
     for value in values:
         level = 0 if peak == 0 else round(value / peak * (len(_BLOCKS) - 1))
@@ -28,15 +29,16 @@ def _spark(values, peak) -> str:
 
 
 def render_fig4(scenarios) -> str:
-    """Sparkline strip chart of the Fig. 4 load patterns."""
+    """Sparkline strip chart of load patterns (Fig. 4 and DSL-built)."""
     lines = []
     for sc in scenarios:
         if not isinstance(sc, Scenario):
             raise ConfigurationError("render_fig4 expects Scenario objects")
-        lines.append(
-            f"Case {sc.case.value} ({sc.case.label:<34}) "
-            f"{_spark(sc.loads, sc.peak)}"
-        )
+        if sc.case is not None:
+            title = f"Case {sc.case.value} ({sc.case.label:<34})"
+        else:
+            title = f"{sc.label:<43}"
+        lines.append(f"{title} {sparkline(sc.loads, sc.peak)}")
     return "\n".join(lines)
 
 

@@ -1,0 +1,46 @@
+"""Fleet reporting: per-device tables and aggregate serving statistics."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..serving.fleet import FleetResult
+from .reporting import TextTable
+
+
+def fleet_table(result: FleetResult) -> TextTable:
+    """Per-device breakdown of one fleet run."""
+    if not isinstance(result, FleetResult):
+        raise ConfigurationError(
+            f"fleet_table expects a FleetResult, got {type(result).__name__}"
+        )
+    table = TextTable([
+        "Device", "Architecture", "Inferences", "Energy (mJ)",
+        "Energy/inf (uJ)", "Mean power (mW)", "Busy", "Deadlines",
+    ])
+    utilization = result.device_utilization
+    for index, run in enumerate(result.device_results):
+        table.add_row(
+            f"#{index}",
+            run.architecture,
+            run.total_inferences,
+            round(run.total_energy_nj / 1e6, 2),
+            round(run.energy_per_inference_nj / 1e3, 2),
+            round(run.mean_power_mw, 2),
+            f"{utilization[index]:.0%}",
+            "met" if run.deadlines_met else "MISSED",
+        )
+    return table
+
+
+def render_fleet(result: FleetResult) -> str:
+    """The per-device table plus the fleet's aggregate line."""
+    summary = (
+        f"fleet of {len(result)} ({result.dispatch}), "
+        f"scenario {result.scenario.label}: "
+        f"{result.total_inferences} inferences, "
+        f"{result.total_energy_nj / 1e6:.2f} mJ "
+        f"({result.energy_per_inference_nj / 1e3:.2f} uJ/inf), "
+        f"deadline rate {result.deadline_rate:.0%}, "
+        f"load imbalance {result.load_imbalance:.2f}x"
+    )
+    return fleet_table(result).render() + "\n\n" + summary

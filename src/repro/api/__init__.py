@@ -31,6 +31,7 @@ from .config import ExperimentConfig
 from .engine import Engine, EngineStats, shared_engine
 from .registry import (
     ARCHITECTURES,
+    DISPATCH,
     MODELS,
     POLICIES,
     Registry,
@@ -43,6 +44,7 @@ from .results import AggregateStats, ResultSet, RunRecord
 
 __all__ = [
     "ARCHITECTURES",
+    "DISPATCH",
     "MODELS",
     "POLICIES",
     "SCENARIOS",

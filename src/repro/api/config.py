@@ -22,7 +22,7 @@ from dataclasses import dataclass, fields
 from ..core.placement import DEFAULT_BLOCK_COUNT, DEFAULT_TIME_STEPS
 from ..core.runtime import FINE_GRANULE_BYTES
 from ..errors import ConfigurationError
-from .registry import ARCHITECTURES, MODELS, POLICIES, SCENARIOS
+from .registry import ARCHITECTURES, DISPATCH, MODELS, POLICIES, SCENARIOS
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,11 @@ class ExperimentConfig:
     #: :mod:`repro.core.lutcache`); identical results either way, so
     #: disable only to benchmark or debug cold builds.
     lut_cache: bool = True
+    #: Fleet shape: number of devices serving the scenario (1 = the
+    #: paper's single-device runtime) and the dispatch policy splitting
+    #: the arrival stream (a :data:`repro.api.registry.DISPATCH` key).
+    fleet: int = 1
+    dispatch: str = "round_robin"
 
     def __post_init__(self) -> None:
         for name in ("arch", "model", "scenario"):
@@ -90,6 +95,14 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"lut_cache must be a bool, got {self.lut_cache!r}"
             )
+        if not isinstance(self.fleet, int) or self.fleet <= 0:
+            raise ConfigurationError(
+                f"fleet size must be a positive integer, got {self.fleet!r}"
+            )
+        if not isinstance(self.dispatch, str) or not self.dispatch.strip():
+            raise ConfigurationError(
+                f"dispatch must be a non-empty string, got {self.dispatch!r}"
+            )
 
     # -- registry resolution ----------------------------------------------------
 
@@ -100,6 +113,7 @@ class ExperimentConfig:
         SCENARIOS.get(self.scenario)
         if self.policy is not None:
             POLICIES.get(self.policy)
+        DISPATCH.get(self.dispatch)
         return self
 
     @property

@@ -34,11 +34,12 @@ from dataclasses import dataclass
 from ..core import lutcache
 from ..core.knapsack import dp_build_count
 from ..core.placement import PlacementPolicy
-from ..core.runtime import RunResult, TimeSliceRuntime, default_time_slice_ns
-from ..errors import RegistryError
+from ..core.runtime import TimeSliceRuntime, default_time_slice_ns
+from ..errors import ConfigurationError, RegistryError
+from ..serving.fleet import Fleet, FleetResult
 from ..workloads.scenarios import Scenario
 from .config import ExperimentConfig
-from .registry import ARCHITECTURES, MODELS, POLICIES, SCENARIOS
+from .registry import ARCHITECTURES, DISPATCH, MODELS, POLICIES, SCENARIOS
 from .results import ResultSet, RunRecord
 
 
@@ -262,23 +263,51 @@ class Engine:
     # -- execution --------------------------------------------------------------
 
     def run(self, config: ExperimentConfig,
-            scenario: Scenario | None = None) -> RunResult:
+            scenario: Scenario | None = None):
         """Execute one experiment; ``scenario`` overrides the config's.
 
         Identical inputs produce bit-for-bit identical results to a
         hand-constructed :class:`TimeSliceRuntime` — the engine adds
-        caching, never approximation.
+        caching, never approximation.  Returns a :class:`RunResult` for
+        a single device (``config.fleet == 1``) and a
+        :class:`~repro.serving.fleet.FleetResult` for a fleet.
         """
+        if config.fleet > 1:
+            return self.run_fleet(config, scenario=scenario)
         return self.run_record(config, scenario=scenario).result
 
     def run_record(self, config: ExperimentConfig,
                    scenario: Scenario | None = None) -> RunRecord:
         """Like :meth:`run` but keeps the config and cache provenance."""
+        if config.fleet > 1:
+            raise ConfigurationError(
+                f"config asks for a {config.fleet}-device fleet; use "
+                f"Engine.run_fleet (ResultSet batching is single-device)"
+            )
         runtime, cached = self._runtime_cached(self.resolve(config))
         workload = scenario if scenario is not None else self.scenario(config)
         result = runtime.run(workload)
         self.stats.runs += 1
         return RunRecord(config=config, result=result, lut_cached=cached)
+
+    def run_fleet(self, config: ExperimentConfig,
+                  scenario: Scenario | None = None) -> FleetResult:
+        """Serve the config's scenario on a ``config.fleet``-device fleet.
+
+        All devices share the config's (architecture, model, resolution)
+        — and therefore one memoized runtime and one LUT; the dispatch
+        policy comes from the :data:`~repro.api.registry.DISPATCH`
+        registry.  Heterogeneous fleets are built directly with
+        :class:`repro.serving.fleet.Fleet`.
+        """
+        runtime, _ = self._runtime_cached(self.resolve(config))
+        workload = scenario if scenario is not None else self.scenario(config)
+        fleet = Fleet(
+            [runtime] * config.fleet, dispatch=DISPATCH.get(config.dispatch)
+        )
+        result = fleet.run(workload)
+        self.stats.runs += 1
+        return result
 
     def run_many(self, configs, max_workers: int | None = None) -> ResultSet:
         """Execute a batch of configs; results follow the input order.
@@ -290,6 +319,12 @@ class Engine:
         in-process from the cache.
         """
         configs = tuple(configs)
+        for config in configs:
+            if config.fleet > 1:
+                raise ConfigurationError(
+                    "run_many batches single-device configs; run fleet "
+                    "configs individually via Engine.run_fleet"
+                )
         workers = max_workers if max_workers is not None else self.max_workers
         if not configs:
             return ResultSet(())

@@ -12,8 +12,8 @@ specs without touching core code::
 
     register_architecture(my_spec)                  # key = spec.name
 
-    @SCENARIOS.register("bursty")                   # decorator form
-    def bursty(slices=50, peak=10, low=2, seed=2025):
+    @SCENARIOS.register("sawtooth")                 # decorator form
+    def sawtooth(slices=50, peak=10, low=2, seed=2025):
         ...
         return Scenario(...)
 
@@ -28,6 +28,8 @@ from typing import Callable, Iterator
 from ..arch.specs import TABLE_I, ArchitectureSpec
 from ..core.placement import PlacementPolicy
 from ..errors import RegistryError
+from ..serving.dispatch import BUILTIN_POLICIES, DispatchPolicy
+from ..workloads import arrivals
 from ..workloads.models import TABLE_IV, ModelSpec
 from ..workloads.scenarios import ALL_CASES, Scenario, ScenarioCase, scenario
 
@@ -202,6 +204,14 @@ def _check_policy(key, value) -> None:
         )
 
 
+def _check_dispatch(key, value) -> None:
+    if not (isinstance(value, DispatchPolicy) or callable(value)):
+        raise RegistryError(
+            f"dispatch policy {key!r} must be a DispatchPolicy or a "
+            f"factory callable, got {type(value).__name__}"
+        )
+
+
 #: Table I architectures plus any user-registered fabrics.
 ARCHITECTURES = Registry("architecture", _check_architecture)
 
@@ -215,6 +225,11 @@ SCENARIOS = Registry("scenario", _check_scenario)
 
 #: Placement policies by their string value (``dynamic_lut``, ...).
 POLICIES = Registry("placement policy", _check_policy)
+
+#: Fleet dispatch policies (``round_robin``, ``least_loaded``,
+#: ``energy_aware``) plus any user-registered strategies.  Entries are
+#: factories producing :class:`repro.serving.dispatch.DispatchPolicy`.
+DISPATCH = Registry("dispatch policy", _check_dispatch)
 
 
 def ensure_registered(registry: Registry, name: str, value) -> None:
@@ -257,6 +272,31 @@ def _case_factory(case: ScenarioCase):
     return factory
 
 
+def _poisson_factory(slices: int = 50, peak: int = 10, low: int = 2,
+                     seed: int = 2025) -> Scenario:
+    """Poisson arrivals at the midpoint rate between ``low`` and ``peak``."""
+    rate = (low + peak) / 2.0
+    return arrivals.poisson(rate).materialize(
+        slices=slices, peak=peak, seed=seed
+    )
+
+
+def _bursty_factory(slices: int = 50, peak: int = 10, low: int = 2,
+                    seed: int = 2025) -> Scenario:
+    """MMPP bursty traffic: calm at ``low``, bursting toward ``peak``."""
+    return arrivals.bursty(calm_rate=low, burst_rate=peak).materialize(
+        slices=slices, peak=peak, seed=seed
+    )
+
+
+def _diurnal_factory(slices: int = 50, peak: int = 10, low: int = 2,
+                     seed: int = 2025) -> Scenario:
+    """A day/night sinusoid from ``low`` to ``peak`` over the run."""
+    return arrivals.diurnal(trough=low, crest=peak).materialize(
+        slices=slices, peak=peak, seed=seed
+    )
+
+
 def _register_builtins() -> None:
     for spec in TABLE_I:
         ARCHITECTURES.register(spec.name, spec)
@@ -265,8 +305,13 @@ def _register_builtins() -> None:
     for case in ALL_CASES:
         SCENARIOS.register(f"case{case.value}", _case_factory(case))
         SCENARIOS.alias(case.name.lower(), f"case{case.value}")
+    SCENARIOS.register("poisson", _poisson_factory)
+    SCENARIOS.register("bursty", _bursty_factory)
+    SCENARIOS.register("diurnal", _diurnal_factory)
     for policy in PlacementPolicy:
         POLICIES.register(policy.value, policy)
+    for name, factory in BUILTIN_POLICIES.items():
+        DISPATCH.register(name, factory)
 
 
 _register_builtins()

@@ -9,6 +9,8 @@ Usage::
     python -m repro run --case 3           # one scenario, all architectures
     python -m repro run --case 1 --json    # machine-readable run summary
     python -m repro sweep --model ResNet-18 --case 1 --case 2
+    python -m repro fleet --devices 4 --dispatch least_loaded --scenario bursty
+    python -m repro scenarios              # registered scenarios, previewed
     python -m repro bench --quick          # perf harness -> BENCH_*.json
     python -m repro cache info             # persistent LUT cache state
     python -m repro list                   # registered specs
@@ -26,8 +28,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis import TextTable, render_fig4, render_fig6
-from .api import ARCHITECTURES, MODELS, POLICIES, SCENARIOS, ExperimentConfig
+from .analysis import TextTable, render_fig4, render_fig6, render_fleet, sparkline
+from .api import (
+    ARCHITECTURES,
+    DISPATCH,
+    MODELS,
+    POLICIES,
+    SCENARIOS,
+    ExperimentConfig,
+)
 from .api.engine import shared_engine
 from .arch import TABLE_I
 from .core import lutcache
@@ -151,6 +160,8 @@ def _results_table(results) -> TextTable:
 
 
 def _cmd_run(args) -> str:
+    import json
+
     engine = shared_engine()
     configs = _base_config(args).sweep(
         arch=_resolve_axis(args.arch, ARCHITECTURES),
@@ -159,7 +170,13 @@ def _cmd_run(args) -> str:
     )
     results = engine.run_many(configs, max_workers=args.workers)
     if args.json:
-        return results.to_json()
+        rows = results.to_rows()
+        if args.records:
+            # The full per-slice export (RunResult.to_dict), so
+            # downstream tools never touch dataclass internals.
+            for row, record in zip(rows, results):
+                row["records"] = record.result.to_dict()["records"]
+        return json.dumps(rows, indent=2)
     first = results[0]
     header = (
         f"{first.model}, Case {args.case} "
@@ -212,6 +229,60 @@ def _cmd_sweep(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_fleet(args) -> str:
+    import json
+
+    engine = shared_engine()
+    config = ExperimentConfig(
+        arch=ARCHITECTURES.canonical(args.arch),
+        model=MODELS.canonical(args.model),
+        scenario=SCENARIOS.canonical(args.scenario),
+        fleet=args.devices,
+        dispatch=DISPATCH.canonical(args.dispatch),
+        slices=args.slices,
+        peak=args.peak,
+        block_count=args.blocks,
+        time_steps=args.steps,
+        lut_cache=not args.no_cache,
+    )
+    result = engine.run_fleet(config)
+    if args.json:
+        return json.dumps(
+            result.to_dict(include_records=args.records), indent=2
+        )
+    header = (
+        f"{config.arch}/{config.model} x{args.devices} "
+        f"({result.dispatch}), scenario {result.scenario.label}, "
+        f"{len(result.scenario)} slices"
+    )
+    return header + "\n\n" + render_fleet(result)
+
+
+def _cmd_scenarios(args) -> str:
+    """Preview every registered scenario as a sparkline strip."""
+    engine = shared_engine()
+    keys = [SCENARIOS.canonical(args.only)] if args.only else SCENARIOS.keys()
+    width = max(len(key) for key in keys)
+    lines = []
+    for key in keys:
+        config = ExperimentConfig(
+            scenario=key, slices=args.slices, peak=args.peak, low=args.low,
+            seed=args.seed,
+        )
+        try:
+            materialised = engine.scenario(config)
+        except ReproError as error:
+            lines.append(f"{key:<{width}}  (unavailable: {error})")
+            continue
+        lines.append(
+            f"{key:<{width}}  "
+            f"{sparkline(materialised.loads, materialised.peak)}  "
+            f"(mean {materialised.mean_load:.1f}/slice, "
+            f"peak {materialised.peak})"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_bench(args) -> str:
     import json
 
@@ -230,6 +301,14 @@ def _cmd_bench(args) -> str:
         raise ReproError(
             f"perf gate failed: vectorized LUT build speedup {speedup:.2f}x "
             f"is below the required {args.min_speedup:.2f}x"
+        )
+    loop_speedup = report["runtime"]["speedup"]
+    if (args.min_runtime_speedup is not None
+            and loop_speedup < args.min_runtime_speedup):
+        raise ReproError(
+            f"perf gate failed: vectorized slice-loop speedup "
+            f"{loop_speedup:.2f}x is below the required "
+            f"{args.min_runtime_speedup:.2f}x"
         )
     if args.json:
         return json.dumps(report, indent=2, sort_keys=True)
@@ -264,6 +343,8 @@ def _cmd_list(_args) -> str:
     lines += [f"  {name}" for name in SCENARIOS.keys()]
     lines.append("policies:")
     lines += [f"  {name}" for name in POLICIES.keys()]
+    lines.append("dispatch policies:")
+    lines += [f"  {name}" for name in DISPATCH.keys()]
     return "\n".join(lines)
 
 
@@ -304,6 +385,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="architecture to run (repeatable; default: all)")
     run.add_argument("--json", action="store_true",
                      help="emit machine-readable per-run summaries")
+    run.add_argument("--records", action="store_true",
+                     help="with --json: include the full per-slice records")
     _add_resolution_args(run, blocks=48, steps=6000)
     sweep = sub.add_parser(
         "sweep", help="grid over architectures x models x scenarios"
@@ -323,6 +406,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", metavar="FILE", default=None,
                        help="also write per-run rows to a CSV file")
     _add_resolution_args(sweep, blocks=48, steps=6000)
+    fleet = sub.add_parser(
+        "fleet", help="serve one scenario on a multi-device fleet"
+    )
+    fleet.add_argument("--devices", type=int, default=4,
+                       help="fleet size (default: 4)")
+    fleet.add_argument("--dispatch", default="round_robin",
+                       help="dispatch policy (round_robin, least_loaded, "
+                            "energy_aware, or a registered key)")
+    fleet.add_argument("--arch", default="HH-PIM")
+    fleet.add_argument("--model", default="EfficientNet-B0")
+    fleet.add_argument("--scenario", default="case3",
+                       help="any registered scenario key (case1..case6, "
+                            "poisson, bursty, diurnal, ...)")
+    fleet.add_argument("--peak", type=int, default=10,
+                       help="scenario peak load per slice")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the machine-readable fleet summary")
+    fleet.add_argument("--records", action="store_true",
+                       help="with --json: include per-device slice records")
+    # No --workers: the fleet shares one runtime, and its devices run
+    # in-process (the vectorized slice loop, not LUT builds, dominates).
+    fleet.add_argument("--slices", type=int, default=50)
+    fleet.add_argument("--blocks", type=int, default=48)
+    fleet.add_argument("--steps", type=int, default=6000)
+    fleet.add_argument("--no-cache", action="store_true",
+                       help="skip the persistent on-disk LUT cache")
+    scenarios = sub.add_parser(
+        "scenarios", help="preview registered workload scenarios"
+    )
+    scenarios.add_argument("--only", default=None,
+                           help="preview a single scenario key")
+    scenarios.add_argument("--slices", type=int, default=50)
+    scenarios.add_argument("--peak", type=int, default=10)
+    scenarios.add_argument("--low", type=int, default=2)
+    scenarios.add_argument("--seed", type=int, default=2025)
     bench = sub.add_parser(
         "bench", help="perf harness: LUT build, cache, sweep, lookup timings"
     )
@@ -338,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for the BENCH_*.json artifacts")
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="fail (exit 2) if the vectorized LUT build is "
+                            "not this many times faster than the scalar "
+                            "reference")
+    bench.add_argument("--min-runtime-speedup", type=float, default=None,
+                       help="fail (exit 2) if the vectorized slice loop is "
                             "not this many times faster than the scalar "
                             "reference")
     bench.add_argument("--json", action="store_true",
@@ -359,6 +481,8 @@ _HANDLERS = {
     "fig6": _cmd_fig6,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "fleet": _cmd_fleet,
+    "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
     "list": _cmd_list,

@@ -12,11 +12,29 @@ Implements the paper's runtime discipline (Section III-A):
   wherever it holds weights;
 * the comparison architectures run the same loop with their fixed
   policies (Table I), which is how Fig. 5 / Table VI compare energies.
+
+Two drivers share the accounting core.  The *scalar* reference path
+(:meth:`TimeSliceRuntime.run_scalar`) is the paper-faithful slice-by-
+slice loop; the *vectorized* production path
+(:meth:`TimeSliceRuntime.run_vectorized`) resolves the whole scenario
+against the LUT at once — placement selection and movement collapse to a
+memoized walk over the scenario's distinct ``(tasks, previous
+placement)`` transitions, and the per-slice busy/idle/energy columns are
+assembled as NumPy gathers over the resulting state table.  Both paths
+produce bit-identical :class:`SliceRecord` streams (the accounting
+arithmetic is executed exactly once per distinct state, by the same
+code); the scalar path is selected with ``REPRO_SCALAR_RUNTIME=1`` or
+the :func:`scalar_runtime` context manager, mirroring the
+``REPRO_SCALAR_DP`` switch of :mod:`repro.core.knapsack`.
 """
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..arch.specs import ArchitectureSpec, HH_PIM
 from ..errors import ConfigurationError, InfeasibleError
@@ -44,6 +62,29 @@ FINE_GRANULE_BYTES = 16 * 1024
 #: Macro-level gating (whole 64 kB banks), for gating-granularity
 #: ablations.
 MACRO_GRANULE_BYTES = 64 * 1024
+
+#: Programmatic override of the REPRO_SCALAR_RUNTIME environment switch.
+_FORCE_SCALAR_RUNTIME: bool | None = None
+
+
+def use_scalar_runtime() -> bool:
+    """Whether the scalar reference slice loop is selected."""
+    if _FORCE_SCALAR_RUNTIME is not None:
+        return _FORCE_SCALAR_RUNTIME
+    value = os.environ.get("REPRO_SCALAR_RUNTIME", "").strip().lower()
+    return value in {"1", "true", "yes", "on"}
+
+
+@contextmanager
+def scalar_runtime(enabled: bool = True):
+    """Force the scalar (or vectorized) slice loop for the enclosed block."""
+    global _FORCE_SCALAR_RUNTIME
+    previous = _FORCE_SCALAR_RUNTIME
+    _FORCE_SCALAR_RUNTIME = enabled
+    try:
+        yield
+    finally:
+        _FORCE_SCALAR_RUNTIME = previous
 
 
 @dataclass(frozen=True)
@@ -77,6 +118,36 @@ class SliceRecord:
             + self.pe_static_energy_nj
             + self.movement_energy_nj
         )
+
+    def to_dict(self) -> dict:
+        """A plain-primitive record for JSON export.
+
+        Placement counts are keyed by the space's string value
+        (``hp_sram`` etc.) and the movement estimate is flattened, so
+        downstream tools never touch library dataclasses.
+        """
+        return {
+            "index": self.index,
+            "arrivals": self.arrivals,
+            "tasks_processed": self.tasks_processed,
+            "t_constraint_ns": self.t_constraint_ns,
+            "placement_counts": {
+                kind.value: blocks
+                for kind, blocks in self.placement_counts.items()
+            },
+            "blocks_moved": self.movement.blocks_moved,
+            "movement_time_ns": self.movement.time_ns,
+            "movement_energy_nj": self.movement_energy_nj,
+            "busy_time_ns": self.busy_time_ns,
+            "idle_time_ns": self.idle_time_ns,
+            "dynamic_energy_nj": self.dynamic_energy_nj,
+            "hold_static_energy_nj": self.hold_static_energy_nj,
+            "access_static_energy_nj": self.access_static_energy_nj,
+            "buffer_static_energy_nj": self.buffer_static_energy_nj,
+            "pe_static_energy_nj": self.pe_static_energy_nj,
+            "total_energy_nj": self.total_energy_nj,
+            "deadline_met": self.deadline_met,
+        }
 
 
 @dataclass
@@ -116,6 +187,30 @@ class RunResult:
     def deadlines_met(self) -> bool:
         """Whether every slice finished its tasks within the slice."""
         return all(record.deadline_met for record in self.records)
+
+    def to_dict(self, include_records: bool = True) -> dict:
+        """A plain-primitive summary (plus per-slice records) for export.
+
+        This is the supported machine-readable surface of a run —
+        ``repro run --json --records`` emits it verbatim — so downstream
+        tools never reach into dataclass internals.
+        """
+        data = {
+            "architecture": self.architecture,
+            "model": self.model,
+            "scenario": self.scenario.to_dict(),
+            "t_slice_ns": self.t_slice_ns,
+            "policy": self.policy.value,
+            "slices": len(self.records),
+            "total_energy_nj": self.total_energy_nj,
+            "total_inferences": self.total_inferences,
+            "energy_per_inference_nj": self.energy_per_inference_nj,
+            "mean_power_mw": self.mean_power_mw,
+            "deadlines_met": self.deadlines_met,
+        }
+        if include_records:
+            data["records"] = [record.to_dict() for record in self.records]
+        return data
 
 
 def default_time_slice_ns(
@@ -286,24 +381,77 @@ class TimeSliceRuntime:
             total += space.full_static_power_mw * granule_fraction * busy_ns / 1000.0
         return total
 
-    # -- main loop ------------------------------------------------------------------------
+    # -- the pure accounting core -----------------------------------------------------
 
-    def run(self, scenario: Scenario) -> RunResult:
-        """Execute a scenario; returns per-slice records and totals."""
-        result = RunResult(
+    def _account_slice(self, placement: Placement, movement: MovementEstimate,
+                       tasks: int, t_constraint: float) -> tuple:
+        """Account one slice: the numeric fields of its :class:`SliceRecord`.
+
+        Pure in (placement, movement, tasks, t_constraint) — no slice
+        index, no buffer state — which is what lets the vectorized
+        driver execute it exactly once per distinct state and share the
+        result across every slice in that state, bit for bit.
+
+        Returns ``(busy_total, idle, dynamic, hold, access,
+        buffer_static, pe_static, deadline_met)``.
+        """
+        counts = placement.counts
+        busy_by_cluster = self._cluster_busy_ns(counts, tasks)
+        busy = max(busy_by_cluster.values()) if busy_by_cluster else 0.0
+        busy_total = busy + tasks * self.core_time_ns + movement.time_ns
+        idle = max(0.0, self.t_slice_ns - busy_total)
+        task_latency = placement.task_time_ns + self.core_time_ns
+        slack = self.optimizer.time_step_ns
+        deadline_met = (
+            busy_total <= self.t_slice_ns + tasks * slack + 1e-6
+            and task_latency <= t_constraint + slack
+        )
+
+        dynamic = tasks * placement.dynamic_energy_nj
+        hold = placement.hold_static_power_mw * self.t_slice_ns / 1000.0
+        access = tasks * self.optimizer.mram_access_static_energy_nj(counts)
+        buffer_static = self._buffer_static_energy_nj(counts, busy_by_cluster)
+        pe_static = self._pe_static_energy_nj(busy_by_cluster)
+        return (
+            busy_total, idle, dynamic, hold, access, buffer_static,
+            pe_static, deadline_met,
+        )
+
+    def _boot_counts(self) -> dict:
+        """Boot placement: fixed policies install theirs; the dynamic
+        policy starts in the most energy-efficient state (nothing to do
+        yet)."""
+        if self._fixed is not None:
+            return dict(self._fixed.counts)
+        return dict(self.lut.most_relaxed_placement.counts)
+
+    def _empty_result(self, scenario: Scenario) -> RunResult:
+        return RunResult(
             architecture=self.spec.name,
             model=self.model.name,
             scenario=scenario,
             t_slice_ns=self.t_slice_ns,
             policy=self.policy,
         )
+
+    # -- drivers ------------------------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> RunResult:
+        """Execute a scenario; returns per-slice records and totals.
+
+        Dispatches to the vectorized driver unless the scalar reference
+        loop is forced (``REPRO_SCALAR_RUNTIME=1`` / :func:`scalar_runtime`).
+        Both drivers produce bit-identical records.
+        """
+        if use_scalar_runtime():
+            return self.run_scalar(scenario)
+        return self.run_vectorized(scenario)
+
+    def run_scalar(self, scenario: Scenario) -> RunResult:
+        """The paper-faithful slice-by-slice reference loop."""
+        result = self._empty_result(scenario)
         buffer = TaskBuffer(model=self.model)
-        # Boot placement: fixed policies install theirs; the dynamic policy
-        # starts in the most energy-efficient state (nothing to do yet).
-        if self._fixed is not None:
-            prev_counts = dict(self._fixed.counts)
-        else:
-            prev_counts = dict(self.lut.most_relaxed_placement.counts)
+        prev_counts = self._boot_counts()
 
         for index, load in enumerate(scenario.loads):
             buffer.arrive(load)
@@ -311,23 +459,10 @@ class TimeSliceRuntime:
             placement, movement, t_constraint = self._select_placement(
                 tasks, prev_counts
             )
-            counts = placement.counts
-            busy_by_cluster = self._cluster_busy_ns(counts, tasks)
-            busy = max(busy_by_cluster.values()) if busy_by_cluster else 0.0
-            busy_total = busy + tasks * self.core_time_ns + movement.time_ns
-            idle = max(0.0, self.t_slice_ns - busy_total)
-            task_latency = placement.task_time_ns + self.core_time_ns
-            slack = self.optimizer.time_step_ns
-            deadline_met = (
-                busy_total <= self.t_slice_ns + tasks * slack + 1e-6
-                and task_latency <= t_constraint + slack
-            )
-
-            dynamic = tasks * placement.dynamic_energy_nj
-            hold = placement.hold_static_power_mw * self.t_slice_ns / 1000.0
-            access = tasks * self.optimizer.mram_access_static_energy_nj(counts)
-            buffer_static = self._buffer_static_energy_nj(counts, busy_by_cluster)
-            pe_static = self._pe_static_energy_nj(busy_by_cluster)
+            (
+                busy_total, idle, dynamic, hold, access, buffer_static,
+                pe_static, deadline_met,
+            ) = self._account_slice(placement, movement, tasks, t_constraint)
 
             result.records.append(
                 SliceRecord(
@@ -335,7 +470,7 @@ class TimeSliceRuntime:
                     arrivals=load,
                     tasks_processed=tasks,
                     t_constraint_ns=t_constraint,
-                    placement_counts=dict(counts),
+                    placement_counts=dict(placement.counts),
                     movement=movement,
                     busy_time_ns=busy_total,
                     idle_time_ns=idle,
@@ -348,5 +483,109 @@ class TimeSliceRuntime:
                     deadline_met=deadline_met,
                 )
             )
-            prev_counts = dict(counts)
+            prev_counts = dict(placement.counts)
+        return result
+
+    def run_vectorized(self, scenario: Scenario) -> RunResult:
+        """Resolve the whole scenario against the LUT as arrays.
+
+        The slice loop's state is ``(tasks, previous placement)``: the
+        selected placement, its movement cost, the corrected
+        ``t_constraint`` and every energy term depend on nothing else.
+        A scenario therefore visits only a handful of distinct states
+        (at most ``peak + 1`` task counts times the number of LUT
+        placements), however many slices it has.  The driver walks the
+        scenario once to resolve each *distinct* transition exactly once
+        — placement lookup, movement pricing and the accounting core all
+        run per state, not per slice — then broadcasts the per-state
+        numeric columns over the slice axis with NumPy gathers.
+
+        Record equality with :meth:`run_scalar` is structural: the same
+        arithmetic runs once per state here and once per slice there,
+        so the floats are bit-identical (asserted by the differential
+        suite).
+        """
+        result = self._empty_result(scenario)
+        loads = scenario.loads
+        if not loads:
+            return result
+
+        # The task buffer's steady-state identity: arrivals registered in
+        # slice s are returned by that slice's advance (the double-buffer
+        # hand-off happens inside the slice), so tasks[i] == loads[i].
+        # The differential suite pins this equivalence against the scalar
+        # loop's real TaskBuffer.
+        boot_counts = self._boot_counts()
+        boot_key = tuple(sorted(
+            (kind.value, blocks) for kind, blocks in boot_counts.items()
+        ))
+
+        # -- phase 1: memoized transition walk ------------------------------
+        # states[sid] = (placement, movement, t_constraint, accounting row)
+        transitions: dict = {}
+        states: list = []
+        state_keys: list = []
+        state_ids = np.empty(len(loads), dtype=np.intp)
+        prev_key, prev_counts = boot_key, boot_counts
+        for index, load in enumerate(loads):
+            memo_key = (load, prev_key)
+            sid = transitions.get(memo_key)
+            if sid is None:
+                placement, movement, t_constraint = self._select_placement(
+                    load, prev_counts
+                )
+                row = self._account_slice(
+                    placement, movement, load, t_constraint
+                )
+                sid = len(states)
+                states.append((placement, movement, t_constraint, row))
+                state_keys.append(tuple(sorted(
+                    (kind.value, blocks)
+                    for kind, blocks in placement.counts.items()
+                )))
+                transitions[memo_key] = sid
+            state_ids[index] = sid
+            prev_key = state_keys[sid]
+            prev_counts = states[sid][0].counts
+
+        # -- phase 2: broadcast the state table over the slice axis ---------
+        # One gather expands the per-state numeric rows to per-slice rows;
+        # ``tolist`` converts back to Python floats in bulk (float64 ->
+        # float is exact, so the columns stay bit-identical to the scalar
+        # path's values).
+        numeric = np.array(
+            [
+                (t_constraint, movement.energy_nj) + row[:7]
+                for placement, movement, t_constraint, row in states
+            ],
+            dtype=np.float64,
+        )[state_ids].tolist()
+        deadlines = [states[sid][3][7] for sid in state_ids]
+
+        records = result.records
+        for index, load in enumerate(loads):
+            placement, movement, _, _ = states[state_ids[index]]
+            (
+                t_constraint, movement_energy, busy_total, idle, dynamic,
+                hold, access, buffer_static, pe_static,
+            ) = numeric[index]
+            records.append(
+                SliceRecord(
+                    index=index,
+                    arrivals=load,
+                    tasks_processed=load,
+                    t_constraint_ns=t_constraint,
+                    placement_counts=dict(placement.counts),
+                    movement=movement,
+                    busy_time_ns=busy_total,
+                    idle_time_ns=idle,
+                    dynamic_energy_nj=dynamic,
+                    hold_static_energy_nj=hold,
+                    access_static_energy_nj=access,
+                    buffer_static_energy_nj=buffer_static,
+                    pe_static_energy_nj=pe_static,
+                    movement_energy_nj=movement_energy,
+                    deadline_met=deadlines[index],
+                )
+            )
         return result

@@ -105,6 +105,16 @@ class WorkloadError(ReproError):
     """A workload model or scenario description is invalid."""
 
 
+class ServingError(ReproError):
+    """The fleet serving layer was misconfigured or misbehaved.
+
+    Raised for invalid fleet shapes (no devices, unknown dispatch
+    policies) and for dispatch policies that violate the conservation
+    contract (assignments must be non-negative and sum to the slice's
+    arrivals).
+    """
+
+
 class RegistryError(ConfigurationError):
     """A registry lookup or registration failed.
 

@@ -19,6 +19,11 @@ Four sections, each emitted as one ``BENCH_<section>.json``:
 ``lookup``
     Mean per-slice ``AllocationLUT.lookup`` latency over budgets
     spanning the feasible range — the paper's O(log n) runtime claim.
+``runtime``
+    Slice-loop throughput over a long bursty scenario: the vectorized
+    driver vs the ``REPRO_SCALAR_RUNTIME`` scalar reference — the CI
+    perf gate fails when ``speedup`` drops below
+    ``--min-runtime-speedup``.
 
 All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 """
@@ -44,7 +49,8 @@ from ..core.placement import (
     DEFAULT_TIME_STEPS,
     DataPlacementOptimizer,
 )
-from ..core.runtime import default_time_slice_ns
+from ..core.runtime import default_time_slice_ns, scalar_runtime
+from ..workloads.arrivals import bursty
 
 #: Common prefix of every benchmark artifact file.
 BENCH_PREFIX = "BENCH_"
@@ -68,6 +74,7 @@ def default_bench_settings(quick: bool = False) -> dict:
         "sweep_blocks": 24 if quick else 48,
         "sweep_steps": 1500 if quick else 6000,
         "lookups": 2000 if quick else 20000,
+        "runtime_slices": 2000 if quick else 10000,
     }
 
 
@@ -238,6 +245,39 @@ def bench_lookup(model_name: str, lookups: int) -> dict:
     }
 
 
+def bench_runtime(model_name: str, slices: int, repeats: int) -> dict:
+    """Slice-loop throughput: vectorized driver vs the scalar reference.
+
+    Runs a long bursty (MMPP) scenario — the shape a serving deployment
+    sees — on an HH-PIM runtime at reduced optimizer resolution, so the
+    measurement isolates the slice loop rather than LUT construction.
+    """
+    engine = Engine(use_disk_cache=False)
+    runtime = engine.runtime(
+        ExperimentConfig(
+            model=MODELS.canonical(model_name),
+            block_count=24,
+            time_steps=1500,
+        )
+    )
+    workload = bursty().materialize(slices=slices, peak=10, seed=2025)
+
+    vectorized_s = _best_of(lambda: runtime.run_vectorized(workload), repeats)
+    with scalar_runtime():
+        scalar_s = _best_of(lambda: runtime.run(workload), 1)
+    return {
+        "arch": "HH-PIM",
+        "model": MODELS.canonical(model_name),
+        "scenario": workload.label,
+        "slices": slices,
+        "vectorized_s": vectorized_s,
+        "vectorized_slices_per_s": slices / vectorized_s,
+        "scalar_s": scalar_s,
+        "scalar_slices_per_s": slices / scalar_s,
+        "speedup": scalar_s / vectorized_s,
+    }
+
+
 # -- orchestration ---------------------------------------------------------------
 
 
@@ -260,6 +300,9 @@ def run_bench(
         "lut_cache": bench_lut_cache(model, block_count, time_steps),
         "sweep": bench_sweep(settings, model),
         "lookup": bench_lookup(model, settings["lookups"]),
+        "runtime": bench_runtime(
+            model, settings["runtime_slices"], settings["repeats"]
+        ),
     }
 
 
@@ -284,6 +327,7 @@ def render_report(report: dict) -> str:
     cache = report["lut_cache"]
     sweep = report["sweep"]
     lookup = report["lookup"]
+    loop = report["runtime"]
     lines = [
         (
             f"LUT build ({build['arch']}/{build['model']}, "
@@ -309,6 +353,12 @@ def render_report(report: dict) -> str:
             f"lookup ({lookup['lut_candidates']}-candidate LUT): "
             f"{lookup['mean_us']:.2f} us/lookup "
             f"({lookup['lookups_per_s']:,.0f} lookups/s)"
+        ),
+        (
+            f"runtime ({loop['slices']}-slice {loop['scenario']}): "
+            f"vectorized {loop['vectorized_slices_per_s']:,.0f} slices/s, "
+            f"scalar reference {loop['scalar_slices_per_s']:,.0f} slices/s, "
+            f"speedup {loop['speedup']:.1f}x"
         ),
     ]
     return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Fleet serving: many devices, one arrival stream.
+
+The paper evaluates one device; this package scales the same time-slice
+runtime to a fleet — N devices behind a pluggable dispatch policy,
+consuming a single scenario and reporting aggregate energy / latency /
+deadline statistics.  See :class:`Fleet`, :class:`FleetResult` and the
+policies in :mod:`repro.serving.dispatch`.
+"""
+
+from .dispatch import (
+    BUILTIN_POLICIES,
+    DeviceInfo,
+    DispatchPolicy,
+    EnergyAware,
+    LeastLoaded,
+    RoundRobin,
+    make_policy,
+)
+from .fleet import Fleet, FleetResult, device_info
+
+__all__ = [
+    "BUILTIN_POLICIES",
+    "DeviceInfo",
+    "DispatchPolicy",
+    "EnergyAware",
+    "LeastLoaded",
+    "RoundRobin",
+    "make_policy",
+    "Fleet",
+    "FleetResult",
+    "device_info",
+]

@@ -1,4 +1,4 @@
-"""Workloads: TinyML models (Table IV) and load scenarios (Fig. 4)."""
+"""Workloads: TinyML models (Table IV), load scenarios and arrival DSL."""
 
 from .layers import Conv2d, DepthwiseConv2d, Linear, LayerStats
 from .models import (
@@ -11,6 +11,19 @@ from .models import (
 )
 from .scenarios import Scenario, ScenarioCase, scenario, ALL_CASES
 from .tasks import InferenceTask, TaskBuffer
+from .arrivals import (
+    ArrivalProcess,
+    bursty,
+    constant,
+    diurnal,
+    load_trace,
+    periodic_spike,
+    poisson,
+    pulsing,
+    scenario_from_trace,
+    trace,
+    uniform,
+)
 
 __all__ = [
     "Conv2d",
@@ -29,4 +42,15 @@ __all__ = [
     "ALL_CASES",
     "InferenceTask",
     "TaskBuffer",
+    "ArrivalProcess",
+    "bursty",
+    "constant",
+    "diurnal",
+    "load_trace",
+    "periodic_spike",
+    "poisson",
+    "pulsing",
+    "scenario_from_trace",
+    "trace",
+    "uniform",
 ]

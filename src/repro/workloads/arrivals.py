@@ -1,0 +1,537 @@
+"""Composable arrival processes: the scenario DSL.
+
+:class:`ArrivalProcess` generalises the closed six-case enum of Fig. 4
+into an open algebra of load generators.  A process describes *how*
+inference requests arrive per time slice; :meth:`ArrivalProcess.materialize`
+samples it into a concrete :class:`~repro.workloads.scenarios.Scenario`
+for the runtime.  Generators:
+
+* :func:`constant` — a flat load level;
+* :func:`periodic_spike` — spikes to a peak on a low baseline;
+* :func:`pulsing` — a high/low square wave;
+* :func:`uniform` — seeded uniform random load (Fig. 4 Case 6);
+* :func:`poisson` — a Poisson arrival process at a mean rate;
+* :func:`bursty` — a two-state Markov-modulated Poisson process (MMPP):
+  calm traffic with seeded bursts, the classic serving-traffic model;
+* :func:`diurnal` — a sinusoidal day/night load curve;
+* :func:`trace` / :func:`load_trace` — replay of recorded loads, either
+  inline or from a CSV / JSON file.
+
+Combinators compose processes into richer patterns and are exposed both
+as functions and as fluent methods::
+
+    from repro.workloads import arrivals as arr
+
+    rush_hour = arr.diurnal(trough=1).overlay(arr.poisson(2.0)).clipped(high=8)
+    failover  = arr.constant(3).then(arr.bursty(), at=0.5)
+    scenario  = rush_hour.materialize(slices=200, peak=10, seed=7)
+
+Every process is deterministic under a seed: materialisation draws all
+randomness from one ``random.Random(seed)`` stream, so a (process,
+slices, peak, seed) tuple always reproduces the same scenario — the same
+property the paper's Case 6 relies on.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import random
+from pathlib import Path
+
+from ..errors import WorkloadError
+from .scenarios import Scenario
+
+__all__ = [
+    "ArrivalProcess",
+    "constant",
+    "periodic_spike",
+    "pulsing",
+    "uniform",
+    "poisson",
+    "bursty",
+    "diurnal",
+    "trace",
+    "load_trace",
+    "scenario_from_trace",
+]
+
+
+def _require_positive(name: str, value) -> None:
+    if value is None or value <= 0:
+        raise WorkloadError(f"{name} must be positive, got {value!r}")
+
+
+def _require_probability(name: str, value) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+class ArrivalProcess:
+    """A composable generator of per-slice inference loads.
+
+    Subclasses implement :meth:`sample`, producing one (possibly
+    fractional) load per slice; :meth:`materialize` rounds, clamps to the
+    scenario's ``[0, peak]`` envelope (arrivals beyond the buffer's
+    capacity are shed, matching a real admission controller) and wraps
+    the result in a :class:`Scenario`.
+    """
+
+    #: Human-readable identity, used as the default scenario name.
+    name = "arrivals"
+
+    # -- the generator interface ------------------------------------------------
+
+    def sample(self, slices: int, peak: int, rng: random.Random) -> list:
+        """Raw per-slice loads (floats allowed) before rounding/clamping."""
+        raise NotImplementedError
+
+    def materialize(
+        self,
+        slices: int | None = None,
+        peak: int = 10,
+        seed: int = 2025,
+        *,
+        length: int | None = None,
+        name: str | None = None,
+    ) -> Scenario:
+        """Sample the process into a concrete :class:`Scenario`.
+
+        ``slices`` defaults to 50; ``length`` is an explicit alias of it
+        (passing both with different values is an error so a typo cannot
+        silently win).  Raw loads are rounded to the nearest integer and
+        clamped into ``[0, peak]``.
+        """
+        if length is not None:
+            if slices is not None and slices != length:
+                raise WorkloadError(
+                    f"conflicting lengths: slices={slices} but length={length}"
+                )
+            slices = length
+        elif slices is None:
+            slices = 50
+        if not isinstance(slices, int) or slices <= 0:
+            raise WorkloadError(
+                f"scenario length must be a positive integer, got {slices!r}"
+            )
+        if not isinstance(peak, int) or peak <= 0:
+            raise WorkloadError(
+                f"scenario peak must be a positive integer, got {peak!r}"
+            )
+        rng = random.Random(seed)
+        raw = self.sample(slices, peak, rng)
+        if len(raw) != slices:
+            raise WorkloadError(
+                f"{type(self).__name__} produced {len(raw)} loads "
+                f"for {slices} slices"
+            )
+        loads = tuple(
+            max(0, min(peak, int(round(value)))) for value in raw
+        )
+        return Scenario(loads=loads, peak=peak, name=name or self.name)
+
+    # -- combinators ------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "ArrivalProcess":
+        """Multiply every load by ``factor`` (rounding at materialisation)."""
+        return _Scaled(self, factor)
+
+    def clipped(self, low: float = 0.0, high: float | None = None) -> "ArrivalProcess":
+        """Clamp loads into ``[low, high]`` before the peak envelope."""
+        return _Clipped(self, low, high)
+
+    def then(self, other: "ArrivalProcess", at: float = 0.5) -> "ArrivalProcess":
+        """Concatenate: this process for the first ``at`` fraction of the
+        run, ``other`` for the rest."""
+        return _Concat(self, other, at)
+
+    def overlay(self, other: "ArrivalProcess") -> "ArrivalProcess":
+        """Element-wise sum of two processes (clamped at materialisation)."""
+        return _Overlay(self, other)
+
+    def __add__(self, other: "ArrivalProcess") -> "ArrivalProcess":
+        if not isinstance(other, ArrivalProcess):
+            return NotImplemented
+        return self.overlay(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# -- generators -----------------------------------------------------------------------
+
+
+class _Constant(ArrivalProcess):
+    def __init__(self, level: float) -> None:
+        if level < 0:
+            raise WorkloadError(f"constant level must be >= 0, got {level!r}")
+        self.level = level
+        self.name = f"constant({level:g})"
+
+    def sample(self, slices, peak, rng):
+        return [self.level] * slices
+
+
+class _PeriodicSpike(ArrivalProcess):
+    def __init__(self, period: int, baseline: float, spike: float | None) -> None:
+        if not isinstance(period, int) or period <= 0:
+            raise WorkloadError(
+                f"spike period must be a positive integer, got {period!r}"
+            )
+        self.period = period
+        self.baseline = baseline
+        self.spike = spike
+        self.name = f"periodic_spike(period={period})"
+
+    def sample(self, slices, peak, rng):
+        spike = peak if self.spike is None else self.spike
+        return [
+            spike if i % self.period == self.period - 1 else self.baseline
+            for i in range(slices)
+        ]
+
+
+class _Pulsing(ArrivalProcess):
+    def __init__(self, high_len: int, low_len: int, high: float | None,
+                 low: float) -> None:
+        _require_positive("pulse high length", high_len)
+        _require_positive("pulse low length", low_len)
+        self.high_len = high_len
+        self.low_len = low_len
+        self.high = high
+        self.low = low
+        self.name = f"pulsing({high_len}/{low_len})"
+
+    def sample(self, slices, peak, rng):
+        high = peak if self.high is None else self.high
+        period = self.high_len + self.low_len
+        return [
+            high if i % period < self.high_len else self.low
+            for i in range(slices)
+        ]
+
+
+class _Uniform(ArrivalProcess):
+    def __init__(self, low: int, high: int | None) -> None:
+        if not isinstance(low, int) or low < 0:
+            raise WorkloadError(
+                f"uniform low bound must be a non-negative integer, got {low!r}"
+            )
+        self.low = low
+        self.high = high
+        self.name = f"uniform({low}..{'peak' if high is None else high})"
+
+    def sample(self, slices, peak, rng):
+        high = peak if self.high is None else self.high
+        if high < self.low:
+            raise WorkloadError(
+                f"uniform bounds are inverted: low={self.low} > high={high}"
+            )
+        return [rng.randint(self.low, high) for _ in range(slices)]
+
+
+def _poisson_draw(rng: random.Random, rate: float) -> int:
+    """One Poisson sample via Knuth's product-of-uniforms method."""
+    if rate <= 0:
+        return 0
+    threshold = math.exp(-rate)
+    count, product = 0, rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+class _Poisson(ArrivalProcess):
+    def __init__(self, rate: float) -> None:
+        _require_positive("poisson rate", rate)
+        self.rate = rate
+        self.name = f"poisson(rate={rate:g})"
+
+    def sample(self, slices, peak, rng):
+        return [_poisson_draw(rng, self.rate) for _ in range(slices)]
+
+
+class _Bursty(ArrivalProcess):
+    """Two-state MMPP: calm Poisson traffic with seeded burst episodes."""
+
+    def __init__(self, calm_rate: float, burst_rate: float,
+                 p_burst: float, p_calm: float) -> None:
+        _require_positive("calm rate", calm_rate)
+        _require_positive("burst rate", burst_rate)
+        _require_probability("burst entry probability", p_burst)
+        _require_probability("burst exit probability", p_calm)
+        self.calm_rate = calm_rate
+        self.burst_rate = burst_rate
+        self.p_burst = p_burst
+        self.p_calm = p_calm
+        self.name = f"bursty({calm_rate:g}->{burst_rate:g})"
+
+    def sample(self, slices, peak, rng):
+        loads = []
+        bursting = False
+        for _ in range(slices):
+            flip = rng.random()
+            if bursting:
+                bursting = flip >= self.p_calm
+            else:
+                bursting = flip < self.p_burst
+            rate = self.burst_rate if bursting else self.calm_rate
+            loads.append(_poisson_draw(rng, rate))
+        return loads
+
+
+class _Diurnal(ArrivalProcess):
+    """A sinusoidal day/night curve between ``trough`` and ``crest``."""
+
+    def __init__(self, trough: float, crest: float | None,
+                 period: int | None, phase: float) -> None:
+        if trough < 0:
+            raise WorkloadError(f"diurnal trough must be >= 0, got {trough!r}")
+        if period is not None:
+            _require_positive("diurnal period", period)
+        self.trough = trough
+        self.crest = crest
+        self.period = period
+        self.phase = phase
+        self.name = "diurnal"
+
+    def sample(self, slices, peak, rng):
+        crest = peak if self.crest is None else self.crest
+        if crest < self.trough:
+            raise WorkloadError(
+                f"diurnal crest {crest} is below trough {self.trough}"
+            )
+        period = self.period if self.period is not None else slices
+        mid = (crest + self.trough) / 2.0
+        amplitude = (crest - self.trough) / 2.0
+        return [
+            mid + amplitude * math.sin(
+                2.0 * math.pi * (i / period + self.phase) - math.pi / 2.0
+            )
+            for i in range(slices)
+        ]
+
+
+class _Trace(ArrivalProcess):
+    """Replay recorded loads, cycling when the run outlives the trace."""
+
+    def __init__(self, loads, label: str = "trace") -> None:
+        loads = tuple(loads)
+        if not loads:
+            raise WorkloadError("trace replay needs at least one load")
+        for i, value in enumerate(loads):
+            if not isinstance(value, (int, float)) or value < 0:
+                raise WorkloadError(
+                    f"trace load at position {i} must be a non-negative "
+                    f"number, got {value!r}"
+                )
+        self.loads = loads
+        self.name = label
+
+    def sample(self, slices, peak, rng):
+        return [self.loads[i % len(self.loads)] for i in range(slices)]
+
+
+# -- combinator nodes -----------------------------------------------------------------
+
+
+class _Scaled(ArrivalProcess):
+    def __init__(self, inner: ArrivalProcess, factor: float) -> None:
+        if factor < 0:
+            raise WorkloadError(f"scale factor must be >= 0, got {factor!r}")
+        self.inner = inner
+        self.factor = factor
+        self.name = f"{inner.name}*{factor:g}"
+
+    def sample(self, slices, peak, rng):
+        return [value * self.factor for value in self.inner.sample(slices, peak, rng)]
+
+
+class _Clipped(ArrivalProcess):
+    def __init__(self, inner: ArrivalProcess, low: float,
+                 high: float | None) -> None:
+        if high is not None and high < low:
+            raise WorkloadError(
+                f"clip bounds are inverted: low={low} > high={high}"
+            )
+        self.inner = inner
+        self.low = low
+        self.high = high
+        self.name = f"clip({inner.name})"
+
+    def sample(self, slices, peak, rng):
+        high = peak if self.high is None else self.high
+        return [
+            max(self.low, min(high, value))
+            for value in self.inner.sample(slices, peak, rng)
+        ]
+
+
+class _Concat(ArrivalProcess):
+    def __init__(self, first: ArrivalProcess, second: ArrivalProcess,
+                 at: float) -> None:
+        if not 0.0 < at < 1.0:
+            raise WorkloadError(
+                f"concat split point must lie in (0, 1), got {at!r}"
+            )
+        self.first = first
+        self.second = second
+        self.at = at
+        self.name = f"{first.name}+then+{second.name}"
+
+    def sample(self, slices, peak, rng):
+        head = max(1, min(slices - 1, round(slices * self.at))) if slices > 1 else slices
+        tail = slices - head
+        loads = self.first.sample(head, peak, rng)
+        if tail:
+            loads = list(loads) + list(self.second.sample(tail, peak, rng))
+        return loads
+
+
+class _Overlay(ArrivalProcess):
+    def __init__(self, first: ArrivalProcess, second: ArrivalProcess) -> None:
+        self.first = first
+        self.second = second
+        self.name = f"{first.name}+{second.name}"
+
+    def sample(self, slices, peak, rng):
+        a = self.first.sample(slices, peak, rng)
+        b = self.second.sample(slices, peak, rng)
+        return [x + y for x, y in zip(a, b)]
+
+
+# -- public factories -----------------------------------------------------------------
+
+
+def constant(level: float) -> ArrivalProcess:
+    """A flat load of ``level`` inferences per slice."""
+    return _Constant(level)
+
+
+def periodic_spike(period: int = 10, baseline: float = 2,
+                   spike: float | None = None) -> ArrivalProcess:
+    """Spikes to ``spike`` (default: the peak) every ``period`` slices."""
+    return _PeriodicSpike(period, baseline, spike)
+
+
+def pulsing(high_len: int = 5, low_len: int = 5, high: float | None = None,
+            low: float = 2) -> ArrivalProcess:
+    """A square wave: ``high_len`` slices high, ``low_len`` slices low."""
+    return _Pulsing(high_len, low_len, high, low)
+
+
+def uniform(low: int = 1, high: int | None = None) -> ArrivalProcess:
+    """Seeded uniform random load in ``[low, high]`` (default high: peak)."""
+    return _Uniform(low, high)
+
+
+def poisson(rate: float) -> ArrivalProcess:
+    """Poisson arrivals at ``rate`` mean inferences per slice."""
+    return _Poisson(rate)
+
+
+def bursty(calm_rate: float = 2.0, burst_rate: float = 8.0,
+           p_burst: float = 0.15, p_calm: float = 0.35) -> ArrivalProcess:
+    """An MMPP: calm Poisson traffic with probabilistic burst episodes.
+
+    Each slice the process flips state with probability ``p_burst``
+    (calm -> burst) or ``p_calm`` (burst -> calm), then draws a Poisson
+    load at the state's rate.
+    """
+    return _Bursty(calm_rate, burst_rate, p_burst, p_calm)
+
+
+def diurnal(trough: float = 1, crest: float | None = None,
+            period: int | None = None, phase: float = 0.0) -> ArrivalProcess:
+    """A day/night sinusoid from ``trough`` to ``crest`` (default: peak).
+
+    ``period`` defaults to the whole run (one day per scenario);
+    ``phase`` shifts the curve by a fraction of the period.  The curve
+    starts at the trough, crests mid-period and returns.
+    """
+    return _Diurnal(trough, crest, period, phase)
+
+
+def trace(loads, label: str = "trace") -> ArrivalProcess:
+    """Replay an explicit load sequence, cycling to fill the run."""
+    return _Trace(loads, label)
+
+
+def _loads_from_json(payload, source: str):
+    if isinstance(payload, dict):
+        if "loads" not in payload:
+            raise WorkloadError(
+                f"JSON trace {source} must be a list of loads or an object "
+                f"with a 'loads' key; got keys {sorted(payload)}"
+            )
+        payload = payload["loads"]
+    if not isinstance(payload, list):
+        raise WorkloadError(
+            f"JSON trace {source} must contain a list of loads, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _loads_from_csv(text: str, source: str):
+    rows = [row for row in csv.reader(text.splitlines()) if row]
+    if not rows:
+        raise WorkloadError(f"CSV trace {source} is empty")
+    #: Loads live in the last column; a non-numeric first row is a header.
+    start = 0
+    try:
+        float(rows[0][-1])
+    except ValueError:
+        start = 1
+    loads = []
+    for index, row in enumerate(rows[start:], start=start):
+        try:
+            loads.append(float(row[-1]))
+        except ValueError:
+            raise WorkloadError(
+                f"CSV trace {source} row {index + 1}: "
+                f"{row[-1]!r} is not a number"
+            ) from None
+    return loads
+
+
+def load_trace(path) -> ArrivalProcess:
+    """Load a replay trace from a ``.json`` or ``.csv`` file.
+
+    JSON traces are a list of per-slice loads or ``{"loads": [...]}``;
+    CSV traces keep loads in the last column, with an optional header
+    row.  The file's stem becomes the process name.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise WorkloadError(f"cannot read trace {path}: {error}") from None
+    if path.suffix.lower() == ".json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise WorkloadError(
+                f"trace {path} is not valid JSON: {error}"
+            ) from None
+        loads = _loads_from_json(payload, str(path))
+    elif path.suffix.lower() == ".csv":
+        loads = _loads_from_csv(text, str(path))
+    else:
+        raise WorkloadError(
+            f"trace {path} must be a .json or .csv file"
+        )
+    return _Trace(loads, label=path.stem)
+
+
+def scenario_from_trace(path, slices: int | None = None, peak: int = 10,
+                        seed: int = 2025) -> Scenario:
+    """Materialise a trace file directly into a :class:`Scenario`.
+
+    ``slices`` defaults to the trace's own length (no cycling).
+    """
+    process = load_trace(path)
+    count = slices if slices is not None else len(process.loads)
+    return process.materialize(slices=count, peak=peak, seed=seed)

@@ -1,9 +1,16 @@
-"""Workload scenarios: the six inference-load patterns of Fig. 4.
+"""Workload scenarios: materialised load patterns.
 
-Each scenario yields, per time slice, the number of inference requests
-arriving in that slice (the *computational load*).  Loads are expressed in
-inferences per slice, between 1 and ``peak`` — the paper sizes the time
-slice so that at most 10 inferences fit at maximum performance.
+A :class:`Scenario` is a fully materialised load pattern — one integer
+inference count per time slice, bounded by ``peak`` (the paper sizes the
+time slice so that at most 10 inferences fit at maximum performance).
+
+The six canonical patterns of Fig. 4 remain first-class
+(:class:`ScenarioCase` / :func:`scenario`), but they are now *presets*
+of the composable arrival-process DSL in
+:mod:`repro.workloads.arrivals` — constant, spike, pulsing, uniform —
+so figures reproduce exactly while arbitrary arrival processes
+(Poisson, bursty MMPP, diurnal curves, trace replay) plug into the same
+runtime:
 
 * Case 1 — constant low load;
 * Case 2 — constant high load;
@@ -15,9 +22,8 @@ slice so that at most 10 inferences fit at maximum performance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
-import random
 
 from ..errors import WorkloadError
 
@@ -47,22 +53,46 @@ class ScenarioCase(Enum):
 
 @dataclass(frozen=True)
 class Scenario:
-    """A fully materialised load pattern: inferences per slice."""
+    """A fully materialised load pattern: inferences per slice.
 
-    case: ScenarioCase
-    loads: tuple
-    peak: int
+    ``case`` identifies a Fig. 4 preset (None for DSL-built or replayed
+    scenarios); ``name`` carries the arrival process's identity so fleet
+    reports and exports stay self-describing.
+    """
+
+    case: ScenarioCase | None = None
+    loads: tuple = ()
+    peak: int = 10
+    name: str | None = None
 
     def __post_init__(self) -> None:
+        if not isinstance(self.peak, int) or self.peak <= 0:
+            raise WorkloadError(
+                f"scenario peak must be a positive integer, got {self.peak!r}"
+            )
         if not self.loads:
             raise WorkloadError("scenario has no slices")
-        if any(load < 0 or load > self.peak for load in self.loads):
-            raise WorkloadError(
-                f"loads must lie in [0, peak={self.peak}]"
-            )
+        for index, load in enumerate(self.loads):
+            if not isinstance(load, int) or isinstance(load, bool):
+                raise WorkloadError(
+                    f"slice {index}: load must be an integer, got {load!r}"
+                )
+            if load < 0 or load > self.peak:
+                raise WorkloadError(
+                    f"slice {index}: load {load} outside [0, peak={self.peak}]"
+                )
 
     def __len__(self) -> int:
         return len(self.loads)
+
+    @property
+    def label(self) -> str:
+        """Human-readable identity for figures and reports."""
+        if self.name:
+            return self.name
+        if self.case is not None:
+            return self.case.label
+        return "custom"
 
     @property
     def mean_load(self) -> float:
@@ -74,44 +104,151 @@ class Scenario:
         """Total inference requests over the run."""
         return sum(self.loads)
 
+    # -- derivation helpers -----------------------------------------------------
+
+    def with_length(self, slices: int) -> "Scenario":
+        """Truncate or cyclically extend the pattern to ``slices``."""
+        if not isinstance(slices, int) or slices <= 0:
+            raise WorkloadError(
+                f"scenario length must be a positive integer, got {slices!r}"
+            )
+        loads = tuple(self.loads[i % len(self.loads)] for i in range(slices))
+        return replace(self, loads=loads)
+
+    def with_peak(self, peak: int, clamp: bool = False) -> "Scenario":
+        """Re-bound the pattern by a new peak.
+
+        With ``clamp=False`` (the default) a load above the new peak is
+        an error — silently rewriting a measured pattern would corrupt
+        comparisons; pass ``clamp=True`` to shed the excess instead.
+        """
+        if not isinstance(peak, int) or peak <= 0:
+            raise WorkloadError(
+                f"scenario peak must be a positive integer, got {peak!r}"
+            )
+        if clamp:
+            return replace(
+                self, peak=peak, loads=tuple(min(peak, x) for x in self.loads)
+            )
+        over = [i for i, x in enumerate(self.loads) if x > peak]
+        if over:
+            raise WorkloadError(
+                f"cannot lower peak to {peak}: slice {over[0]} carries "
+                f"{self.loads[over[0]]} inferences (pass clamp=True to shed)"
+            )
+        return replace(self, peak=peak)
+
+    def scaled(self, factor: float) -> "Scenario":
+        """Scale every load by ``factor`` (rounded, clamped to the peak)."""
+        if factor < 0:
+            raise WorkloadError(f"scale factor must be >= 0, got {factor!r}")
+        loads = tuple(
+            max(0, min(self.peak, int(round(x * factor)))) for x in self.loads
+        )
+        return replace(self, loads=loads)
+
+    def concat(self, other: "Scenario") -> "Scenario":
+        """This pattern followed by ``other`` (peak: the larger of the two)."""
+        if not isinstance(other, Scenario):
+            raise WorkloadError(
+                f"can only concatenate scenarios, got {type(other).__name__}"
+            )
+        return Scenario(
+            loads=self.loads + other.loads,
+            peak=max(self.peak, other.peak),
+            name=f"{self.label}+{other.label}",
+        )
+
+    def __add__(self, other: "Scenario") -> "Scenario":
+        if not isinstance(other, Scenario):
+            return NotImplemented
+        return self.concat(other)
+
+    def overlay(self, other: "Scenario") -> "Scenario":
+        """Element-wise sum with ``other`` (same length; peak-clamped)."""
+        if not isinstance(other, Scenario):
+            raise WorkloadError(
+                f"can only overlay scenarios, got {type(other).__name__}"
+            )
+        if len(other) != len(self):
+            raise WorkloadError(
+                f"overlay lengths differ: {len(self)} vs {len(other)}"
+            )
+        peak = max(self.peak, other.peak)
+        loads = tuple(
+            min(peak, a + b) for a, b in zip(self.loads, other.loads)
+        )
+        return Scenario(
+            loads=loads, peak=peak, name=f"{self.label}+{other.label}"
+        )
+
+    # -- export -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A plain-primitive description for JSON export."""
+        return {
+            "case": self.case.value if self.case is not None else None,
+            "label": self.label,
+            "peak": self.peak,
+            "slices": len(self.loads),
+            "loads": list(self.loads),
+        }
+
+
+def _fig4_process(case: ScenarioCase, peak: int, low: int):
+    """The Fig. 4 case as an arrival process of the scenario DSL."""
+    from . import arrivals
+
+    if case is ScenarioCase.LOW_CONSTANT:
+        return arrivals.constant(low)
+    if case is ScenarioCase.HIGH_CONSTANT:
+        return arrivals.constant(peak)
+    if case is ScenarioCase.PERIODIC_SPIKE:
+        # One-slice spike to peak every 10 slices on a low baseline.
+        return arrivals.periodic_spike(period=10, baseline=low, spike=peak)
+    if case is ScenarioCase.PERIODIC_SPIKE_FREQUENT:
+        # The same spike every 4 slices.
+        return arrivals.periodic_spike(period=4, baseline=low, spike=peak)
+    if case is ScenarioCase.PULSING:
+        # 5 slices high / 5 slices low square wave.
+        return arrivals.pulsing(high_len=5, low_len=5, high=peak, low=low)
+    if case is ScenarioCase.RANDOM:
+        return arrivals.uniform(low, peak)
+    raise WorkloadError(f"unhandled case {case}")  # pragma: no cover
+
 
 def scenario(
     case: ScenarioCase,
-    slices: int = 50,
+    slices: int | None = None,
     peak: int = 10,
     low: int = 2,
     seed: int = 2025,
+    length: int | None = None,
 ) -> Scenario:
     """Materialise one of the Fig. 4 cases.
 
     ``slices`` defaults to 50 (the paper runs each benchmark over 50 time
     slices), ``peak`` to 10 inferences per slice (the paper's time-slice
-    sizing), and ``low`` to a fifth of peak.
+    sizing), and ``low`` to a fifth of peak.  ``length`` is accepted as
+    an explicit alias of ``slices`` (conflicting values are an error,
+    even when one of them happens to spell the default).
     """
-    if slices <= 0:
-        raise WorkloadError("scenario needs at least one slice")
+    if not isinstance(case, ScenarioCase):
+        raise WorkloadError(
+            f"case must be a ScenarioCase, got {case!r}"
+        )
+    if not isinstance(peak, int) or peak <= 0:
+        raise WorkloadError(
+            f"scenario peak must be a positive integer, got {peak!r}"
+        )
     if not 0 < low <= peak:
         raise WorkloadError(f"low load {low} must lie in (0, peak={peak}]")
 
-    if case is ScenarioCase.LOW_CONSTANT:
-        loads = [low] * slices
-    elif case is ScenarioCase.HIGH_CONSTANT:
-        loads = [peak] * slices
-    elif case is ScenarioCase.PERIODIC_SPIKE:
-        # One-slice spike to peak every 10 slices on a low baseline.
-        loads = [peak if i % 10 == 9 else low for i in range(slices)]
-    elif case is ScenarioCase.PERIODIC_SPIKE_FREQUENT:
-        # The same spike every 4 slices.
-        loads = [peak if i % 4 == 3 else low for i in range(slices)]
-    elif case is ScenarioCase.PULSING:
-        # 5 slices high / 5 slices low square wave.
-        loads = [peak if (i // 5) % 2 == 0 else low for i in range(slices)]
-    elif case is ScenarioCase.RANDOM:
-        rng = random.Random(seed)
-        loads = [rng.randint(low, peak) for _ in range(slices)]
-    else:  # pragma: no cover - enum is exhaustive
-        raise WorkloadError(f"unhandled case {case}")
-    return Scenario(case=case, loads=tuple(loads), peak=peak)
+    process = _fig4_process(case, peak, low)
+    materialised = process.materialize(
+        slices=slices, peak=peak, seed=seed, length=length,
+    )
+    return replace(materialised, case=case, name=None)
 
 
 #: All six cases, in the paper's order.

@@ -1,0 +1,233 @@
+"""Tests for the arrival-process scenario DSL."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    ALL_CASES,
+    ArrivalProcess,
+    Scenario,
+    ScenarioCase,
+    bursty,
+    constant,
+    diurnal,
+    load_trace,
+    periodic_spike,
+    poisson,
+    pulsing,
+    scenario,
+    scenario_from_trace,
+    trace,
+    uniform,
+)
+
+
+class TestGenerators:
+    def test_constant(self):
+        sc = constant(3).materialize(slices=10)
+        assert sc.loads == (3,) * 10
+
+    def test_periodic_spike_matches_case3(self):
+        preset = scenario(ScenarioCase.PERIODIC_SPIKE, slices=50)
+        dsl = periodic_spike(period=10, baseline=2, spike=10).materialize(
+            slices=50
+        )
+        assert dsl.loads == preset.loads
+
+    def test_pulsing_matches_case5(self):
+        preset = scenario(ScenarioCase.PULSING, slices=30)
+        dsl = pulsing(high_len=5, low_len=5, high=10, low=2).materialize(
+            slices=30
+        )
+        assert dsl.loads == preset.loads
+
+    def test_uniform_matches_case6(self):
+        preset = scenario(ScenarioCase.RANDOM, slices=50, seed=11)
+        dsl = uniform(2, 10).materialize(slices=50, seed=11)
+        assert dsl.loads == preset.loads
+
+    def test_poisson_seeded_and_bounded(self):
+        a = poisson(4.0).materialize(slices=200, peak=10, seed=5)
+        b = poisson(4.0).materialize(slices=200, peak=10, seed=5)
+        c = poisson(4.0).materialize(slices=200, peak=10, seed=6)
+        assert a.loads == b.loads != c.loads
+        assert all(0 <= load <= 10 for load in a.loads)
+        assert 2.0 < a.mean_load < 6.0
+
+    def test_bursty_has_calm_and_burst_phases(self):
+        sc = bursty(calm_rate=1.0, burst_rate=9.0).materialize(
+            slices=400, peak=10, seed=3
+        )
+        assert min(sc.loads) <= 2
+        assert max(sc.loads) >= 7
+
+    def test_diurnal_starts_at_trough_and_crests(self):
+        sc = diurnal(trough=1, crest=9).materialize(slices=48, seed=0)
+        assert sc.loads[0] == 1
+        assert max(sc.loads) == 9
+        # crest lands mid-period
+        assert sc.loads[24] == 9
+
+    def test_generator_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            periodic_spike(period=0)
+        with pytest.raises(WorkloadError):
+            poisson(0.0)
+        with pytest.raises(WorkloadError):
+            bursty(p_burst=1.5)
+        with pytest.raises(WorkloadError):
+            pulsing(high_len=0)
+
+
+class TestMaterialize:
+    def test_clamps_to_peak_envelope(self):
+        sc = constant(99).materialize(slices=5, peak=10)
+        assert sc.loads == (10,) * 5
+
+    def test_length_alias(self):
+        assert len(constant(2).materialize(length=7)) == 7
+        assert len(constant(2).materialize()) == 50
+        assert len(constant(2).materialize(slices=7, length=7)) == 7
+        with pytest.raises(WorkloadError, match="conflicting lengths"):
+            constant(2).materialize(slices=5, length=7)
+        with pytest.raises(WorkloadError, match="conflicting lengths"):
+            # an explicit slices= that spells the default still conflicts
+            constant(2).materialize(slices=50, length=60)
+
+    def test_invalid_slices_and_peak(self):
+        with pytest.raises(WorkloadError, match="length must be a positive"):
+            constant(2).materialize(slices=0)
+        with pytest.raises(WorkloadError, match="peak must be a positive"):
+            constant(2).materialize(peak=0)
+
+    def test_named_scenario(self):
+        sc = poisson(3.0).materialize(slices=5, name="my-traffic")
+        assert sc.label == "my-traffic"
+        assert sc.case is None
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            ArrivalProcess().materialize(slices=2)
+
+
+class TestCombinators:
+    def test_scaled(self):
+        sc = constant(4).scaled(2.0).materialize(slices=4, peak=10)
+        assert sc.loads == (8,) * 4
+
+    def test_clipped(self):
+        sc = constant(9).clipped(high=5).materialize(slices=4, peak=10)
+        assert sc.loads == (5,) * 4
+
+    def test_then_concatenates(self):
+        sc = constant(1).then(constant(9), at=0.5).materialize(slices=10)
+        assert sc.loads == (1,) * 5 + (9,) * 5
+
+    def test_overlay_sums(self):
+        sc = (constant(2) + constant(3)).materialize(slices=4)
+        assert sc.loads == (5,) * 4
+
+    def test_combinator_validation(self):
+        with pytest.raises(WorkloadError):
+            constant(2).scaled(-1.0)
+        with pytest.raises(WorkloadError):
+            constant(2).clipped(low=5, high=1)
+        with pytest.raises(WorkloadError):
+            constant(2).then(constant(3), at=1.5)
+
+
+class TestTraceReplay:
+    def test_inline_trace_cycles(self):
+        sc = trace([1, 2, 3]).materialize(slices=7)
+        assert sc.loads == (1, 2, 3, 1, 2, 3, 1)
+
+    def test_trace_validation(self):
+        with pytest.raises(WorkloadError):
+            trace([])
+        with pytest.raises(WorkloadError, match="position 1"):
+            trace([1, -2])
+
+    def test_json_trace(self, tmp_path):
+        path = tmp_path / "loads.json"
+        path.write_text(json.dumps([2, 4, 6]))
+        sc = scenario_from_trace(path)
+        assert sc.loads == (2, 4, 6)
+        assert sc.label == "loads"
+
+    def test_json_trace_object_form(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({"loads": [1, 1, 5]}))
+        assert scenario_from_trace(path).loads == (1, 1, 5)
+
+    def test_csv_trace_with_header(self, tmp_path):
+        path = tmp_path / "loads.csv"
+        path.write_text("slice,load\n0,3\n1,7\n")
+        assert scenario_from_trace(path).loads == (3, 7)
+
+    def test_trace_errors(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            load_trace(tmp_path / "missing.json")
+        bad = tmp_path / "bad.csv"
+        bad.write_text("a\nnot-a-number\n")
+        with pytest.raises(WorkloadError, match="not a number"):
+            load_trace(bad)
+        wrong = tmp_path / "loads.txt"
+        wrong.write_text("1 2 3")
+        with pytest.raises(WorkloadError, match=".json or .csv"):
+            load_trace(wrong)
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"rows": []}))
+        with pytest.raises(WorkloadError, match="'loads' key"):
+            load_trace(empty)
+
+
+class TestScenarioHelpers:
+    def test_with_length_cycles_and_truncates(self):
+        sc = Scenario(loads=(1, 2, 3), peak=10)
+        assert sc.with_length(5).loads == (1, 2, 3, 1, 2)
+        assert sc.with_length(2).loads == (1, 2)
+        with pytest.raises(WorkloadError):
+            sc.with_length(0)
+
+    def test_with_peak_refuses_silent_sheds(self):
+        sc = Scenario(loads=(2, 8), peak=10)
+        with pytest.raises(WorkloadError, match="pass clamp=True"):
+            sc.with_peak(5)
+        assert sc.with_peak(5, clamp=True).loads == (2, 5)
+        assert sc.with_peak(20).peak == 20
+
+    def test_scenario_concat_and_overlay(self):
+        a = Scenario(loads=(1, 2), peak=5, name="a")
+        b = Scenario(loads=(3, 3), peak=10, name="b")
+        both = a + b
+        assert both.loads == (1, 2, 3, 3) and both.peak == 10
+        mixed = a.overlay(b)
+        assert mixed.loads == (4, 5)
+        with pytest.raises(WorkloadError, match="lengths differ"):
+            a.overlay(Scenario(loads=(1,), peak=5))
+
+    def test_validation_messages_name_the_slice(self):
+        with pytest.raises(WorkloadError, match="slice 1: load 11"):
+            Scenario(loads=(2, 11), peak=10)
+        with pytest.raises(WorkloadError, match="slice 0: load must be"):
+            Scenario(loads=(2.5,), peak=10)
+
+    def test_scenario_factory_length_alias(self):
+        assert len(scenario(ScenarioCase.LOW_CONSTANT, length=12)) == 12
+        with pytest.raises(WorkloadError, match="conflicting lengths"):
+            scenario(ScenarioCase.LOW_CONSTANT, slices=5, length=12)
+
+    def test_fig4_presets_keep_their_case(self):
+        for case in ALL_CASES:
+            sc = scenario(case, slices=10)
+            assert sc.case is case
+            assert sc.label == case.label
+
+    def test_to_dict(self):
+        sc = scenario(ScenarioCase.PULSING, slices=10)
+        data = sc.to_dict()
+        assert data["case"] == 5
+        assert data["slices"] == 10
+        assert data["loads"] == list(sc.loads)

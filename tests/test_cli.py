@@ -100,6 +100,44 @@ class TestJsonAndSweep:
         rows = json.loads(out)
         assert len(rows) == 1 and rows[0]["arch"] == "HH-PIM"
 
+    def test_run_json_records(self, capsys):
+        out = run_cli(capsys, "run", "--case", "1", "--slices", "4",
+                      "--blocks", "16", "--steps", "1500",
+                      "--arch", "HH-PIM", "--json", "--records")
+        rows = json.loads(out)
+        assert len(rows[0]["records"]) == 4
+        record = rows[0]["records"][0]
+        assert "placement_counts" in record and "total_energy_nj" in record
+
+
+class TestFleetAndScenarios:
+    def test_fleet_four_devices(self, capsys):
+        out = run_cli(capsys, "fleet", "--devices", "4",
+                      "--dispatch", "least_loaded", "--scenario", "bursty",
+                      "--slices", "6", "--blocks", "16", "--steps", "1500")
+        assert "fleet of 4 (least_loaded)" in out
+        assert out.count("HH-PIM") >= 4
+
+    def test_fleet_json(self, capsys):
+        out = run_cli(capsys, "fleet", "--devices", "2",
+                      "--scenario", "case1", "--slices", "4",
+                      "--blocks", "16", "--steps", "1500", "--json")
+        data = json.loads(out)
+        assert data["devices"] == 2
+        assert len(data["device_results"]) == 2
+
+    def test_scenarios_preview(self, capsys):
+        out = run_cli(capsys, "scenarios", "--slices", "20")
+        for key in ("case1", "case6", "poisson", "bursty", "diurnal"):
+            assert key in out
+        assert "mean" in out
+
+    def test_scenarios_only(self, capsys):
+        out = run_cli(capsys, "scenarios", "--only", "diurnal",
+                      "--slices", "16")
+        assert out.strip().startswith("diurnal")
+        assert "case1" not in out
+
 
 class TestErrorExit:
     def test_bench_quick_writes_artifacts(self, capsys, tmp_path,
@@ -107,11 +145,16 @@ class TestErrorExit:
         monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
         out = run_cli(capsys, "bench", "--quick", "--blocks", "12",
                       "--steps", "600", "--out", str(tmp_path),
-                      "--min-speedup", "1.0")
+                      "--min-speedup", "1.0",
+                      "--min-runtime-speedup", "1.0")
         assert "speedup" in out
         names = {path.name for path in tmp_path.glob("BENCH_*.json")}
         assert names == {"BENCH_lut_build.json", "BENCH_lut_cache.json",
-                         "BENCH_sweep.json", "BENCH_lookup.json"}
+                         "BENCH_sweep.json", "BENCH_lookup.json",
+                         "BENCH_runtime.json"}
+        runtime = json.loads((tmp_path / "BENCH_runtime.json").read_text())
+        assert runtime["metrics"]["speedup"] > 0
+        assert runtime["metrics"]["slices"] > 0
         payload = json.loads((tmp_path / "BENCH_lut_build.json").read_text())
         assert payload["bench"] == "lut_build"
         assert payload["metrics"]["speedup"] > 0

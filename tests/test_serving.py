@@ -1,0 +1,178 @@
+"""Tests for the fleet serving layer and its api wiring."""
+
+import pytest
+
+from _shared import SMALL_BLOCKS, SMALL_STEPS
+from repro.api import DISPATCH, Engine, ExperimentConfig
+from repro.errors import ConfigurationError, ServingError
+from repro.serving import (
+    BUILTIN_POLICIES,
+    DispatchPolicy,
+    EnergyAware,
+    Fleet,
+    LeastLoaded,
+    RoundRobin,
+    make_policy,
+)
+from repro.workloads import ScenarioCase, bursty, scenario
+
+TINY = dict(block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS)
+
+
+@pytest.fixture(scope="module")
+def hh_runtime():
+    engine = Engine(use_disk_cache=False)
+    return engine.runtime(ExperimentConfig(**TINY))
+
+
+class TestDispatchPolicies:
+    def _infos(self, fleet):
+        return fleet.devices
+
+    def test_round_robin_deals_evenly(self, hh_runtime):
+        fleet = Fleet([hh_runtime] * 4, dispatch="round_robin")
+        splits = fleet.split(scenario(ScenarioCase.HIGH_CONSTANT, slices=3))
+        totals = [sum(loads) for loads in splits]
+        # 30 arrivals over 4 devices: 8/8/7/7 (pointer persists)
+        assert sorted(totals, reverse=True) == [8, 8, 7, 7]
+
+    def test_least_loaded_balances(self, hh_runtime):
+        fleet = Fleet([hh_runtime] * 3, dispatch="least_loaded")
+        workload = bursty().materialize(slices=40, peak=10, seed=4)
+        splits = fleet.split(workload)
+        totals = [sum(loads) for loads in splits]
+        assert max(totals) - min(totals) <= 1
+        assert sum(totals) == workload.total_inferences
+
+    def test_energy_aware_fills_cheapest_first(self, hh_runtime):
+        fleet = Fleet([hh_runtime] * 2, dispatch="energy_aware")
+        light = scenario(ScenarioCase.LOW_CONSTANT, slices=5)
+        splits = fleet.split(light)
+        # identical devices: everything fits on device 0's capacity
+        assert sum(splits[0]) == light.total_inferences
+        assert sum(splits[1]) == 0
+
+    def test_conservation_enforced(self, hh_runtime):
+        class Dropper(DispatchPolicy):
+            name = "dropper"
+
+            def assign(self, slice_index, arrivals):
+                return [0] * len(self._devices)
+
+        fleet = Fleet([hh_runtime] * 2, dispatch=Dropper())
+        with pytest.raises(ServingError, match="dropped or invented"):
+            fleet.run(scenario(ScenarioCase.LOW_CONSTANT, slices=2))
+
+    def test_make_policy_coercions(self):
+        assert isinstance(make_policy("round_robin"), RoundRobin)
+        assert isinstance(make_policy(LeastLoaded), LeastLoaded)
+        aware = EnergyAware()
+        assert make_policy(aware) is aware
+        with pytest.raises(ServingError, match="unknown dispatch"):
+            make_policy("nope")
+        with pytest.raises(ServingError, match="must be a name"):
+            make_policy(42)
+
+    def test_make_policy_resolves_registered_names(self, hh_runtime):
+        class Cheapest(EnergyAware):
+            name = "cheapest"
+
+        DISPATCH.register("cheapest", Cheapest)
+        try:
+            # a registry-only name works in directly-built fleets too
+            fleet = Fleet([hh_runtime] * 2, dispatch="cheapest")
+            assert fleet.policy.name == "cheapest"
+        finally:
+            DISPATCH.unregister("cheapest")
+        with pytest.raises(ServingError, match="unknown dispatch"):
+            Fleet([hh_runtime], dispatch="cheapest")
+
+    def test_builtins_registered_in_api(self):
+        for name in BUILTIN_POLICIES:
+            assert name in DISPATCH
+
+
+class TestFleet:
+    def test_single_device_fleet_equals_runtime(self, hh_runtime):
+        """The 1-device fleet property: record-identical to the runtime."""
+        workload = bursty().materialize(slices=30, peak=10, seed=8)
+        solo = hh_runtime.run(workload)
+        for dispatch in BUILTIN_POLICIES:
+            fleet = Fleet([hh_runtime], dispatch=dispatch)
+            result = fleet.run(workload)
+            assert result.device_results[0].records == solo.records
+            assert result.total_energy_nj == solo.total_energy_nj
+
+    def test_four_device_run(self, hh_runtime):
+        fleet = Fleet([hh_runtime] * 4, dispatch="least_loaded")
+        workload = bursty().materialize(slices=25, peak=10, seed=1)
+        result = fleet.run(workload)
+        assert len(result) == 4
+        assert result.total_inferences == workload.total_inferences
+        assert result.total_energy_nj == pytest.approx(
+            sum(r.total_energy_nj for r in result.device_results)
+        )
+        assert 0.0 <= result.deadline_rate <= 1.0
+        assert len(result.device_utilization) == 4
+        assert result.load_imbalance >= 1.0
+
+    def test_fleet_validation(self, hh_runtime):
+        with pytest.raises(ServingError, match="at least one device"):
+            Fleet([])
+        with pytest.raises(ServingError, match="TimeSliceRuntime"):
+            Fleet([object()])
+
+    def test_fleet_result_to_dict(self, hh_runtime):
+        import json
+
+        fleet = Fleet([hh_runtime] * 2)
+        result = fleet.run(scenario(ScenarioCase.PULSING, slices=6))
+        data = result.to_dict()
+        assert data["devices"] == 2
+        assert len(data["device_results"]) == 2
+        assert "records" not in data["device_results"][0]
+        json.dumps(data)
+        detailed = result.to_dict(include_records=True)
+        assert len(detailed["device_results"][0]["records"]) == 6
+
+
+class TestEngineFleet:
+    def test_run_fleet_from_config(self):
+        engine = Engine(use_disk_cache=False)
+        config = ExperimentConfig(
+            fleet=4, dispatch="least_loaded", scenario="poisson",
+            slices=15, **TINY,
+        )
+        result = engine.run_fleet(config)
+        assert len(result) == 4
+        assert result.dispatch == "least_loaded"
+        # one shared runtime: the LUT was built exactly once
+        assert engine.stats.lut_builds == 1
+
+    def test_run_dispatches_to_fleet(self):
+        engine = Engine(use_disk_cache=False)
+        config = ExperimentConfig(fleet=2, slices=5, **TINY)
+        result = engine.run(config)
+        assert len(result.device_results) == 2
+
+    def test_one_device_config_equals_single_run(self):
+        engine = Engine(use_disk_cache=False)
+        config = ExperimentConfig(scenario="case3", slices=8, **TINY)
+        single = engine.run(config)
+        fleet = engine.run_fleet(config)
+        assert fleet.device_results[0].records == single.records
+
+    def test_run_many_rejects_fleet_configs(self):
+        engine = Engine(use_disk_cache=False)
+        with pytest.raises(ConfigurationError, match="run_fleet"):
+            engine.run_many([ExperimentConfig(fleet=2, **TINY)])
+        with pytest.raises(ConfigurationError, match="run_fleet"):
+            engine.run_record(ExperimentConfig(fleet=2, **TINY))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match="fleet size"):
+            ExperimentConfig(fleet=0)
+        with pytest.raises(ConfigurationError, match="dispatch"):
+            ExperimentConfig(dispatch="")
+        config = ExperimentConfig(fleet=2, dispatch="energy_aware")
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
