@@ -56,6 +56,7 @@ from .core.runtime import (
 )
 from .core.spaces import SpaceKind, StorageSpace
 from .errors import ReproError
+from .qos import Autoscaler, QoSResult, QoSSimulator, QueueDiscipline
 from .serving import DispatchPolicy, Fleet, FleetResult
 from .workloads.arrivals import ArrivalProcess
 from .workloads.models import (
@@ -110,6 +111,10 @@ __all__ = [
     "DispatchPolicy",
     "Fleet",
     "FleetResult",
+    "Autoscaler",
+    "QoSResult",
+    "QoSSimulator",
+    "QueueDiscipline",
     "EFFICIENTNET_B0",
     "MOBILENET_V2",
     "RESNET_18",

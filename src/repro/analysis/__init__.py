@@ -1,4 +1,4 @@
-"""Analysis: savings grids (Fig. 5 / Table VI), figures, fleet reports."""
+"""Analysis: savings grids (Fig. 5 / Table VI), figures, fleet and QoS reports."""
 
 from .savings import (
     SavingsCell,
@@ -9,11 +9,15 @@ from .savings import (
 )
 from .figures import render_fig4, render_fig5, render_fig6, fig6_series, sparkline
 from .fleet import fleet_table, render_fleet
+from .qos import qos_strips, qos_table, render_qos
 from .reporting import TextTable
 
 __all__ = [
     "fleet_table",
     "render_fleet",
+    "qos_table",
+    "qos_strips",
+    "render_qos",
     "sparkline",
     "SavingsCell",
     "SavingsGrid",

@@ -1,0 +1,84 @@
+"""QoS reporting: SLO summary tables and per-run serving strips."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..qos.slo import QoSResult
+from .figures import sparkline
+from .reporting import TextTable
+
+
+def _ms(value_ns) -> str:
+    """Milliseconds with two decimals, or a dash for missing values."""
+    return "-" if value_ns is None else f"{value_ns / 1e6:.2f}"
+
+
+def qos_table(result: QoSResult) -> TextTable:
+    """The run's SLO metrics, one row per statistic."""
+    if not isinstance(result, QoSResult):
+        raise ConfigurationError(
+            f"qos_table expects a QoSResult, got {type(result).__name__}"
+        )
+    p50, p95, p99 = result.latency_percentiles_ns
+    table = TextTable(["Metric", "Value"])
+    table.add_row("requests", result.total_requests)
+    table.add_row("completed", result.completed)
+    table.add_row("unfinished", result.unfinished)
+    table.add_row("p50 latency (ms)", _ms(p50))
+    table.add_row("p95 latency (ms)", _ms(p95))
+    table.add_row("p99 latency (ms)", _ms(p99))
+    table.add_row("deadline miss rate", f"{result.deadline_miss_rate:.2%}")
+    table.add_row("SLO attainment", f"{result.slo_attainment:.2%}")
+    table.add_row("mean fleet size", f"{result.mean_fleet_size:.2f}")
+    table.add_row("peak backlog", result.peak_backlog)
+    table.add_row("mean utilization", f"{result.mean_utilization:.0%}")
+    table.add_row("energy (mJ)", f"{result.total_energy_nj / 1e6:.2f}")
+    table.add_row(
+        "energy/request (uJ)", f"{result.energy_per_request_nj / 1e3:.2f}"
+    )
+    return table
+
+
+def qos_strips(result: QoSResult) -> str:
+    """Per-slice sparkline strips: load, fleet, backlog, p95, attainment."""
+    slices = result.slices
+    if not slices:
+        return "(no service windows)"
+    arrivals = [stats.arrivals for stats in slices]
+    fleet = [stats.fleet_size for stats in slices]
+    backlog = [stats.backlog for stats in slices]
+    p95 = [
+        0.0 if stats.p95_ns is None else stats.p95_ns / 1e6 for stats in slices
+    ]
+    attainment = [stats.slo_attainment for stats in slices]
+    rows = [
+        ("arrivals", arrivals, max(max(arrivals), 1)),
+        ("fleet", fleet, max(max(fleet), 1)),
+        ("backlog", backlog, max(max(backlog), 1)),
+        ("p95 (ms)", p95, max(max(p95), 1e-9)),
+        ("attainment", attainment, 1.0),
+    ]
+    width = max(len(label) for label, _, _ in rows)
+    return "\n".join(
+        f"{label:<{width}}  {sparkline(values, peak)}  "
+        f"(max {max(values):g})"
+        for label, values, peak in rows
+    )
+
+
+def render_qos(result: QoSResult) -> str:
+    """The SLO table, the serving strips and the headline line."""
+    headline = (
+        f"{result.architecture}/{result.model} x{result.mean_fleet_size:.1f} "
+        f"devices ({result.discipline}/{result.dispatch}/{result.autoscaler}"
+        f", batch {result.batch}), scenario {result.scenario.label}: "
+        f"{result.completed}/{result.total_requests} requests, "
+        f"p95 {_ms(result.latency_percentiles_ns[1])} ms, "
+        f"SLO attainment {result.slo_attainment:.1%}, "
+        f"{result.total_energy_nj / 1e6:.2f} mJ"
+    )
+    return (
+        qos_table(result).render()
+        + "\n\n" + qos_strips(result)
+        + "\n\n" + headline
+    )

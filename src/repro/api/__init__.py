@@ -31,22 +31,26 @@ from .config import ExperimentConfig
 from .engine import Engine, EngineStats, shared_engine
 from .registry import (
     ARCHITECTURES,
+    AUTOSCALERS,
     DISPATCH,
     MODELS,
     POLICIES,
+    QOS,
     Registry,
     SCENARIOS,
     register_architecture,
     register_model,
     register_scenario,
 )
-from .results import AggregateStats, ResultSet, RunRecord
+from .results import AggregateStats, FleetRecord, ResultSet, RunRecord
 
 __all__ = [
     "ARCHITECTURES",
+    "AUTOSCALERS",
     "DISPATCH",
     "MODELS",
     "POLICIES",
+    "QOS",
     "SCENARIOS",
     "Registry",
     "register_architecture",
@@ -57,6 +61,7 @@ __all__ = [
     "EngineStats",
     "shared_engine",
     "AggregateStats",
+    "FleetRecord",
     "ResultSet",
     "RunRecord",
 ]

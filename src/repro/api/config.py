@@ -22,7 +22,15 @@ from dataclasses import dataclass, fields
 from ..core.placement import DEFAULT_BLOCK_COUNT, DEFAULT_TIME_STEPS
 from ..core.runtime import FINE_GRANULE_BYTES
 from ..errors import ConfigurationError
-from .registry import ARCHITECTURES, DISPATCH, MODELS, POLICIES, SCENARIOS
+from .registry import (
+    ARCHITECTURES,
+    AUTOSCALERS,
+    DISPATCH,
+    MODELS,
+    POLICIES,
+    QOS,
+    SCENARIOS,
+)
 
 
 @dataclass(frozen=True)
@@ -61,6 +69,18 @@ class ExperimentConfig:
     #: the arrival stream (a :data:`repro.api.registry.DISPATCH` key).
     fleet: int = 1
     dispatch: str = "round_robin"
+    #: Request-level QoS knobs (see :mod:`repro.qos`): the queue
+    #: discipline (a :data:`repro.api.registry.QOS` key), the latency SLO
+    #: target in units of the time slice (the paper's staging bound is
+    #: 2T), the autoscaler resizing the fleet between slices (an
+    #: :data:`~repro.api.registry.AUTOSCALERS` key) with its device
+    #: ceiling (``None``: the initial ``fleet`` size, i.e. no growth),
+    #: and the per-device batch size.
+    qos: str = "fifo"
+    slo: float = 2.0
+    autoscaler: str = "fixed"
+    max_fleet: int | None = None
+    batch: int = 1
 
     def __post_init__(self) -> None:
         for name in ("arch", "model", "scenario"):
@@ -103,6 +123,31 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"dispatch must be a non-empty string, got {self.dispatch!r}"
             )
+        if not isinstance(self.qos, str) or not self.qos.strip():
+            raise ConfigurationError(
+                f"qos discipline must be a non-empty string, got {self.qos!r}"
+            )
+        if not isinstance(self.slo, (int, float)) or self.slo <= 0:
+            raise ConfigurationError(
+                f"slo must be a positive number of time slices, "
+                f"got {self.slo!r}"
+            )
+        if not isinstance(self.autoscaler, str) or not self.autoscaler.strip():
+            raise ConfigurationError(
+                f"autoscaler must be a non-empty string, "
+                f"got {self.autoscaler!r}"
+            )
+        if self.max_fleet is not None and (
+            not isinstance(self.max_fleet, int) or self.max_fleet < self.fleet
+        ):
+            raise ConfigurationError(
+                f"max_fleet must be an integer >= fleet ({self.fleet}) or "
+                f"None, got {self.max_fleet!r}"
+            )
+        if not isinstance(self.batch, int) or self.batch <= 0:
+            raise ConfigurationError(
+                f"batch size must be a positive integer, got {self.batch!r}"
+            )
 
     # -- registry resolution ----------------------------------------------------
 
@@ -114,6 +159,8 @@ class ExperimentConfig:
         if self.policy is not None:
             POLICIES.get(self.policy)
         DISPATCH.get(self.dispatch)
+        QOS.get(self.qos)
+        AUTOSCALERS.get(self.autoscaler)
         return self
 
     @property

@@ -36,11 +36,21 @@ from ..core.knapsack import dp_build_count
 from ..core.placement import PlacementPolicy
 from ..core.runtime import TimeSliceRuntime, default_time_slice_ns
 from ..errors import ConfigurationError, RegistryError
+from ..qos.queueing import QoSSimulator
+from ..qos.slo import QoSResult
 from ..serving.fleet import Fleet, FleetResult
 from ..workloads.scenarios import Scenario
 from .config import ExperimentConfig
-from .registry import ARCHITECTURES, DISPATCH, MODELS, POLICIES, SCENARIOS
-from .results import ResultSet, RunRecord
+from .registry import (
+    ARCHITECTURES,
+    AUTOSCALERS,
+    DISPATCH,
+    MODELS,
+    POLICIES,
+    QOS,
+    SCENARIOS,
+)
+from .results import FleetRecord, ResultSet, RunRecord
 
 
 @dataclass
@@ -282,7 +292,8 @@ class Engine:
         if config.fleet > 1:
             raise ConfigurationError(
                 f"config asks for a {config.fleet}-device fleet; use "
-                f"Engine.run_fleet (ResultSet batching is single-device)"
+                f"Engine.run_fleet / run_fleet_record (or run_many, which "
+                f"batches fleet configs as FleetRecord entries)"
             )
         runtime, cached = self._runtime_cached(self.resolve(config))
         workload = scenario if scenario is not None else self.scenario(config)
@@ -300,37 +311,84 @@ class Engine:
         registry.  Heterogeneous fleets are built directly with
         :class:`repro.serving.fleet.Fleet`.
         """
-        runtime, _ = self._runtime_cached(self.resolve(config))
+        return self.run_fleet_record(config, scenario=scenario).result
+
+    def run_fleet_record(self, config: ExperimentConfig,
+                         scenario: Scenario | None = None) -> FleetRecord:
+        """Like :meth:`run_fleet` but keeps the config and provenance."""
+        runtime, cached = self._runtime_cached(self.resolve(config))
         workload = scenario if scenario is not None else self.scenario(config)
         fleet = Fleet(
             [runtime] * config.fleet, dispatch=DISPATCH.get(config.dispatch)
         )
         result = fleet.run(workload)
         self.stats.runs += 1
+        return FleetRecord(config=config, result=result, lut_cached=cached)
+
+    def run_qos(self, config: ExperimentConfig,
+                scenario: Scenario | None = None,
+                requests=None) -> QoSResult:
+        """Simulate the config's scenario at request level (see
+        :mod:`repro.qos`).
+
+        The fleet starts at ``config.fleet`` devices sharing the config's
+        memoized runtime; ``config.qos`` names the queue discipline,
+        ``config.autoscaler`` the capacity policy (bounded by
+        ``config.max_fleet``), ``config.slo`` the latency target in time
+        slices and ``config.batch`` the per-device batch size.  Requests
+        are sampled from the scenario under ``config.seed`` unless an
+        explicit ``requests`` stream is given, so identical configs
+        reproduce identical percentile/SLO series bit for bit.
+        """
+        runtime, _ = self._runtime_cached(self.resolve(config))
+        workload = scenario if scenario is not None else self.scenario(config)
+        simulator = QoSSimulator(
+            runtime,
+            devices=config.fleet,
+            dispatch=DISPATCH.get(config.dispatch),
+            discipline=QOS.get(config.qos),
+            autoscaler=AUTOSCALERS.get(config.autoscaler),
+            # None defers to the simulator's default (the initial size)
+            max_devices=config.max_fleet,
+            batch=config.batch,
+            slo=config.slo,
+        )
+        result = simulator.run(workload, requests=requests, seed=config.seed)
+        self.stats.runs += 1
         return result
 
     def run_many(self, configs, max_workers: int | None = None) -> ResultSet:
         """Execute a batch of configs; results follow the input order.
 
-        With ``max_workers > 1`` the batch is partitioned by runtime key
-        and each partition runs as one process-pool task, preserving the
+        Fleet configs (``fleet > 1``) run serially through
+        :meth:`run_fleet_record` — their devices share one memoized
+        runtime, so there is no LUT work to fan out — and land in the
+        batch as :class:`FleetRecord` entries.  With ``max_workers > 1``
+        the single-device remainder is partitioned by runtime key and
+        each partition runs as one process-pool task, preserving the
         exactly-once LUT construction per (arch, model, resolution)
         group.  Groups whose runtime this engine already cached run
         in-process from the cache.
         """
         configs = tuple(configs)
-        for config in configs:
-            if config.fleet > 1:
-                raise ConfigurationError(
-                    "run_many batches single-device configs; run fleet "
-                    "configs individually via Engine.run_fleet"
-                )
         workers = max_workers if max_workers is not None else self.max_workers
         if not configs:
             return ResultSet(())
         if workers is None or workers <= 1 or len(configs) == 1:
-            return ResultSet(self.run_record(c) for c in configs)
-        return self._run_pooled(configs, workers)
+            return ResultSet(
+                self.run_fleet_record(c) if c.fleet > 1 else self.run_record(c)
+                for c in configs
+            )
+        single = [(i, c) for i, c in enumerate(configs) if c.fleet == 1]
+        records: list = [None] * len(configs)
+        if single:
+            pooled = self._run_pooled(tuple(c for _, c in single), workers)
+            for (position, _), record in zip(single, pooled):
+                records[position] = record
+        for position, config in enumerate(configs):
+            if config.fleet > 1:
+                records[position] = self.run_fleet_record(config)
+        return ResultSet(records)
 
     def _run_pooled(self, configs: tuple, workers: int) -> ResultSet:
         groups: dict = {}  # runtime key -> (resolved, [(position, scenario)])

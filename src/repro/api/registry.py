@@ -28,6 +28,8 @@ from typing import Callable, Iterator
 from ..arch.specs import TABLE_I, ArchitectureSpec
 from ..core.placement import PlacementPolicy
 from ..errors import RegistryError
+from ..qos.autoscale import BUILTIN_AUTOSCALERS, Autoscaler
+from ..qos.queueing import BUILTIN_DISCIPLINES, QueueDiscipline
 from ..serving.dispatch import BUILTIN_POLICIES, DispatchPolicy
 from ..workloads import arrivals
 from ..workloads.models import TABLE_IV, ModelSpec
@@ -212,6 +214,22 @@ def _check_dispatch(key, value) -> None:
         )
 
 
+def _check_qos(key, value) -> None:
+    if not (isinstance(value, QueueDiscipline) or callable(value)):
+        raise RegistryError(
+            f"queue discipline {key!r} must be a QueueDiscipline or a "
+            f"factory callable, got {type(value).__name__}"
+        )
+
+
+def _check_autoscaler(key, value) -> None:
+    if not (isinstance(value, Autoscaler) or callable(value)):
+        raise RegistryError(
+            f"autoscaler {key!r} must be an Autoscaler or a factory "
+            f"callable, got {type(value).__name__}"
+        )
+
+
 #: Table I architectures plus any user-registered fabrics.
 ARCHITECTURES = Registry("architecture", _check_architecture)
 
@@ -230,6 +248,16 @@ POLICIES = Registry("placement policy", _check_policy)
 #: ``energy_aware``) plus any user-registered strategies.  Entries are
 #: factories producing :class:`repro.serving.dispatch.DispatchPolicy`.
 DISPATCH = Registry("dispatch policy", _check_dispatch)
+
+#: QoS queue disciplines (``fifo``, ``priority``, ``edf``) plus any
+#: user-registered orderings.  Entries are factories producing
+#: :class:`repro.qos.queueing.QueueDiscipline`.
+QOS = Registry("queue discipline", _check_qos)
+
+#: Fleet autoscalers (``fixed``, ``threshold``, ``queue_depth``) plus
+#: any user-registered capacity policies.  Entries are factories
+#: producing :class:`repro.qos.autoscale.Autoscaler`.
+AUTOSCALERS = Registry("autoscaler", _check_autoscaler)
 
 
 def ensure_registered(registry: Registry, name: str, value) -> None:
@@ -312,6 +340,10 @@ def _register_builtins() -> None:
         POLICIES.register(policy.value, policy)
     for name, factory in BUILTIN_POLICIES.items():
         DISPATCH.register(name, factory)
+    for name, factory in BUILTIN_DISCIPLINES.items():
+        QOS.register(name, factory)
+    for name, factory in BUILTIN_AUTOSCALERS.items():
+        AUTOSCALERS.register(name, factory)
 
 
 _register_builtins()

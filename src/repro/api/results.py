@@ -2,9 +2,13 @@
 
 :class:`ResultSet` is what :meth:`repro.api.engine.Engine.run_many`
 returns — an ordered, immutable collection of :class:`RunRecord`
-(config + its :class:`~repro.core.runtime.RunResult`).  It slices like a
-sequence, filters by any config axis, aggregates energy/latency/deadline
-statistics per group, and exports to JSON or CSV for external tooling.
+(config + its :class:`~repro.core.runtime.RunResult`) and
+:class:`FleetRecord` (config + its
+:class:`~repro.serving.fleet.FleetResult`) entries.  Both record kinds
+expose the same flat metric surface, so one batch can mix single-device
+and fleet experiments and still slice like a sequence, filter by any
+config axis, aggregate energy/latency/deadline statistics per group, and
+export to JSON or CSV with a uniform row schema.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from dataclasses import dataclass
 
 from ..core.runtime import RunResult
 from ..errors import ConfigurationError
+from ..serving.fleet import FleetResult
 from .config import ExperimentConfig
 
 
@@ -91,32 +96,210 @@ class RunRecord:
         """Weight blocks migrated over the whole run."""
         return sum(r.movement.blocks_moved for r in self.result.records)
 
+    @property
+    def devices(self) -> int:
+        """Devices this run occupied (a single-device run: 1)."""
+        return 1
+
+    @property
+    def dispatch(self) -> str:
+        """The config's dispatch policy (idle on a single device)."""
+        return self.config.dispatch
+
+    @property
+    def slice_count(self) -> int:
+        """(device, slice) cells executed — the aggregation weight."""
+        return len(self.result.records)
+
+    @property
+    def total_busy_ns(self) -> float:
+        """Busy time summed over every executed slice."""
+        return sum(r.busy_time_ns for r in self.result.records)
+
+    @property
+    def slices(self) -> int:
+        """The *realized* per-device slice count: a registered Scenario
+        instance ignores the config's slices knob, so the executed
+        length is the truthful value to export."""
+        return len(self.result.records)
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def block_count(self) -> int:
+        return self.config.block_count
+
+    @property
+    def time_steps(self) -> int:
+        return self.config.time_steps
+
+    @property
+    def t_slice_ns(self) -> float:
+        return self.result.t_slice_ns
+
     def to_row(self) -> dict:
-        """A flat, JSON/CSV-ready summary of this run."""
-        return {
-            "arch": self.arch,
-            "model": self.model,
-            "scenario": self.scenario,
-            "policy": self.policy,
-            # The *realized* slice count: a registered Scenario instance
-            # ignores the config's slices knob, so the executed length is
-            # the truthful value to export.
-            "slices": len(self.result.records),
-            "seed": self.config.seed,
-            "block_count": self.config.block_count,
-            "time_steps": self.config.time_steps,
-            "t_slice_ns": self.result.t_slice_ns,
-            "total_energy_nj": self.total_energy_nj,
-            "energy_per_inference_nj": self.energy_per_inference_nj,
-            "mean_power_mw": self.mean_power_mw,
-            "deadlines_met": self.deadlines_met,
-            "missed_slices": self.missed_slices,
-            "total_inferences": self.total_inferences,
-            "mean_slice_busy_ns": self.mean_slice_busy_ns,
-            "worst_slice_busy_ns": self.worst_slice_busy_ns,
-            "blocks_moved": self.blocks_moved,
-            "lut_cached": self.lut_cached,
-        }
+        """A flat, JSON/CSV-ready summary of this run.
+
+        Fleet rows (:meth:`FleetRecord.to_row`) share the same
+        :data:`ROW_FIELDS` schema, so mixed batches export to one CSV
+        layout.
+        """
+        return {field: getattr(self, field) for field in ROW_FIELDS}
+
+
+#: The shared flat-row schema of :meth:`RunRecord.to_row` and
+#: :meth:`FleetRecord.to_row` — every name is a property on both record
+#: kinds, so the export stays rectangular however a batch is mixed.
+ROW_FIELDS = (
+    "arch", "model", "scenario", "policy", "devices", "dispatch",
+    "slices", "seed", "block_count", "time_steps", "t_slice_ns",
+    "total_energy_nj", "energy_per_inference_nj", "mean_power_mw",
+    "deadlines_met", "missed_slices", "total_inferences",
+    "mean_slice_busy_ns", "worst_slice_busy_ns", "blocks_moved",
+    "lut_cached",
+)
+
+
+@dataclass(frozen=True)
+class FleetRecord:
+    """One executed fleet experiment: the config and its fleet outcome.
+
+    Exposes the same flat metric surface as :class:`RunRecord` (per-slice
+    statistics aggregate over every (device, slice) cell), so
+    :class:`ResultSet` filtering, aggregation and export treat both
+    uniformly.
+    """
+
+    config: ExperimentConfig
+    result: FleetResult
+    #: Whether the engine served the fleet's shared LUT from cache.
+    lut_cached: bool = False
+
+    # -- flat accessors (the RunRecord surface) ---------------------------------
+
+    @property
+    def arch(self) -> str:
+        return self.config.arch
+
+    @property
+    def model(self) -> str:
+        return self.config.model
+
+    @property
+    def scenario(self) -> str:
+        return self.config.scenario
+
+    @property
+    def policy(self) -> str:
+        """The *resolved* placement policy (shared by every device)."""
+        return self.result.device_results[0].policy.value
+
+    @property
+    def devices(self) -> int:
+        return len(self.result.device_results)
+
+    @property
+    def dispatch(self) -> str:
+        """The dispatch policy that split the arrival stream."""
+        return self.result.dispatch
+
+    @property
+    def total_energy_nj(self) -> float:
+        return self.result.total_energy_nj
+
+    @property
+    def energy_per_inference_nj(self) -> float:
+        return self.result.energy_per_inference_nj
+
+    @property
+    def mean_power_mw(self) -> float:
+        return self.result.mean_power_mw
+
+    @property
+    def deadlines_met(self) -> bool:
+        return self.result.deadlines_met
+
+    @property
+    def missed_slices(self) -> int:
+        """(device, slice) cells that blew their deadline."""
+        return sum(
+            1
+            for device in self.result.device_results
+            for record in device.records
+            if not record.deadline_met
+        )
+
+    @property
+    def total_inferences(self) -> int:
+        return self.result.total_inferences
+
+    @property
+    def slice_count(self) -> int:
+        """(device, slice) cells executed — the aggregation weight."""
+        return sum(len(d.records) for d in self.result.device_results)
+
+    @property
+    def total_busy_ns(self) -> float:
+        """Busy time summed over every (device, slice) cell."""
+        return sum(
+            record.busy_time_ns
+            for device in self.result.device_results
+            for record in device.records
+        )
+
+    @property
+    def mean_slice_busy_ns(self) -> float:
+        """Mean busy time per (device, slice) cell."""
+        cells = self.slice_count
+        return self.total_busy_ns / cells if cells else 0.0
+
+    @property
+    def worst_slice_busy_ns(self) -> float:
+        """The most loaded (device, slice) cell's busy time."""
+        return max(
+            (
+                record.busy_time_ns
+                for device in self.result.device_results
+                for record in device.records
+            ),
+            default=0.0,
+        )
+
+    @property
+    def blocks_moved(self) -> int:
+        """Weight blocks migrated across the whole fleet."""
+        return sum(
+            record.movement.blocks_moved
+            for device in self.result.device_results
+            for record in device.records
+        )
+
+    @property
+    def slices(self) -> int:
+        """Realized slices per device (every device runs the full run)."""
+        return len(self.result.device_results[0].records)
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    @property
+    def block_count(self) -> int:
+        return self.config.block_count
+
+    @property
+    def time_steps(self) -> int:
+        return self.config.time_steps
+
+    @property
+    def t_slice_ns(self) -> float:
+        return self.result.device_results[0].t_slice_ns
+
+    def to_row(self) -> dict:
+        """A flat summary over the shared :data:`ROW_FIELDS` schema."""
+        return {field: getattr(self, field) for field in ROW_FIELDS}
 
 
 @dataclass(frozen=True)
@@ -137,18 +320,23 @@ class AggregateStats:
 
 
 #: The config axes `ResultSet.filter` / `.aggregate` understand.
-_AXES = ("arch", "model", "scenario", "policy")
+_AXES = ("arch", "model", "scenario", "policy", "dispatch")
 
 
 class ResultSet:
-    """An ordered, immutable batch of experiment outcomes."""
+    """An ordered, immutable batch of experiment outcomes.
+
+    Holds :class:`RunRecord` (single-device) and :class:`FleetRecord`
+    (multi-device) entries interchangeably — both expose the same flat
+    metric surface.
+    """
 
     def __init__(self, records) -> None:
         self._records = tuple(records)
         for record in self._records:
-            if not isinstance(record, RunRecord):
+            if not isinstance(record, (RunRecord, FleetRecord)):
                 raise ConfigurationError(
-                    f"ResultSet holds RunRecord entries, "
+                    f"ResultSet holds RunRecord/FleetRecord entries, "
                     f"got {type(record).__name__}"
                 )
 
@@ -181,9 +369,11 @@ class ResultSet:
     def filter(self, predicate=None, **axes) -> "ResultSet":
         """Select runs by config axis values and/or a predicate.
 
-        Axis keywords (``arch=``, ``model=``, ``scenario=``, ``policy=``)
-        accept a single value or an iterable of accepted values;
-        ``predicate`` is a callable over :class:`RunRecord`.
+        Axis keywords (``arch=``, ``model=``, ``scenario=``, ``policy=``,
+        ``dispatch=``) accept a single value or an iterable of accepted
+        values; ``predicate`` is a callable over the record — a
+        :class:`RunRecord` or :class:`FleetRecord` (both expose the
+        same flat metric surface).
         """
         unknown = set(axes) - set(_AXES)
         if unknown:
@@ -247,10 +437,8 @@ class ResultSet:
         for key, records in groups.items():
             energies = [r.total_energy_nj for r in records]
             inferences = sum(r.total_inferences for r in records)
-            slices = sum(len(r.result.records) for r in records)
-            busy = sum(
-                rec.busy_time_ns for r in records for rec in r.result.records
-            )
+            slices = sum(r.slice_count for r in records)
+            busy = sum(r.total_busy_ns for r in records)
             out[key] = AggregateStats(
                 runs=len(records),
                 total_energy_nj=sum(energies),

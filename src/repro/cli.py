@@ -10,6 +10,7 @@ Usage::
     python -m repro run --case 1 --json    # machine-readable run summary
     python -m repro sweep --model ResNet-18 --case 1 --case 2
     python -m repro fleet --devices 4 --dispatch least_loaded --scenario bursty
+    python -m repro qos --scenario bursty --autoscaler queue_depth --json
     python -m repro scenarios              # registered scenarios, previewed
     python -m repro bench --quick          # perf harness -> BENCH_*.json
     python -m repro cache info             # persistent LUT cache state
@@ -28,12 +29,21 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis import TextTable, render_fig4, render_fig6, render_fleet, sparkline
+from .analysis import (
+    TextTable,
+    render_fig4,
+    render_fig6,
+    render_fleet,
+    render_qos,
+    sparkline,
+)
 from .api import (
     ARCHITECTURES,
+    AUTOSCALERS,
     DISPATCH,
     MODELS,
     POLICIES,
+    QOS,
     SCENARIOS,
     ExperimentConfig,
 )
@@ -258,6 +268,43 @@ def _cmd_fleet(args) -> str:
     return header + "\n\n" + render_fleet(result)
 
 
+def _cmd_qos(args) -> str:
+    import json
+
+    engine = shared_engine()
+    config = ExperimentConfig(
+        arch=ARCHITECTURES.canonical(args.arch),
+        model=MODELS.canonical(args.model),
+        scenario=SCENARIOS.canonical(args.scenario),
+        fleet=args.devices,
+        max_fleet=args.max_devices,
+        dispatch=DISPATCH.canonical(args.dispatch),
+        qos=QOS.canonical(args.discipline),
+        autoscaler=AUTOSCALERS.canonical(args.autoscaler),
+        slo=args.slo,
+        batch=args.batch,
+        slices=args.slices,
+        peak=args.peak,
+        seed=args.seed,
+        block_count=args.blocks,
+        time_steps=args.steps,
+        lut_cache=not args.no_cache,
+    )
+    result = engine.run_qos(config)
+    if args.json:
+        return json.dumps(
+            result.to_dict(include_records=args.records), indent=2
+        )
+    header = (
+        f"{config.arch}/{config.model}, {args.devices}"
+        f"->{config.max_fleet or args.devices} devices, "
+        f"scenario {result.scenario.label}, "
+        f"{result.total_requests} requests over "
+        f"{len(result.scenario)} slices"
+    )
+    return header + "\n\n" + render_qos(result)
+
+
 def _cmd_scenarios(args) -> str:
     """Preview every registered scenario as a sparkline strip."""
     engine = shared_engine()
@@ -310,6 +357,14 @@ def _cmd_bench(args) -> str:
             f"{loop_speedup:.2f}x is below the required "
             f"{args.min_runtime_speedup:.2f}x"
         )
+    qos_throughput = report["qos"]["requests_per_s"]
+    if (args.min_qos_throughput is not None
+            and qos_throughput < args.min_qos_throughput):
+        raise ReproError(
+            f"perf gate failed: QoS simulator throughput "
+            f"{qos_throughput:.0f} requests/s is below the required "
+            f"{args.min_qos_throughput:.0f}"
+        )
     if args.json:
         return json.dumps(report, indent=2, sort_keys=True)
     lines = [render_report(report), ""]
@@ -345,6 +400,10 @@ def _cmd_list(_args) -> str:
     lines += [f"  {name}" for name in POLICIES.keys()]
     lines.append("dispatch policies:")
     lines += [f"  {name}" for name in DISPATCH.keys()]
+    lines.append("queue disciplines:")
+    lines += [f"  {name}" for name in QOS.keys()]
+    lines.append("autoscalers:")
+    lines += [f"  {name}" for name in AUTOSCALERS.keys()]
     return "\n".join(lines)
 
 
@@ -432,6 +491,45 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--steps", type=int, default=6000)
     fleet.add_argument("--no-cache", action="store_true",
                        help="skip the persistent on-disk LUT cache")
+    qos = sub.add_parser(
+        "qos", help="request-level QoS simulation: latency, SLOs, autoscaling"
+    )
+    qos.add_argument("--devices", type=int, default=2,
+                     help="initial fleet size (default: 2)")
+    qos.add_argument("--max-devices", type=int, default=None,
+                     help="autoscaler ceiling (default: --devices, i.e. "
+                          "no growth)")
+    qos.add_argument("--autoscaler", default="fixed",
+                     help="capacity policy (fixed, threshold, queue_depth, "
+                          "or a registered key)")
+    qos.add_argument("--discipline", default="fifo",
+                     help="queue discipline (fifo, priority, edf, or a "
+                          "registered key)")
+    qos.add_argument("--dispatch", default="round_robin",
+                     help="dispatch policy splitting arrivals across devices")
+    qos.add_argument("--batch", type=int, default=1,
+                     help="per-device batch size (requests served back to "
+                          "back, completing together)")
+    qos.add_argument("--slo", type=float, default=2.0,
+                     help="latency SLO target in time slices (default: the "
+                          "paper's 2T staging bound)")
+    qos.add_argument("--arch", default="HH-PIM")
+    qos.add_argument("--model", default="EfficientNet-B0")
+    qos.add_argument("--scenario", default="bursty",
+                     help="any registered scenario key (case1..case6, "
+                          "poisson, bursty, diurnal, ...)")
+    qos.add_argument("--peak", type=int, default=10,
+                     help="scenario peak load per slice")
+    qos.add_argument("--seed", type=int, default=2025)
+    qos.add_argument("--json", action="store_true",
+                     help="emit the machine-readable QoS summary")
+    qos.add_argument("--records", action="store_true",
+                     help="with --json: include per-device slice records")
+    qos.add_argument("--slices", type=int, default=50)
+    qos.add_argument("--blocks", type=int, default=48)
+    qos.add_argument("--steps", type=int, default=6000)
+    qos.add_argument("--no-cache", action="store_true",
+                     help="skip the persistent on-disk LUT cache")
     scenarios = sub.add_parser(
         "scenarios", help="preview registered workload scenarios"
     )
@@ -462,6 +560,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail (exit 2) if the vectorized slice loop is "
                             "not this many times faster than the scalar "
                             "reference")
+    bench.add_argument("--min-qos-throughput", type=float, default=None,
+                       help="fail (exit 2) if the QoS simulator falls below "
+                            "this many simulated requests per second")
     bench.add_argument("--json", action="store_true",
                        help="print the full machine-readable report")
     cache = sub.add_parser(
@@ -482,6 +583,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
+    "qos": _cmd_qos,
     "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
     "cache": _cmd_cache,

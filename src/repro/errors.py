@@ -115,6 +115,17 @@ class ServingError(ReproError):
     """
 
 
+class QoSError(ServingError):
+    """The request-level QoS subsystem was misconfigured or misbehaved.
+
+    Raised for invalid request samples (negative timestamps, conflicting
+    class mixes), queue disciplines and autoscalers that violate their
+    contracts, and simulator budgets that are exhausted before the
+    backlog drains.  Derives from :class:`ServingError` so fleet-level
+    callers catch QoS failures too.
+    """
+
+
 class RegistryError(ConfigurationError):
     """A registry lookup or registration failed.
 

@@ -1,6 +1,6 @@
 """The ``repro bench`` measurement sections.
 
-Four sections, each emitted as one ``BENCH_<section>.json``:
+Six sections, each emitted as one ``BENCH_<section>.json``:
 
 ``lut_build``
     Wall time of a full allocation-LUT construction on the vectorized
@@ -24,6 +24,12 @@ Four sections, each emitted as one ``BENCH_<section>.json``:
     driver vs the ``REPRO_SCALAR_RUNTIME`` scalar reference — the CI
     perf gate fails when ``speedup`` drops below
     ``--min-runtime-speedup``.
+``qos``
+    Request-level QoS simulator throughput (simulated requests per
+    wall-clock second) over an overloaded bursty scenario with EDF
+    queueing, batching and queue-depth autoscaling all engaged — the CI
+    perf gate fails when ``requests_per_s`` drops below
+    ``--min-qos-throughput``.
 
 All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 """
@@ -50,6 +56,8 @@ from ..core.placement import (
     DataPlacementOptimizer,
 )
 from ..core.runtime import default_time_slice_ns, scalar_runtime
+from ..qos.queueing import QoSSimulator
+from ..qos.requests import sample_requests
 from ..workloads.arrivals import bursty
 
 #: Common prefix of every benchmark artifact file.
@@ -75,6 +83,7 @@ def default_bench_settings(quick: bool = False) -> dict:
         "sweep_steps": 1500 if quick else 6000,
         "lookups": 2000 if quick else 20000,
         "runtime_slices": 2000 if quick else 10000,
+        "qos_slices": 400 if quick else 2000,
     }
 
 
@@ -278,6 +287,61 @@ def bench_runtime(model_name: str, slices: int, repeats: int) -> dict:
     }
 
 
+def bench_qos(model_name: str, slices: int, repeats: int) -> dict:
+    """Request-level QoS simulator throughput under serving stress.
+
+    An overloaded bursty scenario (peak beyond one device's window
+    capacity) with EDF queueing, batch-2 service and the queue-depth
+    autoscaler growing the fleet — every QoS mechanism on the clock at
+    once.  The request stream is sampled once and reused, so the metric
+    isolates the simulator, not the sampler.
+    """
+    engine = Engine(use_disk_cache=False)
+    runtime = engine.runtime(
+        ExperimentConfig(
+            model=MODELS.canonical(model_name),
+            block_count=24,
+            time_steps=1500,
+        )
+    )
+    workload = bursty(calm_rate=4.0, burst_rate=16.0).materialize(
+        slices=slices, peak=20, seed=2025
+    )
+    requests = sample_requests(workload, runtime.t_slice_ns, seed=2025)
+    out = {}
+
+    def simulate() -> None:
+        # Fresh simulator per repetition: policies and autoscalers are
+        # stateful over one run.
+        simulator = QoSSimulator(
+            runtime,
+            devices=1,
+            max_devices=8,
+            autoscaler="queue_depth",
+            discipline="edf",
+            batch=2,
+        )
+        out["result"] = simulator.run(workload, requests=requests)
+
+    wall_s = _best_of(simulate, repeats)
+    result = out["result"]
+    return {
+        "arch": "HH-PIM",
+        "model": MODELS.canonical(model_name),
+        "scenario": workload.label,
+        "slices": slices,
+        "requests": len(requests),
+        "windows": len(result.slices),
+        "completed": result.completed,
+        "unfinished": result.unfinished,
+        "slo_attainment": result.slo_attainment,
+        "mean_fleet_size": result.mean_fleet_size,
+        "wall_s": wall_s,
+        "requests_per_s": len(requests) / wall_s,
+        "windows_per_s": len(result.slices) / wall_s,
+    }
+
+
 # -- orchestration ---------------------------------------------------------------
 
 
@@ -292,7 +356,7 @@ def run_bench(
     settings = default_bench_settings(quick)
     if repeats is not None:
         settings["repeats"] = repeats
-    return {
+    report = {
         "meta": _metadata(settings),
         "lut_build": bench_lut_build(
             model, block_count, time_steps, settings["repeats"]
@@ -303,7 +367,18 @@ def run_bench(
         "runtime": bench_runtime(
             model, settings["runtime_slices"], settings["repeats"]
         ),
+        "qos": bench_qos(
+            model, settings["qos_slices"], settings["repeats"]
+        ),
     }
+    # A machine-relative companion to requests_per_s: QoS requests
+    # simulated per scalar-reference slice on the same box, so the perf
+    # trajectory can separate simulator regressions from runner speed.
+    scalar_rate = report["runtime"]["scalar_slices_per_s"]
+    report["qos"]["requests_per_scalar_slice"] = (
+        report["qos"]["requests_per_s"] / scalar_rate if scalar_rate else 0.0
+    )
+    return report
 
 
 def write_reports(report: dict, out_dir) -> list:
@@ -328,6 +403,7 @@ def render_report(report: dict) -> str:
     sweep = report["sweep"]
     lookup = report["lookup"]
     loop = report["runtime"]
+    qos = report["qos"]
     lines = [
         (
             f"LUT build ({build['arch']}/{build['model']}, "
@@ -359,6 +435,12 @@ def render_report(report: dict) -> str:
             f"vectorized {loop['vectorized_slices_per_s']:,.0f} slices/s, "
             f"scalar reference {loop['scalar_slices_per_s']:,.0f} slices/s, "
             f"speedup {loop['speedup']:.1f}x"
+        ),
+        (
+            f"qos ({qos['requests']} requests over {qos['windows']} "
+            f"windows, mean fleet {qos['mean_fleet_size']:.1f}): "
+            f"{qos['requests_per_s']:,.0f} requests/s "
+            f"({qos['slo_attainment']:.0%} SLO attainment)"
         ),
     ]
     return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Spec coercion shared by the pluggable-policy seams.
+
+Dispatch policies, queue disciplines and autoscalers all accept the same
+spec shapes — an instance, a registered name, or a class/factory — and
+resolve names against their built-ins first, then against the matching
+:mod:`repro.api.registry` table.  :func:`coerce_spec` implements that
+contract once; the seams keep their public ``make_*`` wrappers.
+"""
+
+from __future__ import annotations
+
+
+def _registered(registry_name: str, name: str):
+    """Look ``name`` up in an api registry, if the api layer is loaded.
+
+    Imported lazily: :mod:`repro.api.registry` imports the seam modules
+    to register their built-ins, so the dependency cannot be top-level.
+    Returns the registered entry or None.
+    """
+    try:
+        from .api import registry
+    except ImportError:  # pragma: no cover - api layer always ships
+        return None
+    table = getattr(registry, registry_name)
+    if name in table:
+        return table.get(name)
+    return None
+
+
+def coerce_spec(value, *, base, builtins, registry_name, kind, error_cls):
+    """Coerce a spec — name, class, factory or instance — to a ``base``.
+
+    ``builtins`` maps canonical names to factories; ``registry_name``
+    names the :mod:`repro.api.registry` table consulted for
+    user-registered names; ``kind`` labels error messages and
+    ``error_cls`` raises them.
+    """
+    if isinstance(value, base):
+        return value
+    if isinstance(value, str):
+        name = value.strip().lower()
+        entry = builtins.get(name) or _registered(registry_name, name)
+        if entry is None:
+            raise error_cls(
+                f"unknown {kind} {value!r}; built-ins: "
+                f"{', '.join(sorted(builtins))}"
+            )
+        return coerce_spec(
+            entry, base=base, builtins=builtins,
+            registry_name=registry_name, kind=kind, error_cls=error_cls,
+        )
+    if callable(value):
+        made = value()
+        if not isinstance(made, base):
+            raise error_cls(
+                f"{kind} factory {value!r} must produce a "
+                f"{base.__name__}, got {type(made).__name__}"
+            )
+        return made
+    raise error_cls(
+        f"{kind} must be a name, {base.__name__} or factory, "
+        f"got {type(value).__name__}"
+    )

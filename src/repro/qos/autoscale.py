@@ -1,0 +1,189 @@
+"""Autoscalers: capacity policies that resize the fleet between slices.
+
+An :class:`Autoscaler` watches the serving loop's per-window signals
+(staged queue depth, utilization, current size) and returns the fleet
+size for the next service window, clamped to ``[min_devices,
+max_devices]``.  Scaling is boundary-clocked — devices are added or
+removed only between slices, never mid-window — and deterministic: the
+decision is a pure function of the observation, so seeded runs
+reproduce their scaling trace bit for bit.
+
+Built-ins (also registered in :data:`repro.api.registry.AUTOSCALERS`):
+
+* :class:`Fixed` — never resizes (the differential-test reference);
+* :class:`Threshold` — classic utilization banding: one device up above
+  the high-water mark, one down below the low-water mark (only when the
+  backlog is clear);
+* :class:`QueueDepthTarget` — sizes the fleet so the staged work per
+  device approaches a target depth, the queue-proportional policy of
+  serving autoscalers.
+
+Energy economics: a provisioned-but-idle device still books its hold /
+buffer leakage through the slice accounting, so scaling down is what
+actually saves energy — the reports make the trade visible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import QoSError
+from ..plugins import coerce_spec
+
+__all__ = [
+    "ScaleObservation",
+    "Autoscaler",
+    "Fixed",
+    "Threshold",
+    "QueueDepthTarget",
+    "BUILTIN_AUTOSCALERS",
+    "make_autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class ScaleObservation:
+    """What an autoscaler may know at a slice boundary."""
+
+    #: Index of the service window about to run.
+    slice_index: int
+    #: Devices provisioned for the previous window.
+    fleet_size: int
+    #: Requests awaiting service (carry-over backlog + new arrivals).
+    staged: int
+    #: Mean busy fraction of the previous window's devices.
+    utilization: float
+    #: Peak-placement inferences one device completes per window.
+    capacity_per_device: int
+
+
+class Autoscaler:
+    """Base class: pick the next window's fleet size."""
+
+    #: Registry key / report label.
+    name = "base"
+
+    def start(self, initial: int, min_devices: int, max_devices: int) -> None:
+        """Reset per-run state and install the size bounds."""
+        if not 1 <= min_devices <= max_devices:
+            raise QoSError(
+                f"autoscaler bounds must satisfy 1 <= min <= max, got "
+                f"[{min_devices}, {max_devices}]"
+            )
+        if not min_devices <= initial <= max_devices:
+            raise QoSError(
+                f"initial fleet size {initial} outside the autoscaler "
+                f"bounds [{min_devices}, {max_devices}]"
+            )
+        self.min_devices = min_devices
+        self.max_devices = max_devices
+        self._size = initial
+
+    def decide(self, observation: ScaleObservation) -> int:
+        """The fleet size for the observed window (before clamping)."""
+        raise NotImplementedError
+
+    def resize(self, observation: ScaleObservation) -> int:
+        """Clamped decision; updates and returns the current size."""
+        desired = self.decide(observation)
+        if not isinstance(desired, int) or isinstance(desired, bool):
+            raise QoSError(
+                f"autoscaler {self.name!r} returned a non-integer fleet "
+                f"size: {desired!r}"
+            )
+        self._size = max(self.min_devices, min(self.max_devices, desired))
+        return self._size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Fixed(Autoscaler):
+    """Never resizes: the fleet stays at its initial size."""
+
+    name = "fixed"
+
+    def decide(self, observation: ScaleObservation) -> int:
+        return self._size
+
+
+class Threshold(Autoscaler):
+    """Utilization banding: up above ``high``, down below ``low``.
+
+    Scale-down additionally requires an empty staged queue, so a briefly
+    quiet fleet with a standing backlog is not starved.
+    """
+
+    name = "threshold"
+
+    def __init__(self, low: float = 0.3, high: float = 0.85) -> None:
+        if not 0.0 <= low < high <= 1.0:
+            raise QoSError(
+                f"threshold band must satisfy 0 <= low < high <= 1, got "
+                f"[{low}, {high}]"
+            )
+        self.low = low
+        self.high = high
+
+    def decide(self, observation: ScaleObservation) -> int:
+        if observation.utilization > self.high:
+            return self._size + 1
+        if observation.utilization < self.low and observation.staged == 0:
+            return self._size - 1
+        return self._size
+
+
+class QueueDepthTarget(Autoscaler):
+    """Size the fleet toward a target staged depth per device.
+
+    The desired size is ``ceil(staged / target)`` where ``target``
+    defaults to one window's per-device peak capacity — enough devices
+    that the staged work clears in about one window.  Growth and shrink
+    are limited to one device per boundary so scaling traces stay smooth
+    (and cheap: each provision boots a placement).
+    """
+
+    name = "queue_depth"
+
+    def __init__(self, target: int | None = None) -> None:
+        if target is not None and target <= 0:
+            raise QoSError(
+                f"queue-depth target must be positive, got {target!r}"
+            )
+        self.target = target
+
+    def decide(self, observation: ScaleObservation) -> int:
+        target = self.target
+        if target is None:
+            target = max(1, observation.capacity_per_device)
+        desired = max(1, math.ceil(observation.staged / target))
+        if desired > self._size:
+            return self._size + 1
+        if desired < self._size:
+            return self._size - 1
+        return self._size
+
+
+#: Built-in autoscalers by their registry name.
+BUILTIN_AUTOSCALERS = {
+    Fixed.name: Fixed,
+    Threshold.name: Threshold,
+    QueueDepthTarget.name: QueueDepthTarget,
+}
+
+
+def make_autoscaler(policy) -> Autoscaler:
+    """Coerce an autoscaler spec — name, class, factory or instance.
+
+    Names resolve against the built-ins first, then against the api
+    ``AUTOSCALERS`` registry.
+    """
+    return coerce_spec(
+        policy,
+        base=Autoscaler,
+        builtins=BUILTIN_AUTOSCALERS,
+        registry_name="AUTOSCALERS",
+        kind="autoscaler",
+        error_cls=QoSError,
+    )

@@ -1,0 +1,475 @@
+"""The request-level serving simulator: queues, batching, service windows.
+
+:class:`QoSSimulator` runs a scenario's *individual requests* (see
+:mod:`repro.qos.requests`) through a fleet of devices, driven by the
+deterministic :class:`~repro.sim.events.EventQueue`.  The clock follows
+the paper's double-buffered slice discipline: requests arriving during
+slice ``s`` are staged at the boundary ``(s+1)T`` and served during the
+**service window** ``[(s+1)T, (s+2)T)`` — which is exactly the work the
+slice runtime books under record index ``s``, so with zero queueing the
+simulator's per-device :class:`~repro.core.runtime.SliceRecord` streams
+are bit-identical to :class:`repro.serving.fleet.Fleet`'s (the
+differential suite pins this).
+
+Each window, each provisioned device:
+
+1. sorts its queue by the :class:`QueueDiscipline` (FIFO / priority /
+   EDF);
+2. consults the allocation LUT through the runtime's placement selection
+   for ``tasks = queue depth`` — so HP/LP placement decisions directly
+   set the window's per-request **service time**
+   (``placement.task_time_ns + core_time_ns``), and an overloaded queue
+   pushes the device toward its peak (fastest, hungriest) placement;
+3. serves batches of up to ``batch`` requests back to back while the
+   window (plus the runtime's quantisation slack) has room — a batch's
+   requests all complete at the batch's end, as events on the queue;
+4. books the window with the *same accounting core* the slice runtime
+   uses (idle provisioned devices pay their hold/buffer leakage — the
+   autoscaler's energy incentive), and spills the unserved remainder to
+   the next window.
+
+Between windows the :class:`~repro.qos.autoscale.Autoscaler` resizes
+the fleet; queues of deprovisioned devices are re-staged and
+re-dispatched with the next window's arrivals.  After the last arrival
+slice, drain windows run until the backlog clears or the drain budget is
+exhausted (the remainder is reported as ``unfinished``).
+"""
+
+from __future__ import annotations
+
+from ..core.runtime import SliceRecord, TimeSliceRuntime
+from ..errors import QoSError
+from ..plugins import coerce_spec
+from ..serving.dispatch import make_policy
+from ..serving.fleet import device_info
+from ..sim.events import EventQueue
+from .autoscale import ScaleObservation, make_autoscaler
+from .requests import DEFAULT_CLASSES, sample_requests
+from .slo import QoSResult, SloAccountant
+
+__all__ = [
+    "QueueDiscipline",
+    "Fifo",
+    "Priority",
+    "EarliestDeadline",
+    "BUILTIN_DISCIPLINES",
+    "make_discipline",
+    "QoSSimulator",
+]
+
+
+# -- queue disciplines ----------------------------------------------------------------
+
+
+class QueueDiscipline:
+    """Orders a device's queue; lower keys are served first."""
+
+    #: Registry key / report label.
+    name = "base"
+
+    def key(self, request) -> tuple:
+        """The sort key of one request (must be deterministic)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Fifo(QueueDiscipline):
+    """First come, first served (ties break on request id)."""
+
+    name = "fifo"
+
+    def key(self, request) -> tuple:
+        return (request.arrival_ns, request.rid)
+
+
+class Priority(QueueDiscipline):
+    """Strict class priority, FIFO within a class."""
+
+    name = "priority"
+
+    def key(self, request) -> tuple:
+        return (request.cls.priority, request.arrival_ns, request.rid)
+
+
+class EarliestDeadline(QueueDiscipline):
+    """Deadline-EDF: the most urgent request first."""
+
+    name = "edf"
+
+    def key(self, request) -> tuple:
+        return (request.deadline_ns, request.cls.priority, request.rid)
+
+
+#: Built-in disciplines by their registry name.
+BUILTIN_DISCIPLINES = {
+    Fifo.name: Fifo,
+    Priority.name: Priority,
+    EarliestDeadline.name: EarliestDeadline,
+}
+
+
+def make_discipline(discipline) -> QueueDiscipline:
+    """Coerce a discipline spec — name, class, factory or instance.
+
+    Names resolve against the built-ins first, then against the api
+    ``QOS`` registry.
+    """
+    return coerce_spec(
+        discipline,
+        base=QueueDiscipline,
+        builtins=BUILTIN_DISCIPLINES,
+        registry_name="QOS",
+        kind="queue discipline",
+        error_cls=QoSError,
+    )
+
+
+# -- the simulator --------------------------------------------------------------------
+
+
+class _Device:
+    """One provisioned device: its queue and placement state."""
+
+    __slots__ = ("queue", "prev_counts", "records")
+
+    def __init__(self, boot_counts: dict) -> None:
+        self.queue: list = []
+        self.prev_counts = dict(boot_counts)
+        self.records: list = []
+
+
+class QoSSimulator:
+    """Serves request streams on an autoscaled fleet of one runtime.
+
+    All devices share one :class:`TimeSliceRuntime` (and therefore one
+    LUT) — the homogeneous-fleet shape :meth:`repro.api.Engine.run_qos`
+    produces.  ``slo`` is the latency target in units of the time slice
+    (default: the paper's ``2T`` staging bound); ``max_devices`` bounds
+    the autoscaler (default: the initial size, i.e. no growth).
+    """
+
+    def __init__(
+        self,
+        runtime: TimeSliceRuntime,
+        devices: int = 1,
+        *,
+        dispatch="round_robin",
+        discipline="fifo",
+        autoscaler="fixed",
+        min_devices: int = 1,
+        max_devices: int | None = None,
+        batch: int = 1,
+        slo: float = 2.0,
+        deadline_slices: float = 2.0,
+        classes=DEFAULT_CLASSES,
+        max_drain: int | None = None,
+    ) -> None:
+        if not isinstance(runtime, TimeSliceRuntime):
+            raise QoSError(
+                f"QoSSimulator needs a TimeSliceRuntime, "
+                f"got {type(runtime).__name__}"
+            )
+        if not isinstance(devices, int) or devices <= 0:
+            raise QoSError(
+                f"initial fleet size must be a positive integer, "
+                f"got {devices!r}"
+            )
+        if not isinstance(batch, int) or batch <= 0:
+            raise QoSError(
+                f"batch size must be a positive integer, got {batch!r}"
+            )
+        if slo <= 0:
+            raise QoSError(f"slo must be positive, got {slo!r}")
+        if max_drain is not None and max_drain < 0:
+            raise QoSError(
+                f"max_drain must be non-negative, got {max_drain!r}"
+            )
+        self.runtime = runtime
+        self.devices = devices
+        self.max_devices = max_devices if max_devices is not None else devices
+        self.min_devices = min_devices
+        self.batch = batch
+        self.slo = slo
+        self.deadline_slices = deadline_slices
+        self.classes = tuple(classes)
+        self.max_drain = max_drain
+        self.policy = make_policy(dispatch)
+        self.discipline = make_discipline(discipline)
+        self.autoscaler = make_autoscaler(autoscaler)
+        if self.max_devices < self.devices:
+            raise QoSError(
+                f"max_devices {self.max_devices} is below the initial "
+                f"fleet size {self.devices}"
+            )
+
+    # -- fleet plumbing ----------------------------------------------------------
+
+    def _device_infos(self, size: int) -> tuple:
+        return tuple(device_info(i, self.runtime) for i in range(size))
+
+    def _dispatch(self, index: int, staged: list, fleet: list) -> list:
+        """Split staged requests across the fleet; returns per-device counts.
+
+        Requests are dealt contiguously in time order — the policy's
+        contract covers only the counts, and each device re-sorts its
+        queue by the discipline anyway.
+        """
+        shares = list(self.policy.assign(index, len(staged)))
+        if len(shares) != len(fleet):
+            raise QoSError(
+                f"dispatch policy {self.policy.name!r} returned "
+                f"{len(shares)} shares for {len(fleet)} devices"
+            )
+        if any(
+            not isinstance(s, int) or isinstance(s, bool) or s < 0
+            for s in shares
+        ):
+            raise QoSError(
+                f"dispatch policy {self.policy.name!r} produced an invalid "
+                f"share in window {index}: {shares}"
+            )
+        if sum(shares) != len(staged):
+            raise QoSError(
+                f"dispatch policy {self.policy.name!r} dropped or invented "
+                f"requests in window {index}: {sum(shares)} != {len(staged)}"
+            )
+        cursor = 0
+        for device, share in zip(fleet, shares):
+            device.queue.extend(staged[cursor : cursor + share])
+            cursor += share
+        return shares
+
+    def _serve_device(self, device: _Device, index: int, share: int) -> tuple:
+        """Serve one device's window relative to its start.
+
+        Returns ``(record, batch_ends)`` where ``batch_ends`` maps each
+        served request to its completion offset from the window start.
+        The placement is selected for the *whole* queue depth (the
+        device intends to clear its backlog, so a deep queue demands the
+        peak placement), batches run back to back after the movement
+        settles, and a batch fits while the window plus the runtime's
+        quantisation slack has room — mirroring the slice runtime's
+        deadline tolerance, which is what keeps the zero-queueing
+        differential exact.
+        """
+        runtime = self.runtime
+        t_slice = runtime.t_slice_ns
+        slack = runtime.optimizer.time_step_ns
+        device.queue.sort(key=self.discipline.key)
+        tasks_target = len(device.queue)
+
+        placement, movement, t_constraint = runtime._select_placement(
+            tasks_target, device.prev_counts
+        )
+        service_ns = placement.task_time_ns + runtime.core_time_ns
+
+        served = 0
+        batch_ends: list = []
+        while served < tasks_target:
+            size = min(self.batch, tasks_target - served)
+            start_ns = movement.time_ns + served * service_ns
+            busy_after = movement.time_ns + (served + size) * service_ns
+            if start_ns >= t_slice - 1e-9:
+                break
+            if busy_after > t_slice + (served + size) * slack + 1e-6:
+                break
+            for request in device.queue[served : served + size]:
+                batch_ends.append((request, busy_after))
+            served += size
+        del device.queue[:served]
+
+        row = runtime._account_slice(placement, movement, served, t_constraint)
+        (
+            busy_total, idle, dynamic, hold, access, buffer_static,
+            pe_static, deadline_met,
+        ) = row
+        record = SliceRecord(
+            index=index,
+            arrivals=share,
+            tasks_processed=served,
+            t_constraint_ns=t_constraint,
+            placement_counts=dict(placement.counts),
+            movement=movement,
+            busy_time_ns=busy_total,
+            idle_time_ns=idle,
+            dynamic_energy_nj=dynamic,
+            hold_static_energy_nj=hold,
+            access_static_energy_nj=access,
+            buffer_static_energy_nj=buffer_static,
+            pe_static_energy_nj=pe_static,
+            movement_energy_nj=movement.energy_nj,
+            deadline_met=deadline_met,
+        )
+        device.prev_counts = dict(placement.counts)
+        return record, batch_ends
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, scenario, requests=None, seed: int = 2025) -> QoSResult:
+        """Simulate the scenario's request stream; returns a QoSResult."""
+        t_slice = self.runtime.t_slice_ns
+        if requests is None:
+            requests = sample_requests(
+                scenario, t_slice, seed=seed, classes=self.classes,
+                deadline_slices=self.deadline_slices,
+            )
+        by_slice: dict = {}
+        for request in requests:
+            if not 0 <= request.slice_index < len(scenario):
+                raise QoSError(
+                    f"request {request.rid} arrives in slice "
+                    f"{request.slice_index}, outside the scenario's "
+                    f"{len(scenario)} slices"
+                )
+            by_slice.setdefault(request.slice_index, []).append(request)
+
+        slack = self.runtime.optimizer.time_step_ns
+        capacity = device_info(0, self.runtime).capacity
+        accountant = SloAccountant(slo_ns=self.slo * t_slice)
+        boot_counts = self.runtime._boot_counts()
+
+        size = self.devices
+        self.autoscaler.start(size, self.min_devices, self.max_devices)
+        fleet = [_Device(boot_counts) for _ in range(size)]
+        self.policy.start(self._device_infos(size))
+        device_records: dict = {i: fleet[i].records for i in range(size)}
+        next_slot = size
+
+        arrival_windows = len(scenario)
+        max_drain = self.max_drain
+        if max_drain is None:
+            max_drain = max(64, arrival_windows)
+        state = {"utilization": 0.0}
+        events = EventQueue()
+
+        def run_window(index: int) -> None:
+            nonlocal size, next_slot
+            window_start = events.now_ns
+            arriving = by_slice.get(index, ())
+            arrived = len(arriving)
+            staged = sorted(arriving, key=lambda r: (r.arrival_ns, r.rid))
+            backlog = sum(len(device.queue) for device in fleet)
+
+            # 1. autoscale (boundary-clocked, before dispatch)
+            new_size = self.autoscaler.resize(
+                ScaleObservation(
+                    slice_index=index,
+                    fleet_size=size,
+                    staged=backlog + len(staged),
+                    utilization=state["utilization"],
+                    capacity_per_device=capacity,
+                )
+            )
+            if new_size != size:
+                if new_size > size:
+                    for _ in range(new_size - size):
+                        device = _Device(boot_counts)
+                        fleet.append(device)
+                        device_records[next_slot] = device.records
+                        next_slot += 1
+                else:
+                    for device in fleet[new_size:]:
+                        staged.extend(device.queue)
+                    staged.sort(key=lambda r: (r.arrival_ns, r.rid))
+                    del fleet[new_size:]
+                size = new_size
+                # resize, not start: stateful policies (JSQ counts, the
+                # round-robin pointer) keep steering by what the
+                # surviving devices already hold.
+                self.policy.resize(self._device_infos(size))
+
+            # 2. dispatch the staged requests
+            shares = self._dispatch(index, staged, fleet)
+
+            # 3. serve every device's window; completions become events
+            window_energy = 0.0
+            busy_total_ns = 0.0
+            completions: list = []
+            worst_device_served = 0
+            last_end = t_slice
+            for device, share in zip(fleet, shares):
+                record, batch_ends = self._serve_device(device, index, share)
+                device.records.append(record)
+                window_energy += record.total_energy_nj
+                busy_total_ns += record.busy_time_ns
+                worst_device_served = max(
+                    worst_device_served, len(batch_ends)
+                )
+                for request, end_offset in batch_ends:
+                    end_ns = window_start + end_offset
+                    last_end = max(last_end, end_offset)
+                    events.schedule_at(
+                        end_ns,
+                        lambda r=request, t=end_ns: completions.append((r, t)),
+                        label=f"complete:{request.rid}",
+                    )
+
+            backlog_after = sum(len(device.queue) for device in fleet)
+            utilization = busy_total_ns / (size * t_slice) if size else 0.0
+            state["utilization"] = utilization
+            # Quantisation slack mirrors the runtime's deadline
+            # tolerance: a completion's error accumulates only from work
+            # serialized before it on its own device, so the busiest
+            # device bounds the window.
+            tolerance = worst_device_served * slack + 1e-6
+            fleet_size = size
+
+            # 4. close the window once its completion events have fired
+            def close() -> None:
+                accountant.observe_window(
+                    index=index,
+                    arrivals=arrived,
+                    completions=completions,
+                    backlog=backlog_after,
+                    fleet_size=fleet_size,
+                    energy_nj=window_energy,
+                    utilization=utilization,
+                    tolerance_ns=tolerance,
+                )
+
+            events.schedule_at(
+                window_start + last_end + 1e-9, close, label=f"close:{index}"
+            )
+
+            # 5. schedule the next boundary: every arrival slice gets a
+            #    window; drain windows continue while work remains.
+            next_index = index + 1
+            if next_index < arrival_windows or (
+                backlog_after
+                and next_index < arrival_windows + max_drain
+            ):
+                events.schedule_at(
+                    window_start + t_slice,
+                    lambda: run_window(next_index),
+                    label=f"boundary:{next_index}",
+                )
+
+        if arrival_windows:
+            events.schedule_at(
+                t_slice, lambda: run_window(0), label="boundary:0"
+            )
+            events.run(
+                max_events=(
+                    2 * len(requests) + 4 * (arrival_windows + max_drain) + 16
+                )
+            )
+
+        unfinished = sum(len(device.queue) for device in fleet)
+        return QoSResult(
+            scenario=scenario,
+            architecture=self.runtime.spec.name,
+            model=self.runtime.model.name,
+            discipline=self.discipline.name,
+            dispatch=self.policy.name,
+            autoscaler=self.autoscaler.name,
+            batch=self.batch,
+            t_slice_ns=t_slice,
+            slo_ns=self.slo * t_slice,
+            total_requests=len(requests),
+            completed=accountant.completed,
+            unfinished=unfinished,
+            slices=tuple(accountant.slices),
+            device_records=device_records,
+        )

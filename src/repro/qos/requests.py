@@ -1,0 +1,162 @@
+"""Request sampling: per-slice loads become individual timestamped requests.
+
+The slice runtime and the fleet see a scenario as *counts* — ``loads[s]``
+inferences arriving somewhere inside slice ``s``.  The QoS layer needs
+the individual requests: :func:`sample_requests` expands a materialised
+:class:`~repro.workloads.scenarios.Scenario` (and therefore any
+registered :class:`~repro.workloads.arrivals.ArrivalProcess`) into a
+stream of :class:`Request` records with
+
+* an **arrival timestamp** — each of the slice's ``loads[s]`` arrivals is
+  drawn uniformly inside the slice's wall-clock window, then sorted, so
+  the per-slice counts are preserved exactly (the zero-queueing
+  differential against :class:`~repro.serving.fleet.Fleet` depends on
+  this);
+* a **deadline** — the paper's ``2T`` latency bound by default (a request
+  arriving during slice ``s`` is staged at the next boundary and must
+  finish within the following slice);
+* a **request class** — the serving mix (interactive vs. batch traffic,
+  priorities, per-class SLO factors) for the priority/EDF disciplines.
+
+All randomness comes from one ``random.Random(seed)`` stream, so a
+(scenario, seed, classes) triple always reproduces the same request
+stream bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import QoSError
+from ..workloads.scenarios import Scenario
+
+__all__ = [
+    "RequestClass",
+    "Request",
+    "DEFAULT_CLASSES",
+    "INTERACTIVE_MIX",
+    "sample_requests",
+]
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One traffic class of the serving mix.
+
+    ``priority`` orders the priority discipline (lower is more urgent);
+    ``slo_factor`` scales the run's SLO target for this class (a batch
+    class may tolerate twice the latency of an interactive one);
+    ``weight`` is the class's share of the seeded mix draw.
+    """
+
+    name: str
+    priority: int = 0
+    slo_factor: float = 1.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise QoSError(
+                f"request class name must be a non-empty string, "
+                f"got {self.name!r}"
+            )
+        if self.slo_factor <= 0:
+            raise QoSError(
+                f"request class {self.name!r}: slo_factor must be positive, "
+                f"got {self.slo_factor!r}"
+            )
+        if self.weight <= 0:
+            raise QoSError(
+                f"request class {self.name!r}: weight must be positive, "
+                f"got {self.weight!r}"
+            )
+
+
+#: The single-class default: every request is "standard" traffic.
+DEFAULT_CLASSES = (RequestClass("standard"),)
+
+#: A classic serving mix: mostly interactive traffic with a batch tail
+#: that tolerates twice the SLO and yields priority.
+INTERACTIVE_MIX = (
+    RequestClass("interactive", priority=0, slo_factor=1.0, weight=4.0),
+    RequestClass("batch", priority=1, slo_factor=2.0, weight=1.0),
+)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request with its QoS envelope."""
+
+    #: Stable id in arrival order (ties in timestamps break on it).
+    rid: int
+    #: Scenario slice the request arrived in.
+    slice_index: int
+    #: Wall-clock arrival (ns from run start).
+    arrival_ns: float
+    #: Hard completion deadline (ns) — the paper's ``2T`` bound.
+    deadline_ns: float
+    #: Traffic class (priority / SLO treatment).
+    cls: RequestClass
+
+    @property
+    def slack_ns(self) -> float:
+        """Deadline headroom at arrival."""
+        return self.deadline_ns - self.arrival_ns
+
+
+def sample_requests(
+    scenario: Scenario,
+    t_slice_ns: float,
+    seed: int = 2025,
+    classes=DEFAULT_CLASSES,
+    deadline_slices: float = 2.0,
+) -> tuple:
+    """Expand a scenario's per-slice counts into timestamped requests.
+
+    Slice ``s`` spans ``[s*T, (s+1)*T)``; its ``loads[s]`` arrivals are
+    drawn uniformly inside that window and sorted, so request streams are
+    monotone in time and the per-slice counts match the scenario exactly.
+    ``deadline_slices`` sets the hard deadline in units of the time slice
+    (default: the paper's ``2T`` staging bound).  Returns a tuple of
+    :class:`Request` in arrival order.
+    """
+    if t_slice_ns <= 0:
+        raise QoSError(f"t_slice_ns must be positive, got {t_slice_ns!r}")
+    if deadline_slices <= 0:
+        raise QoSError(
+            f"deadline_slices must be positive, got {deadline_slices!r}"
+        )
+    classes = tuple(classes)
+    if not classes:
+        raise QoSError("request sampling needs at least one request class")
+    for cls in classes:
+        if not isinstance(cls, RequestClass):
+            raise QoSError(
+                f"request classes must be RequestClass instances, "
+                f"got {type(cls).__name__}"
+            )
+    weights = [cls.weight for cls in classes]
+    rng = random.Random(seed)
+    deadline_ns = deadline_slices * t_slice_ns
+    requests = []
+    rid = 0
+    for index, load in enumerate(scenario.loads):
+        offsets = sorted(rng.random() for _ in range(load))
+        for offset in offsets:
+            arrival = (index + offset) * t_slice_ns
+            if len(classes) == 1:
+                cls = classes[0]
+            else:
+                cls = rng.choices(classes, weights=weights)[0]
+            requests.append(
+                Request(
+                    rid=rid,
+                    slice_index=index,
+                    arrival_ns=arrival,
+                    deadline_ns=arrival + deadline_ns,
+                    cls=cls,
+                )
+            )
+            rid += 1
+    return tuple(requests)

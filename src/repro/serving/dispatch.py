@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ServingError
+from ..plugins import coerce_spec
 
 __all__ = [
     "DeviceInfo",
@@ -58,6 +59,15 @@ class DispatchPolicy:
         """Reset per-run state; ``devices`` are :class:`DeviceInfo`."""
         self._devices = devices
 
+    def resize(self, devices: tuple) -> None:
+        """Adopt a resized fleet mid-run (an autoscaler scale event).
+
+        The default forgets per-run state (equivalent to a fresh
+        :meth:`start`); stateful policies override it to carry their
+        knowledge of the surviving devices across the resize.
+        """
+        self.start(devices)
+
     def assign(self, slice_index: int, arrivals: int) -> list:
         """Per-device arrival counts for one slice (sums to arrivals)."""
         raise NotImplementedError
@@ -78,6 +88,11 @@ class RoundRobin(DispatchPolicy):
     def start(self, devices: tuple) -> None:
         super().start(devices)
         self._next = 0
+
+    def resize(self, devices: tuple) -> None:
+        """Keep dealing from where the pointer was (wrapped if needed)."""
+        self._devices = devices
+        self._next %= len(devices)
 
     def assign(self, slice_index: int, arrivals: int) -> list:
         shares = [0] * len(self._devices)
@@ -101,6 +116,17 @@ class LeastLoaded(DispatchPolicy):
     def start(self, devices: tuple) -> None:
         super().start(devices)
         self._assigned = [0] * len(devices)
+
+    def resize(self, devices: tuple) -> None:
+        """Carry the surviving devices' cumulative loads across a resize.
+
+        Removed devices are the highest-indexed ones (the fleet's
+        scale-down convention); newly added devices start at zero, so
+        the next assignments flow to the fresh capacity first.
+        """
+        self._devices = devices
+        counts = self._assigned[:len(devices)]
+        self._assigned = counts + [0] * (len(devices) - len(counts))
 
     def assign(self, slice_index: int, arrivals: int) -> list:
         shares = [0] * len(self._devices)
@@ -153,22 +179,6 @@ BUILTIN_POLICIES = {
 }
 
 
-def _registered_policy(name: str):
-    """Look a name up in the api ``DISPATCH`` registry, if it exists.
-
-    Imported lazily: :mod:`repro.api.registry` imports this module to
-    register the built-ins, so the dependency cannot be top-level.
-    Returns the registered entry or None.
-    """
-    try:
-        from ..api.registry import DISPATCH
-    except ImportError:  # pragma: no cover - api layer always ships
-        return None
-    if name in DISPATCH:
-        return DISPATCH.get(name)
-    return None
-
-
 def make_policy(policy) -> DispatchPolicy:
     """Coerce a policy spec — name, class, factory or instance.
 
@@ -176,26 +186,11 @@ def make_policy(policy) -> DispatchPolicy:
     ``DISPATCH`` registry, so user-registered policies work by name in
     directly-constructed (e.g. heterogeneous) fleets too.
     """
-    if isinstance(policy, DispatchPolicy):
-        return policy
-    if isinstance(policy, str):
-        name = policy.strip().lower()
-        entry = BUILTIN_POLICIES.get(name) or _registered_policy(name)
-        if entry is None:
-            raise ServingError(
-                f"unknown dispatch policy {policy!r}; built-ins: "
-                f"{', '.join(sorted(BUILTIN_POLICIES))}"
-            )
-        return make_policy(entry)
-    if callable(policy):
-        made = policy()
-        if not isinstance(made, DispatchPolicy):
-            raise ServingError(
-                f"dispatch factory {policy!r} must produce a DispatchPolicy, "
-                f"got {type(made).__name__}"
-            )
-        return made
-    raise ServingError(
-        f"dispatch policy must be a name, DispatchPolicy or factory, "
-        f"got {type(policy).__name__}"
+    return coerce_spec(
+        policy,
+        base=DispatchPolicy,
+        builtins=BUILTIN_POLICIES,
+        registry_name="DISPATCH",
+        kind="dispatch policy",
+        error_cls=ServingError,
     )

@@ -43,6 +43,10 @@ class TestTables:
         out = run_cli(capsys, "list")
         assert "architectures:" in out
         assert "6: Random Workload" in out
+        assert "queue disciplines:" in out
+        assert "edf" in out
+        assert "autoscalers:" in out
+        assert "queue_depth" in out
 
 
 class TestFigures:
@@ -126,6 +130,43 @@ class TestFleetAndScenarios:
         assert data["devices"] == 2
         assert len(data["device_results"]) == 2
 
+    def test_qos_human_output(self, capsys):
+        out = run_cli(capsys, "qos", "--devices", "1", "--max-devices", "3",
+                      "--autoscaler", "queue_depth", "--scenario", "bursty",
+                      "--slices", "10", "--blocks", "16", "--steps", "1500")
+        assert "SLO attainment" in out
+        assert "p95 latency (ms)" in out
+        assert "fleet" in out
+        assert "scenario bursty" in out
+
+    def test_qos_json(self, capsys):
+        out = run_cli(capsys, "qos", "--devices", "2", "--scenario", "case3",
+                      "--discipline", "edf", "--slices", "8",
+                      "--blocks", "16", "--steps", "1500", "--json")
+        data = json.loads(out)
+        assert data["discipline"] == "edf"
+        assert data["completed"] + data["unfinished"] == data["total_requests"]
+        assert len(data["slices"]) >= 8
+        assert "p99_ns" in data and "slo_attainment" in data
+        assert "device_records" not in data
+
+    def test_qos_json_records(self, capsys):
+        out = run_cli(capsys, "qos", "--devices", "2", "--scenario", "case1",
+                      "--slices", "5", "--blocks", "16", "--steps", "1500",
+                      "--json", "--records")
+        data = json.loads(out)
+        assert set(data["device_records"]) == {"0", "1"}
+        record = data["device_records"]["0"][0]
+        assert "placement_counts" in record and "total_energy_nj" in record
+
+    def test_qos_unknown_discipline_exits_2(self, capsys):
+        code = main(["qos", "--discipline", "lifo",
+                     "--blocks", "16", "--steps", "1500"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "lifo" in captured.err
+
     def test_scenarios_preview(self, capsys):
         out = run_cli(capsys, "scenarios", "--slices", "20")
         for key in ("case1", "case6", "poisson", "bursty", "diurnal"):
@@ -146,15 +187,22 @@ class TestErrorExit:
         out = run_cli(capsys, "bench", "--quick", "--blocks", "12",
                       "--steps", "600", "--out", str(tmp_path),
                       "--min-speedup", "1.0",
-                      "--min-runtime-speedup", "1.0")
+                      "--min-runtime-speedup", "1.0",
+                      "--min-qos-throughput", "1.0")
         assert "speedup" in out
         names = {path.name for path in tmp_path.glob("BENCH_*.json")}
         assert names == {"BENCH_lut_build.json", "BENCH_lut_cache.json",
                          "BENCH_sweep.json", "BENCH_lookup.json",
-                         "BENCH_runtime.json"}
+                         "BENCH_runtime.json", "BENCH_qos.json"}
         runtime = json.loads((tmp_path / "BENCH_runtime.json").read_text())
         assert runtime["metrics"]["speedup"] > 0
         assert runtime["metrics"]["slices"] > 0
+        qos = json.loads((tmp_path / "BENCH_qos.json").read_text())
+        assert qos["metrics"]["requests_per_s"] > 0
+        assert (
+            qos["metrics"]["completed"] + qos["metrics"]["unfinished"]
+            == qos["metrics"]["requests"]
+        )
         payload = json.loads((tmp_path / "BENCH_lut_build.json").read_text())
         assert payload["bench"] == "lut_build"
         assert payload["metrics"]["speedup"] > 0
@@ -169,6 +217,15 @@ class TestErrorExit:
         captured = capsys.readouterr()
         assert code == 2
         assert "perf gate failed" in captured.err
+
+    def test_bench_qos_gate_failure_exits_2(self, capsys, tmp_path,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        code = main(["bench", "--quick", "--blocks", "12", "--steps", "600",
+                     "--out", str(tmp_path), "--min-qos-throughput", "1e18"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "QoS simulator throughput" in captured.err
 
     def test_cache_info_and_clear(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))

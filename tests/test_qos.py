@@ -1,0 +1,375 @@
+"""Unit tests for the request-level QoS subsystem."""
+
+import pytest
+
+from _shared import SMALL_BLOCKS, SMALL_STEPS
+from repro.api import AUTOSCALERS, Engine, ExperimentConfig, QOS
+from repro.errors import ConfigurationError, QoSError, ServingError
+from repro.qos import (
+    BUILTIN_AUTOSCALERS,
+    BUILTIN_DISCIPLINES,
+    DEFAULT_CLASSES,
+    INTERACTIVE_MIX,
+    EarliestDeadline,
+    Fifo,
+    Fixed,
+    Priority,
+    QoSSimulator,
+    QueueDepthTarget,
+    RequestClass,
+    ScaleObservation,
+    SloAccountant,
+    Threshold,
+    make_autoscaler,
+    make_discipline,
+    percentile,
+    sample_requests,
+)
+from repro.workloads import ScenarioCase, bursty, scenario
+
+TINY = dict(block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS)
+
+
+@pytest.fixture(scope="module")
+def hh_runtime():
+    engine = Engine(use_disk_cache=False)
+    return engine.runtime(ExperimentConfig(**TINY))
+
+
+class TestSampleRequests:
+    def test_counts_match_scenario(self, hh_runtime):
+        scn = scenario(ScenarioCase.RANDOM, slices=25)
+        requests = sample_requests(scn, hh_runtime.t_slice_ns, seed=3)
+        assert len(requests) == scn.total_inferences
+        per_slice = [0] * len(scn)
+        for request in requests:
+            per_slice[request.slice_index] += 1
+        assert per_slice == list(scn.loads)
+
+    def test_arrivals_sorted_within_window(self, hh_runtime):
+        t = hh_runtime.t_slice_ns
+        scn = scenario(ScenarioCase.HIGH_CONSTANT, slices=5)
+        requests = sample_requests(scn, t, seed=0)
+        for request in requests:
+            low = request.slice_index * t
+            assert low <= request.arrival_ns < low + t
+            assert request.deadline_ns == pytest.approx(
+                request.arrival_ns + 2 * t
+            )
+        arrivals = [r.arrival_ns for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_seed_determinism(self, hh_runtime):
+        scn = bursty().materialize(slices=30, peak=10, seed=5)
+        one = sample_requests(scn, hh_runtime.t_slice_ns, seed=11)
+        two = sample_requests(scn, hh_runtime.t_slice_ns, seed=11)
+        other = sample_requests(scn, hh_runtime.t_slice_ns, seed=12)
+        assert one == two
+        assert one != other
+
+    def test_class_mix(self, hh_runtime):
+        scn = scenario(ScenarioCase.HIGH_CONSTANT, slices=30)
+        requests = sample_requests(
+            scn, hh_runtime.t_slice_ns, seed=1, classes=INTERACTIVE_MIX
+        )
+        names = {request.cls.name for request in requests}
+        assert names == {"interactive", "batch"}
+
+    def test_validation(self, hh_runtime):
+        scn = scenario(ScenarioCase.LOW_CONSTANT, slices=3)
+        with pytest.raises(QoSError, match="t_slice_ns"):
+            sample_requests(scn, 0.0)
+        with pytest.raises(QoSError, match="deadline_slices"):
+            sample_requests(scn, 1e6, deadline_slices=0)
+        with pytest.raises(QoSError, match="at least one"):
+            sample_requests(scn, 1e6, classes=())
+        with pytest.raises(QoSError, match="slo_factor"):
+            RequestClass("bad", slo_factor=0)
+        with pytest.raises(QoSError, match="weight"):
+            RequestClass("bad", weight=-1)
+
+
+class TestDisciplines:
+    def _requests(self, hh_runtime):
+        scn = scenario(ScenarioCase.HIGH_CONSTANT, slices=2)
+        return sample_requests(
+            scn, hh_runtime.t_slice_ns, seed=2, classes=INTERACTIVE_MIX
+        )
+
+    def test_fifo_orders_by_arrival(self, hh_runtime):
+        requests = sorted(
+            self._requests(hh_runtime), key=Fifo().key
+        )
+        arrivals = [r.arrival_ns for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_priority_groups_classes(self, hh_runtime):
+        requests = sorted(self._requests(hh_runtime), key=Priority().key)
+        priorities = [r.cls.priority for r in requests]
+        assert priorities == sorted(priorities)
+
+    def test_edf_orders_by_deadline(self, hh_runtime):
+        requests = sorted(
+            self._requests(hh_runtime), key=EarliestDeadline().key
+        )
+        deadlines = [r.deadline_ns for r in requests]
+        assert deadlines == sorted(deadlines)
+
+    def test_make_discipline_coercions(self):
+        assert isinstance(make_discipline("fifo"), Fifo)
+        assert isinstance(make_discipline(Priority), Priority)
+        edf = EarliestDeadline()
+        assert make_discipline(edf) is edf
+        with pytest.raises(QoSError, match="unknown queue discipline"):
+            make_discipline("nope")
+        with pytest.raises(QoSError, match="must be a name"):
+            make_discipline(42)
+
+    def test_builtins_registered_in_api(self):
+        for name in BUILTIN_DISCIPLINES:
+            assert name in QOS
+        for name in BUILTIN_AUTOSCALERS:
+            assert name in AUTOSCALERS
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+        assert percentile([7], 0.5) == 7
+        assert percentile([], 0.5) is None
+        with pytest.raises(QoSError, match="rank"):
+            percentile(values, 0.0)
+
+    def test_accountant_streams(self):
+        accountant = SloAccountant(slo_ns=100.0)
+
+        class _R:
+            def __init__(self, rid, arrival):
+                self.rid = rid
+                self.arrival_ns = arrival
+                self.deadline_ns = arrival + 150.0
+                self.cls = DEFAULT_CLASSES[0]
+
+        first = accountant.observe_window(
+            index=0, arrivals=2,
+            completions=[(_R(0, 0.0), 50.0), (_R(1, 0.0), 120.0)],
+            backlog=0, fleet_size=1, energy_nj=1.0, utilization=0.5,
+        )
+        assert first.completed == 2
+        assert first.p50_ns == 50.0
+        assert first.slo_misses == 1  # 120 > 100 target
+        assert first.deadline_misses == 0
+        second = accountant.observe_window(
+            index=1, arrivals=1,
+            completions=[(_R(2, 0.0), 200.0)],
+            backlog=0, fleet_size=1, energy_nj=1.0, utilization=0.5,
+        )
+        assert second.deadline_misses == 1  # 200 > 150 deadline
+        assert second.cumulative_p99_ns == 200.0
+        assert accountant.completed == 3
+        assert accountant.slo_attainment == pytest.approx(1 / 3)
+
+
+class TestAutoscalers:
+    def _obs(self, **kw):
+        defaults = dict(
+            slice_index=0, fleet_size=2, staged=0, utilization=0.5,
+            capacity_per_device=10,
+        )
+        defaults.update(kw)
+        return ScaleObservation(**defaults)
+
+    def test_fixed_never_moves(self):
+        scaler = Fixed()
+        scaler.start(3, 1, 8)
+        assert scaler.resize(self._obs(utilization=1.0, staged=500)) == 3
+
+    def test_threshold_bands(self):
+        scaler = Threshold(low=0.3, high=0.8)
+        scaler.start(2, 1, 4)
+        assert scaler.resize(self._obs(utilization=0.9)) == 3
+        assert scaler.resize(self._obs(utilization=0.5)) == 3
+        assert scaler.resize(self._obs(utilization=0.1, staged=0)) == 2
+        # backlog blocks the scale-down
+        assert scaler.resize(self._obs(utilization=0.1, staged=5)) == 2
+
+    def test_queue_depth_tracks_backlog(self):
+        scaler = QueueDepthTarget()
+        scaler.start(1, 1, 8)
+        assert scaler.resize(self._obs(staged=35)) == 2  # one step at a time
+        assert scaler.resize(self._obs(staged=35)) == 3
+        assert scaler.resize(self._obs(staged=0)) == 2
+
+    def test_bounds_clamp(self):
+        scaler = Threshold()
+        scaler.start(1, 1, 2)
+        assert scaler.resize(self._obs(utilization=0.99)) == 2
+        assert scaler.resize(self._obs(utilization=0.99)) == 2  # clamped
+        with pytest.raises(QoSError, match="bounds"):
+            scaler.start(0, 1, 2)
+        with pytest.raises(QoSError, match="bounds"):
+            scaler.start(1, 3, 2)
+
+    def test_make_autoscaler_coercions(self):
+        assert isinstance(make_autoscaler("fixed"), Fixed)
+        assert isinstance(make_autoscaler(Threshold), Threshold)
+        depth = QueueDepthTarget(target=5)
+        assert make_autoscaler(depth) is depth
+        with pytest.raises(QoSError, match="unknown autoscaler"):
+            make_autoscaler("nope")
+        with pytest.raises(QoSError, match="must be a name"):
+            make_autoscaler(3.14)
+
+
+class TestSimulator:
+    def test_conservation_and_drain(self, hh_runtime):
+        # peak beyond one device's window capacity: backlog forms, then
+        # drain windows clear it after the last arrival slice.
+        scn = bursty(calm_rate=4, burst_rate=18).materialize(
+            slices=20, peak=20, seed=9
+        )
+        sim = QoSSimulator(hh_runtime, devices=1)
+        result = sim.run(scn)
+        assert result.completed + result.unfinished == result.total_requests
+        assert result.unfinished == 0
+        assert len(result.slices) >= len(scn)  # drain windows appended
+        assert result.peak_backlog > 0
+        # the per-window arrivals series conserves the request stream
+        assert (
+            sum(stats.arrivals for stats in result.slices)
+            == result.total_requests
+        )
+
+    def test_overload_spills_and_misses_slo(self, hh_runtime):
+        from repro.workloads import arrivals
+
+        scn = arrivals.constant(25).materialize(slices=10, peak=30, seed=0)
+        sim = QoSSimulator(hh_runtime, devices=1)
+        result = sim.run(scn)
+        assert result.peak_backlog > 0
+        assert result.slo_attainment < 1.0
+        assert result.deadline_miss_rate > 0.0
+
+    def test_autoscaler_grows_and_saves_the_slo(self, hh_runtime):
+        scn = bursty(calm_rate=4, burst_rate=18).materialize(
+            slices=30, peak=20, seed=9
+        )
+        undersized = QoSSimulator(hh_runtime, devices=1).run(scn)
+        scaled = QoSSimulator(
+            hh_runtime, devices=1, max_devices=6, autoscaler="queue_depth"
+        ).run(scn)
+        assert scaled.mean_fleet_size > 1.0
+        assert scaled.slo_attainment >= undersized.slo_attainment
+        sizes = [stats.fleet_size for stats in scaled.slices]
+        assert max(sizes) <= 6 and min(sizes) >= 1
+        # scale-downs re-stage queued requests without re-counting them
+        assert (
+            sum(stats.arrivals for stats in scaled.slices)
+            == scaled.total_requests
+        )
+
+    def test_idle_devices_pay_leakage(self):
+        # A fixed 3-device SRAM-based fleet serving a trickle: the
+        # energy-aware dispatch parks everything on device 0, but the two
+        # idle devices still hold their weights in powered SRAM — the
+        # fleet burns strictly more than one device.  (On HH-PIM idle
+        # devices retain weights in gated MRAM for free, which is the
+        # architecture's selling point.)
+        engine = Engine(use_disk_cache=False)
+        runtime = engine.runtime(
+            ExperimentConfig(arch="Baseline-PIM", **TINY)
+        )
+        scn = scenario(ScenarioCase.LOW_CONSTANT, slices=10)
+        solo = QoSSimulator(runtime, devices=1).run(scn)
+        trio = QoSSimulator(
+            runtime, devices=3, dispatch="energy_aware"
+        ).run(scn)
+        assert trio.completed == solo.completed
+        assert trio.total_energy_nj > solo.total_energy_nj
+
+    def test_batching_collapses_completions(self, hh_runtime):
+        scn = scenario(ScenarioCase.HIGH_CONSTANT, slices=6)
+        one = QoSSimulator(hh_runtime, devices=1, batch=1).run(scn)
+        grouped = QoSSimulator(hh_runtime, devices=1, batch=5).run(scn)
+        assert grouped.completed == one.completed
+        # batch members complete together at the batch end, so the
+        # median completion waits for its batch: p50 grows, energy holds.
+        assert grouped.latency_percentiles_ns[0] >= one.latency_percentiles_ns[0]
+        assert grouped.total_energy_nj == pytest.approx(one.total_energy_nj)
+
+    def test_priority_beats_fifo_for_interactive(self, hh_runtime):
+        # Under overload, the priority discipline should serve the
+        # interactive class no worse than FIFO does.
+        scn = bursty(calm_rate=6, burst_rate=18).materialize(
+            slices=25, peak=20, seed=3
+        )
+        t = hh_runtime.t_slice_ns
+        requests = sample_requests(scn, t, seed=3, classes=INTERACTIVE_MIX)
+        fifo = QoSSimulator(hh_runtime, devices=1, discipline="fifo").run(
+            scn, requests=requests
+        )
+        prio = QoSSimulator(
+            hh_runtime, devices=1, discipline="priority"
+        ).run(scn, requests=requests)
+        # same service capacity: identical totals, different orderings
+        assert prio.completed == fifo.completed
+        assert prio.total_energy_nj == pytest.approx(fifo.total_energy_nj)
+
+    def test_simulator_validation(self, hh_runtime):
+        with pytest.raises(QoSError, match="TimeSliceRuntime"):
+            QoSSimulator(object())
+        with pytest.raises(QoSError, match="fleet size"):
+            QoSSimulator(hh_runtime, devices=0)
+        with pytest.raises(QoSError, match="batch"):
+            QoSSimulator(hh_runtime, batch=0)
+        with pytest.raises(QoSError, match="slo"):
+            QoSSimulator(hh_runtime, slo=0)
+        with pytest.raises(QoSError, match="max_devices"):
+            QoSSimulator(hh_runtime, devices=4, max_devices=2)
+
+    def test_foreign_requests_rejected(self, hh_runtime):
+        scn = scenario(ScenarioCase.LOW_CONSTANT, slices=3)
+        longer = scenario(ScenarioCase.LOW_CONSTANT, slices=8)
+        requests = sample_requests(longer, hh_runtime.t_slice_ns, seed=1)
+        with pytest.raises(QoSError, match="outside the scenario"):
+            QoSSimulator(hh_runtime, devices=1).run(scn, requests=requests)
+
+    def test_qos_error_is_serving_error(self):
+        assert issubclass(QoSError, ServingError)
+
+
+class TestEngineQoS:
+    def test_run_qos_from_config(self):
+        engine = Engine(use_disk_cache=False)
+        config = ExperimentConfig(
+            scenario="bursty", fleet=2, max_fleet=5,
+            autoscaler="queue_depth", qos="edf", batch=2, slices=20, **TINY,
+        ).validate()
+        result = engine.run_qos(config)
+        assert result.discipline == "edf"
+        assert result.autoscaler == "queue_depth"
+        assert result.batch == 2
+        assert result.completed + result.unfinished == result.total_requests
+        # one shared runtime: the LUT was built exactly once
+        assert engine.stats.lut_builds == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match="qos"):
+            ExperimentConfig(qos="")
+        with pytest.raises(ConfigurationError, match="slo"):
+            ExperimentConfig(slo=0)
+        with pytest.raises(ConfigurationError, match="autoscaler"):
+            ExperimentConfig(autoscaler="  ")
+        with pytest.raises(ConfigurationError, match="max_fleet"):
+            ExperimentConfig(fleet=4, max_fleet=2)
+        with pytest.raises(ConfigurationError, match="batch"):
+            ExperimentConfig(batch=0)
+        config = ExperimentConfig(
+            qos="priority", autoscaler="threshold", slo=1.5, batch=3,
+            fleet=2, max_fleet=4,
+        )
+        assert ExperimentConfig.from_dict(config.to_dict()) == config

@@ -1,0 +1,107 @@
+"""QoS determinism: seed + config fully determine every series.
+
+Two runs of the same config must produce bit-identical percentile / SLO
+/ scaling series — across simulator instances, across the engine, and
+across the CLI (``repro qos --json``), which shares nothing with the
+in-process run but the config.
+"""
+
+import json
+
+import pytest
+
+from _shared import SMALL_BLOCKS, SMALL_STEPS
+from repro.api import Engine, ExperimentConfig
+from repro.cli import main
+
+TINY = dict(block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS)
+
+#: A bursty-MMPP scenario with the autoscaler engaged — the acceptance
+#: shape: queueing, scaling and SLO misses all in play.
+CONFIG = dict(
+    scenario="bursty", fleet=1, max_fleet=4, autoscaler="queue_depth",
+    qos="edf", batch=2, slices=25, seed=7, **TINY,
+)
+
+
+def test_identical_runs_are_bit_identical():
+    engine = Engine(use_disk_cache=False)
+    config = ExperimentConfig(**CONFIG)
+    one = engine.run_qos(config)
+    two = engine.run_qos(config)
+    assert one.to_dict(include_records=True) == two.to_dict(
+        include_records=True
+    )
+    # the tuples themselves compare equal, not just the exports
+    assert one.slices == two.slices
+
+
+def test_fresh_engine_reproduces_the_series():
+    one = Engine(use_disk_cache=False).run_qos(ExperimentConfig(**CONFIG))
+    two = Engine(use_disk_cache=False).run_qos(ExperimentConfig(**CONFIG))
+    assert one.to_dict() == two.to_dict()
+
+
+def test_seed_changes_the_series():
+    engine = Engine(use_disk_cache=False)
+    base = engine.run_qos(ExperimentConfig(**CONFIG))
+    other = engine.run_qos(ExperimentConfig(**{**CONFIG, "seed": 8}))
+    assert base.to_dict() != other.to_dict()
+
+
+def test_run_qos_matches_cli_json(capsys):
+    """`repro qos --json` emits the exact series `Engine.run_qos` computes."""
+    config = ExperimentConfig(**CONFIG)
+    expected = Engine(use_disk_cache=False).run_qos(config).to_dict()
+
+    code = main([
+        "qos",
+        "--scenario", "bursty",
+        "--devices", "1",
+        "--max-devices", "4",
+        "--autoscaler", "queue_depth",
+        "--discipline", "edf",
+        "--batch", "2",
+        "--slices", "25",
+        "--seed", "7",
+        "--blocks", str(SMALL_BLOCKS),
+        "--steps", str(SMALL_STEPS),
+        "--json",
+    ])
+    assert code == 0
+    emitted = json.loads(capsys.readouterr().out)
+
+    # the acceptance surface: percentiles, misses, attainment, scaling
+    for key in (
+        "p50_ns", "p95_ns", "p99_ns", "deadline_miss_rate",
+        "slo_attainment", "mean_fleet_size", "total_energy_nj",
+        "completed", "unfinished",
+    ):
+        assert emitted[key] == expected[key], key
+    assert emitted["slices"] == expected["slices"]
+    assert emitted["autoscaler"] == "queue_depth"
+    assert emitted["discipline"] == "edf"
+    # the run actually produced latency numbers
+    assert emitted["p95_ns"] is not None
+    assert emitted["p95_ns"] >= emitted["p50_ns"]
+    assert 0.0 <= emitted["deadline_miss_rate"] <= 1.0
+    assert 0.0 <= emitted["slo_attainment"] <= 1.0
+
+
+def test_interleaved_runs_do_not_contaminate():
+    """Stateful pieces (policies, autoscalers) are rebuilt per run."""
+    engine = Engine(use_disk_cache=False)
+    config = ExperimentConfig(**CONFIG)
+    first = engine.run_qos(config)
+    engine.run_qos(ExperimentConfig(**{**CONFIG, "qos": "fifo", "seed": 9}))
+    third = engine.run_qos(config)
+    assert first.to_dict() == third.to_dict()
+
+
+@pytest.mark.parametrize("discipline", ["fifo", "priority", "edf"])
+def test_every_discipline_is_deterministic(discipline):
+    engine = Engine(use_disk_cache=False)
+    config = ExperimentConfig(**{**CONFIG, "qos": discipline})
+    assert (
+        engine.run_qos(config).to_dict() == engine.run_qos(config).to_dict()
+    )

@@ -1,6 +1,7 @@
 """Tests for the fleet serving layer and its api wiring."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from _shared import SMALL_BLOCKS, SMALL_STEPS
 from repro.api import DISPATCH, Engine, ExperimentConfig
@@ -14,7 +15,7 @@ from repro.serving import (
     RoundRobin,
     make_policy,
 )
-from repro.workloads import ScenarioCase, bursty, scenario
+from repro.workloads import ScenarioCase, arrivals, bursty, scenario
 
 TINY = dict(block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS)
 
@@ -91,6 +92,36 @@ class TestDispatchPolicies:
         for name in BUILTIN_POLICIES:
             assert name in DISPATCH
 
+    def test_least_loaded_resize_keeps_counts(self, hh_runtime):
+        """A scale-up steers new work to the fresh (empty) device."""
+        from repro.serving.fleet import device_info
+
+        infos = tuple(device_info(i, hh_runtime) for i in range(2))
+        policy = LeastLoaded()
+        policy.start(infos)
+        policy.assign(0, 8)  # 4/4 across the two devices
+        grown = tuple(device_info(i, hh_runtime) for i in range(3))
+        policy.resize(grown)
+        shares = policy.assign(1, 4)
+        assert shares == [0, 0, 4]  # the new device catches up first
+
+    def test_round_robin_resize_keeps_pointer(self, hh_runtime):
+        from repro.serving.fleet import device_info
+
+        policy = RoundRobin()
+        policy.start(tuple(device_info(i, hh_runtime) for i in range(3)))
+        policy.assign(0, 2)  # pointer now at device 2
+        policy.resize(tuple(device_info(i, hh_runtime) for i in range(2)))
+        assert policy.assign(1, 1) == [1, 0]  # pointer wrapped to 0
+
+    def test_default_resize_restarts(self, hh_runtime):
+        from repro.serving.fleet import device_info
+
+        policy = EnergyAware()
+        policy.start(tuple(device_info(i, hh_runtime) for i in range(1)))
+        policy.resize(tuple(device_info(i, hh_runtime) for i in range(2)))
+        assert len(policy.assign(0, 3)) == 2
+
 
 class TestFleet:
     def test_single_device_fleet_equals_runtime(self, hh_runtime):
@@ -162,12 +193,59 @@ class TestEngineFleet:
         fleet = engine.run_fleet(config)
         assert fleet.device_results[0].records == single.records
 
-    def test_run_many_rejects_fleet_configs(self):
+    def test_run_record_rejects_fleet_configs(self):
+        # run_record stays single-device; batching goes via run_many.
         engine = Engine(use_disk_cache=False)
         with pytest.raises(ConfigurationError, match="run_fleet"):
-            engine.run_many([ExperimentConfig(fleet=2, **TINY)])
-        with pytest.raises(ConfigurationError, match="run_fleet"):
             engine.run_record(ExperimentConfig(fleet=2, **TINY))
+
+    def test_run_many_batches_fleet_configs(self):
+        """run_many mixes fleet and single-device configs in one batch."""
+        from repro.api import FleetRecord, RunRecord
+
+        engine = Engine(use_disk_cache=False)
+        configs = [
+            ExperimentConfig(scenario="case1", slices=6, **TINY),
+            ExperimentConfig(
+                scenario="case1", slices=6, fleet=3,
+                dispatch="least_loaded", **TINY,
+            ),
+            ExperimentConfig(scenario="case5", slices=6, **TINY),
+        ]
+        results = engine.run_many(configs)
+        assert len(results) == 3
+        assert isinstance(results[0], RunRecord)
+        assert isinstance(results[1], FleetRecord)
+        assert results[1].devices == 3
+        assert results[1].dispatch == "least_loaded"
+        # the batched fleet run equals a direct run_fleet
+        direct = engine.run_fleet(configs[1])
+        assert results[1].result.to_dict() == direct.to_dict()
+        # one runtime serves all three configs: LUT built exactly once
+        assert engine.stats.lut_builds == 1
+        # rows share one schema, so CSV/JSON exports stay rectangular
+        rows = results.to_rows()
+        assert [set(row) for row in rows] == [set(rows[0])] * 3
+        assert [row["devices"] for row in rows] == [1, 3, 1]
+        csv_lines = results.to_csv().strip().splitlines()
+        assert len(csv_lines) == 4
+        aggregate = results.aggregate(by="arch")["HH-PIM"]
+        assert aggregate.runs == 3
+
+    def test_run_many_batches_fleet_configs_pooled(self):
+        """Fleet configs run in-parent even when a pool is requested."""
+        from repro.api import FleetRecord
+
+        engine = Engine(use_disk_cache=False)
+        configs = [
+            ExperimentConfig(scenario="case1", slices=4, **TINY),
+            ExperimentConfig(scenario="case1", slices=4, fleet=2, **TINY),
+        ]
+        results = engine.run_many(configs, max_workers=2)
+        assert isinstance(results[1], FleetRecord)
+        assert len(results[1].result.device_results) == 2
+        serial = Engine(use_disk_cache=False).run_many(configs)
+        assert results.to_rows() == serial.to_rows()
 
     def test_config_validation(self):
         with pytest.raises(ConfigurationError, match="fleet size"):
@@ -176,3 +254,43 @@ class TestEngineFleet:
             ExperimentConfig(dispatch="")
         config = ExperimentConfig(fleet=2, dispatch="energy_aware")
         assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+
+def _random_process(kind: str):
+    """One seeded random arrival process per hypothesis-drawn kind."""
+    return {
+        "poisson": lambda: arrivals.poisson(5.0),
+        "bursty": lambda: arrivals.bursty(),
+        "uniform": lambda: arrivals.uniform(0),
+        "overlay": lambda: arrivals.diurnal(trough=0).overlay(
+            arrivals.poisson(2.0)
+        ),
+    }[kind]()
+
+
+class TestDispatchProperties:
+    """Property suite: every policy conserves every random trace."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        devices=st.integers(1, 5),
+        policy=st.sampled_from(sorted(BUILTIN_POLICIES)),
+        kind=st.sampled_from(["poisson", "bursty", "uniform", "overlay"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_splits_conserve_load(
+        self, hh_runtime, seed, devices, policy, kind
+    ):
+        workload = _random_process(kind).materialize(
+            slices=30, peak=10, seed=seed
+        )
+        fleet = Fleet([hh_runtime] * devices, dispatch=policy)
+        splits = fleet.split(workload)
+        assert len(splits) == devices
+        for loads in splits:
+            assert len(loads) == len(workload)
+            assert all(
+                isinstance(share, int) and share >= 0 for share in loads
+            )
+        for index, load in enumerate(workload.loads):
+            assert sum(loads[index] for loads in splits) == load
