@@ -16,12 +16,20 @@ from repro.analysis import compute_savings_grid
 from repro.api import ExperimentConfig
 from repro.api.engine import shared_engine
 from repro.core.lutcache import temporary_cache_dir
+from repro.store import temporary_store_dir
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_lut_cache(tmp_path_factory):
     """Persistent LUT cache in a throwaway directory (hermetic runs)."""
     with temporary_cache_dir(tmp_path_factory.mktemp("lut-cache")):
+        yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_experiment_store(tmp_path_factory):
+    """Default experiment store in a throwaway directory (hermetic runs)."""
+    with temporary_store_dir(tmp_path_factory.mktemp("exp-store")):
         yield
 
 

@@ -82,6 +82,7 @@ from .api import (
     register_model,
     register_scenario,
 )
+from .store import Store
 
 __version__ = "1.1.0"
 
@@ -133,6 +134,7 @@ __all__ = [
     "ExperimentConfig",
     "ResultSet",
     "RunRecord",
+    "Store",
     "register_architecture",
     "register_model",
     "register_scenario",

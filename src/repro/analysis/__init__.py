@@ -11,6 +11,7 @@ from .figures import render_fig4, render_fig5, render_fig6, fig6_series, sparkli
 from .fleet import fleet_table, render_fleet
 from .qos import qos_strips, qos_table, render_qos
 from .reporting import TextTable
+from .sweeps import render_store, stored_results
 
 __all__ = [
     "fleet_table",
@@ -29,4 +30,6 @@ __all__ = [
     "render_fig6",
     "fig6_series",
     "TextTable",
+    "render_store",
+    "stored_results",
 ]

@@ -5,6 +5,11 @@ sweep the axes a designer would explore next — HP/LP module split, supply
 voltage of the LP cluster, and time-slice length — through the shared
 :class:`repro.api.Engine`, so LUTs are memoized across sweep points and
 results are directly comparable with the Table I configurations.
+
+:func:`stored_results` and :func:`render_store` close the loop with the
+experiment store (:mod:`repro.store`): a grid filled by sharded
+``repro sweep --store`` workers renders into per-run and aggregate
+tables from disk alone — no engine, no recomputation.
 """
 
 from __future__ import annotations
@@ -14,11 +19,13 @@ from dataclasses import dataclass
 from ..api.config import ExperimentConfig
 from ..api.engine import shared_engine
 from ..api.registry import ARCHITECTURES, MODELS, ensure_registered
+from ..api.results import ResultSet
 from ..arch.specs import ArchitectureSpec, ClusterSpec
 from ..errors import ConfigurationError
 from ..pim.module import ModuleKind
 from ..workloads.models import ModelSpec
 from ..workloads.scenarios import Scenario
+from .reporting import TextTable
 
 KB = 1024
 
@@ -104,6 +111,65 @@ def sweep_module_split(
             )
         )
     return points
+
+
+def stored_results(store, predicate=None, **axes) -> ResultSet:
+    """A :class:`ResultSet` reloaded from an experiment store.
+
+    Thin, intention-revealing wrapper over
+    :meth:`repro.store.Store.query`: the batch records land back in a
+    deterministic order (config label, then key) and accept the same
+    axis filters as :meth:`ResultSet.filter`, so every aggregation and
+    export in the analysis layer works from disk without re-running a
+    single experiment.
+    """
+    return store.query(predicate, **axes)
+
+
+def render_store(store, by: str = "arch") -> str:
+    """Per-run and aggregate tables of a store's contents, from disk.
+
+    The rendering a finished (possibly sharded, possibly multi-day)
+    sweep is inspected with: every stored batch record as one row, then
+    the same per-axis aggregate ``repro sweep`` prints — computed
+    entirely from stored results.
+    """
+    results = stored_results(store)
+    state = store.info()
+    lines = [
+        f"{state['entries']} stored entries at {state['path']} "
+        f"({state['bytes'] / 1024:.0f} kB"
+        + (f", {state['quarantined']} quarantined" if state["quarantined"]
+           else "")
+        + ")",
+    ]
+    if not len(results):
+        return lines[0]
+    table = TextTable(["Kind", "Architecture", "Model", "Scenario",
+                       "Devices", "Energy (mJ)", "Deadlines"])
+    for record in results:
+        table.add_row(
+            record.kind,
+            record.arch,
+            record.model,
+            record.scenario,
+            record.devices,
+            round(record.total_energy_nj / 1e6, 2),
+            "met" if record.deadlines_met else "MISSED",
+        )
+    lines += ["", table.render()]
+    summary = TextTable([by, "runs", "mean energy (mJ)", "energy/inf (uJ)",
+                         "deadline rate"])
+    for key, stats in results.aggregate(by=by).items():
+        summary.add_row(
+            key,
+            stats.runs,
+            round(stats.mean_energy_nj / 1e6, 2),
+            round(stats.energy_per_inference_nj / 1e3, 2),
+            f"{stats.deadline_rate:.0%}",
+        )
+    lines += ["", f"aggregate by {by}:", summary.render()]
+    return "\n".join(lines)
 
 
 def sweep_time_slice(

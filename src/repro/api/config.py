@@ -19,6 +19,7 @@ import dataclasses
 import itertools
 from dataclasses import dataclass, fields
 
+from ..core import lutcache
 from ..core.placement import DEFAULT_BLOCK_COUNT, DEFAULT_TIME_STEPS
 from ..core.runtime import FINE_GRANULE_BYTES
 from ..errors import ConfigurationError
@@ -179,6 +180,21 @@ class ExperimentConfig:
     def to_dict(self) -> dict:
         """A plain-primitive dict that round-trips via :meth:`from_dict`."""
         return dataclasses.asdict(self)
+
+    def fingerprint(self) -> str:
+        """The SHA-256 content address of this config's *results*.
+
+        Canonicalises the config through the same machinery as the LUT
+        cache (:func:`repro.core.lutcache.fingerprint`), excluding
+        ``lut_cache`` — a caching knob that never changes what a run
+        produces — so two configs share a fingerprint exactly when they
+        describe the same experiment.  This is the key the experiment
+        store (:mod:`repro.store`) addresses completed runs by, and the
+        hash :mod:`repro.store.sharding` partitions sweep grids with.
+        """
+        payload = self.to_dict()
+        del payload["lut_cache"]
+        return lutcache.fingerprint("experiment", payload)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentConfig":

@@ -72,6 +72,10 @@ class EngineStats:
     lut_disk_hits: int = 0
     #: Entries this engine persisted to the on-disk cache.
     lut_disk_writes: int = 0
+    #: Whole runs served from the experiment store (no recomputation).
+    store_hits: int = 0
+    #: Runs the store was consulted for but had to be computed.
+    store_misses: int = 0
 
 
 @dataclass(frozen=True)
@@ -128,6 +132,18 @@ def _materialize_runtime(resolved: _ResolvedRuntime) -> tuple:
     return runtime, source, dp_build_count() - before
 
 
+def _coerce_store(store):
+    """Accept a Store, a directory path, or None (imported lazily:
+    :mod:`repro.store` depends on :mod:`repro.api`, not vice versa)."""
+    if store is None:
+        return None
+    from ..store.store import Store
+
+    if isinstance(store, Store):
+        return store
+    return Store(store)
+
+
 def _run_group(resolved: _ResolvedRuntime, jobs: list) -> tuple:
     """Worker task: materialise one runtime, run all its scenarios.
 
@@ -154,15 +170,32 @@ class Engine:
     of it (configs can also opt out individually via ``lut_cache``).
     ``max_workers`` sets the default parallelism of :meth:`run_many`
     (``None``/``1`` = in-process serial execution).
+
+    Above both caches sits the optional *experiment store*
+    (:mod:`repro.store`): attach one with ``store=`` and every completed
+    :meth:`run_many`/:meth:`sweep` record (and :meth:`run_qos` result)
+    persists content-addressed by config; with ``resume=True`` (the
+    default) already-stored configs are served back without any
+    recomputation — the LUT caches make *runs* cheap, the store makes
+    *rerunning* free.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         use_disk_cache: bool = True,
+        store=None,
+        resume: bool = True,
     ) -> None:
+        """See the class docstring; ``store`` attaches an experiment
+        store (a :class:`repro.store.Store` or a directory path) that
+        :meth:`run_many`/:meth:`sweep`/:meth:`run_qos` write completed
+        runs into — and, when ``resume`` is true, serve already-stored
+        configs from without recomputation."""
         self.max_workers = max_workers
         self.use_disk_cache = use_disk_cache
+        self.store = _coerce_store(store)
+        self.resume = resume
         self.stats = EngineStats()
         self._runtimes: dict = {}
         self._t_slices: dict = {}
@@ -327,7 +360,8 @@ class Engine:
 
     def run_qos(self, config: ExperimentConfig,
                 scenario: Scenario | None = None,
-                requests=None) -> QoSResult:
+                requests=None, store=None,
+                resume: bool | None = None) -> QoSResult:
         """Simulate the config's scenario at request level (see
         :mod:`repro.qos`).
 
@@ -339,7 +373,21 @@ class Engine:
         are sampled from the scenario under ``config.seed`` unless an
         explicit ``requests`` stream is given, so identical configs
         reproduce identical percentile/SLO series bit for bit.
+
+        With an experiment store attached, the result persists under the
+        config's ``qos`` key and a resumed call returns it without
+        re-simulating — but only when the config fully describes the run
+        (no ``scenario``/``requests`` override).
         """
+        store = self.store if store is None else _coerce_store(store)
+        resume = self.resume if resume is None else resume
+        addressable = scenario is None and requests is None
+        if store is not None and addressable and resume:
+            stored = store.get_qos(config)
+            if stored is not None:
+                self.stats.store_hits += 1
+                return stored
+            self.stats.store_misses += 1
         runtime, _ = self._runtime_cached(self.resolve(config))
         workload = scenario if scenario is not None else self.scenario(config)
         simulator = QoSSimulator(
@@ -355,9 +403,12 @@ class Engine:
         )
         result = simulator.run(workload, requests=requests, seed=config.seed)
         self.stats.runs += 1
+        if store is not None and addressable:
+            store.put_qos(config, result, engine_stats=self.stats)
         return result
 
-    def run_many(self, configs, max_workers: int | None = None) -> ResultSet:
+    def run_many(self, configs, max_workers: int | None = None,
+                 store=None, resume: bool | None = None) -> ResultSet:
         """Execute a batch of configs; results follow the input order.
 
         Fleet configs (``fleet > 1``) run serially through
@@ -369,8 +420,70 @@ class Engine:
         exactly-once LUT construction per (arch, model, resolution)
         group.  Groups whose runtime this engine already cached run
         in-process from the cache.
+
+        With an experiment store attached (``store=`` here or on the
+        engine), every computed record is persisted; when ``resume`` is
+        true (the engine default) already-stored configs are *skipped*
+        and served from the store — ``stats.store_hits`` counts them —
+        so an interrupted or sharded sweep completes with zero
+        recomputation and a batch bit-identical to an uninterrupted run.
         """
         configs = tuple(configs)
+        store = self.store if store is None else _coerce_store(store)
+        resume = self.resume if resume is None else resume
+        if store is None:
+            return self._execute_many(configs, max_workers)
+        records: list = [None] * len(configs)
+        pending: list = []
+        for position, config in enumerate(configs):
+            stored = store.get(config) if resume else None
+            if stored is None:
+                pending.append(position)
+                if resume:
+                    self.stats.store_misses += 1
+            else:
+                records[position] = stored
+                self.stats.store_hits += 1
+        if pending:
+            computed = self._execute_many(
+                tuple(configs[i] for i in pending), max_workers
+            )
+            for position, record in zip(pending, computed):
+                store.put(record, engine_stats=self.stats)
+                records[position] = record
+        return ResultSet(records)
+
+    def sweep(self, base: ExperimentConfig | None = None, *,
+              shard=None, max_workers: int | None = None,
+              store=None, resume: bool | None = None, **axes) -> ResultSet:
+        """Expand a config grid and run it (optionally one shard of it).
+
+        ``axes`` are :meth:`ExperimentConfig.sweep` keyword grids fanned
+        out from ``base`` (default: a default config).  ``shard`` —
+        an ``"I/N"`` string or ``(index, count)`` pair — restricts the
+        batch to the configs :func:`repro.store.sharding.shard_index`
+        deterministically assigns to shard I of N, so N processes
+        expanding the same grid split it exactly.  ``store``/``resume``
+        behave as in :meth:`run_many`; together they make the sharded
+        grid resumable::
+
+            engine.sweep(shard="0/2", store="results/", arch=[...])
+            engine.sweep(shard="1/2", store="results/", arch=[...])
+            full = engine.sweep(store="results/", arch=[...])  # all hits
+        """
+        base = ExperimentConfig() if base is None else base
+        configs = base.sweep(**axes)
+        if shard is not None:
+            from ..store.sharding import select_shard
+
+            configs = select_shard(configs, shard)
+        return self.run_many(
+            configs, max_workers=max_workers, store=store, resume=resume
+        )
+
+    def _execute_many(self, configs: tuple,
+                      max_workers: int | None = None) -> ResultSet:
+        """The store-blind batch executor behind :meth:`run_many`."""
         workers = max_workers if max_workers is not None else self.max_workers
         if not configs:
             return ResultSet(())

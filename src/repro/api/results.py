@@ -31,20 +31,31 @@ class RunRecord:
     config: ExperimentConfig
     result: RunResult
     #: Whether the engine served this run's allocation LUT from cache.
+    #: Pure provenance — it never appears in exports, so a record
+    #: reloaded from the experiment store exports identically to the
+    #: freshly computed one.
     lut_cached: bool = False
 
     # -- flat accessors (used by filtering/aggregation/export) ------------------
 
     @property
+    def kind(self) -> str:
+        """The record kind: ``run`` (see :attr:`FleetRecord.kind`)."""
+        return "run"
+
+    @property
     def arch(self) -> str:
+        """The config's architecture key."""
         return self.config.arch
 
     @property
     def model(self) -> str:
+        """The config's model key."""
         return self.config.model
 
     @property
     def scenario(self) -> str:
+        """The config's scenario key."""
         return self.config.scenario
 
     @property
@@ -54,18 +65,22 @@ class RunRecord:
 
     @property
     def total_energy_nj(self) -> float:
+        """Energy of the whole run, in nanojoules."""
         return self.result.total_energy_nj
 
     @property
     def energy_per_inference_nj(self) -> float:
+        """Mean energy per executed inference, in nanojoules."""
         return self.result.energy_per_inference_nj
 
     @property
     def mean_power_mw(self) -> float:
+        """Mean power over the run, in milliwatts."""
         return self.result.mean_power_mw
 
     @property
     def deadlines_met(self) -> bool:
+        """Whether every slice finished inside its deadline."""
         return self.result.deadlines_met
 
     @property
@@ -75,6 +90,7 @@ class RunRecord:
 
     @property
     def total_inferences(self) -> int:
+        """Inferences executed over the whole run."""
         return self.result.total_inferences
 
     @property
@@ -125,18 +141,22 @@ class RunRecord:
 
     @property
     def seed(self) -> int:
+        """The config's scenario-materialisation seed."""
         return self.config.seed
 
     @property
     def block_count(self) -> int:
+        """The config's optimizer block resolution."""
         return self.config.block_count
 
     @property
     def time_steps(self) -> int:
+        """The config's optimizer time-step resolution."""
         return self.config.time_steps
 
     @property
     def t_slice_ns(self) -> float:
+        """The realized time-slice length, in nanoseconds."""
         return self.result.t_slice_ns
 
     def to_row(self) -> dict:
@@ -152,13 +172,16 @@ class RunRecord:
 #: The shared flat-row schema of :meth:`RunRecord.to_row` and
 #: :meth:`FleetRecord.to_row` — every name is a property on both record
 #: kinds, so the export stays rectangular however a batch is mixed.
+#: Deliberately *results only*: provenance like ``lut_cached`` stays off
+#: the row, so identical experiments export identically whether they
+#: were computed cold, LUT-cached, or reloaded from the experiment
+#: store.
 ROW_FIELDS = (
     "arch", "model", "scenario", "policy", "devices", "dispatch",
     "slices", "seed", "block_count", "time_steps", "t_slice_ns",
     "total_energy_nj", "energy_per_inference_nj", "mean_power_mw",
     "deadlines_met", "missed_slices", "total_inferences",
     "mean_slice_busy_ns", "worst_slice_busy_ns", "blocks_moved",
-    "lut_cached",
 )
 
 
@@ -174,21 +197,30 @@ class FleetRecord:
 
     config: ExperimentConfig
     result: FleetResult
-    #: Whether the engine served the fleet's shared LUT from cache.
+    #: Whether the engine served the fleet's shared LUT from cache
+    #: (provenance only — never exported; see :data:`ROW_FIELDS`).
     lut_cached: bool = False
 
     # -- flat accessors (the RunRecord surface) ---------------------------------
 
     @property
+    def kind(self) -> str:
+        """The record kind: ``fleet`` (see :attr:`RunRecord.kind`)."""
+        return "fleet"
+
+    @property
     def arch(self) -> str:
+        """The config's architecture key (shared by every device)."""
         return self.config.arch
 
     @property
     def model(self) -> str:
+        """The config's model key (shared by every device)."""
         return self.config.model
 
     @property
     def scenario(self) -> str:
+        """The config's scenario key."""
         return self.config.scenario
 
     @property
@@ -198,6 +230,7 @@ class FleetRecord:
 
     @property
     def devices(self) -> int:
+        """Number of devices the fleet ran."""
         return len(self.result.device_results)
 
     @property
@@ -207,18 +240,22 @@ class FleetRecord:
 
     @property
     def total_energy_nj(self) -> float:
+        """Energy of the whole fleet run, in nanojoules."""
         return self.result.total_energy_nj
 
     @property
     def energy_per_inference_nj(self) -> float:
+        """Mean energy per executed inference, in nanojoules."""
         return self.result.energy_per_inference_nj
 
     @property
     def mean_power_mw(self) -> float:
+        """Mean fleet power over the run, in milliwatts."""
         return self.result.mean_power_mw
 
     @property
     def deadlines_met(self) -> bool:
+        """Whether every (device, slice) cell met its deadline."""
         return self.result.deadlines_met
 
     @property
@@ -233,6 +270,7 @@ class FleetRecord:
 
     @property
     def total_inferences(self) -> int:
+        """Inferences executed across the whole fleet."""
         return self.result.total_inferences
 
     @property
@@ -283,18 +321,22 @@ class FleetRecord:
 
     @property
     def seed(self) -> int:
+        """The config's scenario-materialisation seed."""
         return self.config.seed
 
     @property
     def block_count(self) -> int:
+        """The config's optimizer block resolution."""
         return self.config.block_count
 
     @property
     def time_steps(self) -> int:
+        """The config's optimizer time-step resolution."""
         return self.config.time_steps
 
     @property
     def t_slice_ns(self) -> float:
+        """The realized time-slice length, in nanoseconds."""
         return self.result.device_results[0].t_slice_ns
 
     def to_row(self) -> dict:
@@ -344,6 +386,7 @@ class ResultSet:
 
     @property
     def records(self) -> tuple:
+        """The underlying record tuple, in batch order."""
         return self._records
 
     def __len__(self) -> int:
@@ -410,10 +453,12 @@ class ResultSet:
 
     @property
     def total_energy_nj(self) -> float:
+        """Energy summed over every record, in nanojoules."""
         return sum(r.total_energy_nj for r in self._records)
 
     @property
     def deadlines_met(self) -> bool:
+        """Whether every record met all of its deadlines."""
         return all(r.deadlines_met for r in self._records)
 
     def aggregate(self, by: str = "arch") -> dict:

@@ -9,11 +9,15 @@ Usage::
     python -m repro run --case 3           # one scenario, all architectures
     python -m repro run --case 1 --json    # machine-readable run summary
     python -m repro sweep --model ResNet-18 --case 1 --case 2
+    python -m repro sweep --store runs/ --shard 0/4   # fill shard 0 of 4
+    python -m repro sweep --store runs/ --resume      # stitch, zero recompute
     python -m repro fleet --devices 4 --dispatch least_loaded --scenario bursty
     python -m repro qos --scenario bursty --autoscaler queue_depth --json
     python -m repro scenarios              # registered scenarios, previewed
     python -m repro bench --quick          # perf harness -> BENCH_*.json
     python -m repro cache info             # persistent LUT cache state
+    python -m repro store info             # persistent experiment store
+    python -m repro docs                   # regenerate docs/REGISTRY.md
     python -m repro list                   # registered specs
 
 Every experiment command goes through :class:`repro.api.Engine`, so
@@ -197,6 +201,8 @@ def _cmd_run(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
+    from .store import Store, select_shard
+
     engine = shared_engine()
     archs = _resolve_axis(args.arch, ARCHITECTURES)
     models = _resolve_axis(args.model, MODELS)
@@ -206,19 +212,37 @@ def _cmd_sweep(args) -> str:
         model=models,
         scenario=[f"case{case}" for case in cases],
     )
-    results = engine.run_many(configs, max_workers=args.workers)
+    if args.shard:
+        configs = select_shard(configs, args.shard)
+    store = Store(args.store) if args.store else None
+    if store is None and args.resume:
+        raise ReproError("--resume needs --store DIR to resume from")
+    results = engine.run_many(
+        configs, max_workers=args.workers, store=store, resume=args.resume
+    )
     if args.csv:
         results.to_csv(args.csv)
     if args.json:
         return results.to_json()
 
-    lines = [
-        f"{len(results)} runs "
+    grid_note = (
+        f"shard {args.shard} of the grid: {len(results)} runs"
+        if args.shard
+        else f"{len(results)} runs "
         f"({len(archs)} architectures x {len(models)} models x "
-        f"{len(cases)} scenarios), "
+        f"{len(cases)} scenarios)"
+    )
+    store_note = (
+        f", store hits: {engine.stats.store_hits}, "
+        f"misses: {engine.stats.store_misses}"
+        if store is not None
+        else ""
+    )
+    lines = [
+        grid_note + ", "
         f"LUTs built: {engine.stats.lut_builds}, reused: "
         f"{engine.stats.lut_hits}, DP builds: {engine.stats.dp_builds}, "
-        f"disk hits: {engine.stats.lut_disk_hits}",
+        f"disk hits: {engine.stats.lut_disk_hits}" + store_note,
         "",
         _results_table(results).render(),
     ]
@@ -365,11 +389,65 @@ def _cmd_bench(args) -> str:
             f"{qos_throughput:.0f} requests/s is below the required "
             f"{args.min_qos_throughput:.0f}"
         )
+    resume_speedup = report["store"]["resume_speedup"]
+    if (args.min_store_speedup is not None
+            and resume_speedup < args.min_store_speedup):
+        raise ReproError(
+            f"perf gate failed: warm store-resume sweep is only "
+            f"{resume_speedup:.2f}x faster than the cold sweep, below "
+            f"the required {args.min_store_speedup:.2f}x"
+        )
     if args.json:
         return json.dumps(report, indent=2, sort_keys=True)
     lines = [render_report(report), ""]
     lines += [f"wrote {path}" for path in paths]
     return "\n".join(lines)
+
+
+def _cmd_store(args) -> str:
+    from .analysis.sweeps import render_store
+    from .store import Store
+
+    store = Store(args.store)
+    if args.action == "clear":
+        removed = store.clear()
+        return f"removed {removed} stored entries from {store.root}"
+    if args.action == "ls":
+        return render_store(store, by=args.by)
+    state = store.info()
+    kinds = ", ".join(
+        f"{count} {kind}" for kind, count in state["by_kind"].items() if count
+    ) or "none"
+    lines = [
+        f"path:        {state['path']}",
+        "             (set REPRO_STORE or pass --store to relocate)",
+        f"version:     v{state['version']}",
+        f"entries:     {state['entries']} ({kinds}; "
+        f"{state['bytes'] / 1024:.0f} kB)",
+        f"quarantined: {state['quarantined']}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_docs(args) -> str:
+    from pathlib import Path
+
+    from . import docgen
+
+    path = Path(args.out)
+    if args.check:
+        problems = docgen.audit_docstrings() + docgen.audit_registrations()
+        if not docgen.registry_doc_is_fresh(path):
+            problems.append(
+                f"{path} is stale; regenerate it with `repro docs`"
+            )
+        if problems:
+            raise ReproError(
+                "docs gate failed:\n  " + "\n  ".join(problems)
+            )
+        return f"docs OK: {path} is fresh and the public API is documented"
+    written = docgen.write_registry_doc(path)
+    return f"wrote {written}"
 
 
 def _cmd_cache(args) -> str:
@@ -464,6 +542,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable per-run summaries")
     sweep.add_argument("--csv", metavar="FILE", default=None,
                        help="also write per-run rows to a CSV file")
+    sweep.add_argument("--store", metavar="DIR", default=None,
+                       help="persist every completed run into the "
+                            "experiment store at DIR")
+    sweep.add_argument("--shard", metavar="I/N", default=None,
+                       help="run only the configs hash-assigned to shard "
+                            "I of N (deterministic across processes)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="with --store: serve already-stored configs "
+                            "from the store instead of recomputing them")
     _add_resolution_args(sweep, blocks=48, steps=6000)
     fleet = sub.add_parser(
         "fleet", help="serve one scenario on a multi-device fleet"
@@ -563,12 +650,34 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-qos-throughput", type=float, default=None,
                        help="fail (exit 2) if the QoS simulator falls below "
                             "this many simulated requests per second")
+    bench.add_argument("--min-store-speedup", type=float, default=None,
+                       help="fail (exit 2) if a warm store-resume sweep is "
+                            "not this many times faster than the cold sweep")
     bench.add_argument("--json", action="store_true",
                        help="print the full machine-readable report")
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent LUT cache"
     )
     cache.add_argument("action", choices=("info", "clear"))
+    store = sub.add_parser(
+        "store", help="inspect or clear the persistent experiment store"
+    )
+    store.add_argument("action", choices=("info", "ls", "clear"))
+    store.add_argument("--store", metavar="DIR", default=None,
+                       help="store directory (default: REPRO_STORE or the "
+                            "XDG cache)")
+    store.add_argument("--by", default="arch",
+                       choices=("arch", "model", "scenario", "policy",
+                                "dispatch"),
+                       help="aggregation axis for the ls summary table")
+    docs = sub.add_parser(
+        "docs", help="regenerate docs/REGISTRY.md from the live registries"
+    )
+    docs.add_argument("--out", metavar="FILE", default="docs/REGISTRY.md",
+                      help="where the generated reference lives")
+    docs.add_argument("--check", action="store_true",
+                      help="exit 2 instead of writing when the reference is "
+                           "stale or a public docstring is missing")
     return parser
 
 
@@ -587,6 +696,8 @@ _HANDLERS = {
     "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "store": _cmd_store,
+    "docs": _cmd_docs,
     "list": _cmd_list,
 }
 

@@ -1,0 +1,236 @@
+"""The docs subsystem's generator and gates.
+
+Three jobs, shared by ``repro docs`` and ``tests/test_docs.py``:
+
+* **Registry reference generation** — :func:`registry_markdown` renders
+  every registry (architectures, models, scenarios, placement policies,
+  dispatch, queue disciplines, autoscalers) with each entry's docstring
+  one-liner into ``docs/REGISTRY.md``; the committed file must match the
+  live registries byte for byte (checked in CI by ``repro docs
+  --check``), so the reference can never drift from the code.
+* **Docstring audit** — :func:`audit_docstrings` is a hand-rolled
+  :mod:`ast` walk (no linter dependencies) over the public API surface
+  (:mod:`repro.api`, :mod:`repro.store`, this module): every module,
+  public class, public function and public method must carry a
+  non-empty docstring.
+* **Registration audit** — :func:`audit_registrations` requires every
+  *callable* registered in any registry to carry a docstring, because
+  that docstring **is** its line in the generated reference.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from pathlib import Path
+
+from .api.registry import (
+    ARCHITECTURES,
+    AUTOSCALERS,
+    DISPATCH,
+    MODELS,
+    POLICIES,
+    QOS,
+    SCENARIOS,
+)
+from .arch.specs import ArchitectureSpec
+from .core.placement import PlacementPolicy
+from .workloads.models import ModelSpec
+from .workloads.scenarios import Scenario
+
+#: The registries the reference documents, with their docs section
+#: titles and import paths, in presentation order.
+DOCUMENTED_REGISTRIES = (
+    ("Architectures", "repro.api.ARCHITECTURES", ARCHITECTURES),
+    ("Models", "repro.api.MODELS", MODELS),
+    ("Scenarios", "repro.api.SCENARIOS", SCENARIOS),
+    ("Placement policies", "repro.api.POLICIES", POLICIES),
+    ("Dispatch policies", "repro.api.DISPATCH", DISPATCH),
+    ("Queue disciplines", "repro.api.QOS", QOS),
+    ("Autoscalers", "repro.api.AUTOSCALERS", AUTOSCALERS),
+)
+
+#: PlacementPolicy members are enum values, not callables — their
+#: reference lines live here (mirroring the ``#:`` comments in
+#: :class:`repro.core.placement.PlacementPolicy`).
+_POLICY_NOTES = {
+    PlacementPolicy.DYNAMIC_LUT:
+        "Re-consult the allocation LUT every slice — "
+        "the paper's HH-PIM behaviour.",
+    PlacementPolicy.FIXED_LATENCY_OPTIMAL:
+        "One latency-optimal placement, never moved "
+        "(the conventional-PIM baseline).",
+    PlacementPolicy.FIXED_MRAM_ONLY:
+        "All weights in MRAM, SRAM reserved for I/O "
+        "(the Hybrid-PIM behaviour).",
+}
+
+
+def describe(value) -> str:
+    """One reference line for a registry entry.
+
+    Callables (scenario factories, dispatch/discipline/autoscaler
+    classes) contribute their docstring's first line; spec objects,
+    which carry data rather than prose, are summarised from their
+    fields.
+    """
+    if isinstance(value, ArchitectureSpec):
+        modules = f"{value.hp.module_count} HP"
+        if value.lp:
+            modules += f" + {value.lp.module_count} LP"
+        memory = []
+        if value.hp.mram_capacity:
+            memory.append(f"{value.hp.mram_capacity // 1024} kB MRAM")
+        memory.append(f"{value.hp.sram_capacity // 1024} kB SRAM")
+        return f"{modules} modules, {' + '.join(memory)} per module."
+    if isinstance(value, ModelSpec):
+        return (
+            f"{value.params:,} params, {value.macs:,} MACs, "
+            f"{value.pim_ratio:.0%} PIM ops."
+        )
+    if isinstance(value, PlacementPolicy):
+        return _POLICY_NOTES.get(
+            value, _first_line(inspect.getdoc(type(value)))
+        )
+    if isinstance(value, Scenario):
+        return (
+            f"Pre-materialised scenario ({len(value)} slices, "
+            f"peak {value.peak})."
+        )
+    if callable(value):
+        return _first_line(inspect.getdoc(value))
+    return _first_line(inspect.getdoc(type(value)))
+
+
+def _first_line(doc: str | None) -> str:
+    return doc.strip().splitlines()[0].strip() if doc and doc.strip() else ""
+
+
+def registry_markdown() -> str:
+    """The full registry reference, rendered from the live registries."""
+    lines = [
+        "# Registry reference",
+        "",
+        "Every string key an `ExperimentConfig` accepts, with the entry",
+        "registered behind it.  **Generated** by `repro docs` from the",
+        "live registries — do not edit by hand; CI fails when this file",
+        "is stale (`repro docs --check`).",
+        "",
+        "Keys are case-insensitive; registering your own entries is",
+        "covered in [ARCHITECTURE.md](ARCHITECTURE.md) and the",
+        "[README](../README.md).",
+    ]
+    for title, dotted, registry in DOCUMENTED_REGISTRIES:
+        lines += [
+            "",
+            f"## {title} (`{dotted}`)",
+            "",
+            "| key | entry |",
+            "| --- | --- |",
+        ]
+        for key, value in registry.items():
+            lines.append(f"| `{key}` | {describe(value) or '(undocumented)'} |")
+    return "\n".join(lines) + "\n"
+
+
+def write_registry_doc(path) -> Path:
+    """Write the registry reference to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(registry_markdown())
+    return path
+
+
+def registry_doc_is_fresh(path) -> bool:
+    """Whether ``path`` holds exactly the current registry reference."""
+    path = Path(path)
+    try:
+        return path.read_text() == registry_markdown()
+    except OSError:
+        return False
+
+
+# -- docstring audit --------------------------------------------------------------
+
+
+def public_source_files() -> list:
+    """The source files whose public surface the audit covers."""
+    import repro.api
+    import repro.store
+
+    files = [Path(__file__)]
+    for package in (repro.api, repro.store):
+        files += sorted(Path(package.__file__).parent.glob("*.py"))
+    return files
+
+
+def _needs_doc(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in_class(node: ast.ClassDef, where: str) -> list:
+    problems = []
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _needs_doc(item.name):
+            continue
+        if not (ast.get_docstring(item) or "").strip():
+            problems.append(
+                f"{where}: public method {node.name}.{item.name} "
+                f"has no docstring"
+            )
+    return problems
+
+
+def audit_file(path) -> list:
+    """Docstring violations in one source file (empty = clean).
+
+    Checks the module docstring, public top-level functions and
+    classes, and public methods of public classes.  Private names
+    (leading underscore) and dunders are exempt; so are nested
+    functions, which have no public surface.
+    """
+    path = Path(path)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    where = path.name
+    problems = []
+    if not (ast.get_docstring(tree) or "").strip():
+        problems.append(f"{where}: module has no docstring")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _needs_doc(node.name) and not (
+                ast.get_docstring(node) or ""
+            ).strip():
+                problems.append(
+                    f"{where}: public function {node.name} has no docstring"
+                )
+        elif isinstance(node, ast.ClassDef) and _needs_doc(node.name):
+            if not (ast.get_docstring(node) or "").strip():
+                problems.append(
+                    f"{where}: public class {node.name} has no docstring"
+                )
+            problems += _missing_in_class(node, where)
+    return problems
+
+
+def audit_docstrings() -> list:
+    """Docstring violations across the public API surface (empty = clean)."""
+    problems = []
+    for path in public_source_files():
+        problems += audit_file(path)
+    return problems
+
+
+def audit_registrations() -> list:
+    """Registered callables whose reference line would be empty."""
+    problems = []
+    for title, _, registry in DOCUMENTED_REGISTRIES:
+        for key, value in registry.items():
+            if callable(value) and not _first_line(inspect.getdoc(value)):
+                problems.append(
+                    f"{title}: registered entry {key!r} "
+                    f"({getattr(value, '__name__', type(value).__name__)}) "
+                    f"has no docstring"
+                )
+    return problems

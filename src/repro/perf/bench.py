@@ -30,6 +30,12 @@ Six sections, each emitted as one ``BENCH_<section>.json``:
     queueing, batching and queue-depth autoscaling all engaged — the CI
     perf gate fails when ``requests_per_s`` drops below
     ``--min-qos-throughput``.
+``store``
+    Experiment-store resume: a cold sweep computing + persisting every
+    run into an empty store vs a fresh engine resuming the same grid
+    purely from stored entries — ``warm_runs_executed`` must be zero
+    and the CI perf gate fails when ``resume_speedup`` drops below
+    ``--min-store-speedup``.
 
 All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 """
@@ -342,6 +348,51 @@ def bench_qos(model_name: str, slices: int, repeats: int) -> dict:
     }
 
 
+def bench_store(settings: dict, model_name: str) -> dict:
+    """Cold compute-and-persist sweep vs warm resume from the store.
+
+    Both passes run the same grid as :func:`bench_sweep` against a
+    throwaway store *and* a throwaway LUT cache, so the cold number is a
+    true first-contact sweep and the warm number is a pure store resume
+    (a fresh engine, zero scenario runs, zero DP builds).
+    """
+    from ..store import Store
+
+    grid = ExperimentConfig(
+        model=MODELS.canonical(model_name),
+        slices=settings["sweep_slices"],
+        block_count=settings["sweep_blocks"],
+        time_steps=settings["sweep_steps"],
+    ).sweep(arch=settings["sweep_archs"], scenario=settings["sweep_cases"])
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        with lutcache.temporary_cache_dir(Path(tmp) / "lut"):
+            store = Store(Path(tmp) / "store")
+            cold_engine = Engine(store=store)
+            cold_s = _best_of(lambda: cold_engine.run_many(grid), 1)
+
+            warm_engine = Engine(store=store)
+            warm_s = _best_of(lambda: warm_engine.run_many(grid), 1)
+            state = store.info()
+    return {
+        "runs": len(grid),
+        "archs": settings["sweep_archs"],
+        "cases": settings["sweep_cases"],
+        "slices": settings["sweep_slices"],
+        "cold_s": cold_s,
+        "cold_runs_per_s": len(grid) / cold_s,
+        "cold_store_misses": cold_engine.stats.store_misses,
+        "warm_s": warm_s,
+        "warm_runs_per_s": len(grid) / warm_s,
+        "warm_store_hits": warm_engine.stats.store_hits,
+        "warm_runs_executed": warm_engine.stats.runs,
+        "warm_dp_builds": warm_engine.stats.dp_builds,
+        "resume_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "store_entries": state["entries"],
+        "store_bytes": state["bytes"],
+    }
+
+
 # -- orchestration ---------------------------------------------------------------
 
 
@@ -370,6 +421,7 @@ def run_bench(
         "qos": bench_qos(
             model, settings["qos_slices"], settings["repeats"]
         ),
+        "store": bench_store(settings, model),
     }
     # A machine-relative companion to requests_per_s: QoS requests
     # simulated per scalar-reference slice on the same box, so the perf
@@ -404,6 +456,7 @@ def render_report(report: dict) -> str:
     lookup = report["lookup"]
     loop = report["runtime"]
     qos = report["qos"]
+    store = report["store"]
     lines = [
         (
             f"LUT build ({build['arch']}/{build['model']}, "
@@ -441,6 +494,13 @@ def render_report(report: dict) -> str:
             f"windows, mean fleet {qos['mean_fleet_size']:.1f}): "
             f"{qos['requests_per_s']:,.0f} requests/s "
             f"({qos['slo_attainment']:.0%} SLO attainment)"
+        ),
+        (
+            f"store ({store['runs']} runs): cold compute+persist "
+            f"{store['cold_s'] * 1e3:.1f} ms, warm resume "
+            f"{store['warm_s'] * 1e3:.1f} ms "
+            f"({store['warm_runs_executed']} runs recomputed), "
+            f"resume speedup {store['resume_speedup']:.1f}x"
         ),
     ]
     return "\n".join(lines)

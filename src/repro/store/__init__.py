@@ -1,0 +1,52 @@
+"""Persistent experiment store and sharded, resumable sweeps.
+
+Two pieces:
+
+* :mod:`repro.store.store` — :class:`Store`, an on-disk store of
+  completed experiments content-addressed by config hash, with atomic
+  writes, version orphaning and corruption quarantine;
+* :mod:`repro.store.sharding` — deterministic config-hash partitioning
+  of sweep grids, so N coordinator-free processes fill one store and a
+  resumed pass stitches the full result set with zero recomputation.
+
+Quickstart::
+
+    from repro.api import Engine, ExperimentConfig
+    from repro.store import Store
+
+    engine = Engine(store=Store("results/"))
+    grid = ExperimentConfig(slices=50).sweep(
+        arch=["Baseline-PIM", "HH-PIM"],
+        scenario=["case1", "case3"],
+    )
+    engine.run_many(grid)     # computes + persists
+    engine.run_many(grid)     # pure store hits: zero recomputation
+
+From the shell the same store backs ``repro sweep --store DIR
+[--shard I/N] [--resume]`` and ``repro store {info,ls,clear}``.
+"""
+
+from .sharding import parse_shard, partition, select_shard, shard_index
+from .store import (
+    KINDS,
+    STORE_VERSION,
+    Store,
+    StoreStats,
+    default_store_dir,
+    record_kind,
+    temporary_store_dir,
+)
+
+__all__ = [
+    "KINDS",
+    "STORE_VERSION",
+    "Store",
+    "StoreStats",
+    "default_store_dir",
+    "record_kind",
+    "temporary_store_dir",
+    "parse_shard",
+    "partition",
+    "select_shard",
+    "shard_index",
+]

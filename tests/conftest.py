@@ -15,6 +15,7 @@ from repro.arch import BASELINE_PIM, HETEROGENEOUS_PIM, HH_PIM, HYBRID_PIM
 from repro.core import DataPlacementOptimizer, TimeSliceRuntime
 from repro.core.lutcache import temporary_cache_dir
 from repro.core.runtime import default_time_slice_ns
+from repro.store import temporary_store_dir
 from repro.workloads import EFFICIENTNET_B0
 
 
@@ -27,6 +28,18 @@ def _isolated_lut_cache(tmp_path_factory):
     outside the pytest tmp tree.
     """
     with temporary_cache_dir(tmp_path_factory.mktemp("lut-cache")):
+        yield
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_experiment_store(tmp_path_factory):
+    """Point the default experiment store at a throwaway directory.
+
+    ``Store()`` and CLI invocations without ``--store`` resolve through
+    ``REPRO_STORE``; redirecting it keeps the suite from touching (or
+    polluting) a user's real store.
+    """
+    with temporary_store_dir(tmp_path_factory.mktemp("exp-store")):
         yield
 
 

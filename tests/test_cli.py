@@ -193,7 +193,8 @@ class TestErrorExit:
         names = {path.name for path in tmp_path.glob("BENCH_*.json")}
         assert names == {"BENCH_lut_build.json", "BENCH_lut_cache.json",
                          "BENCH_sweep.json", "BENCH_lookup.json",
-                         "BENCH_runtime.json", "BENCH_qos.json"}
+                         "BENCH_runtime.json", "BENCH_qos.json",
+                         "BENCH_store.json"}
         runtime = json.loads((tmp_path / "BENCH_runtime.json").read_text())
         assert runtime["metrics"]["speedup"] > 0
         assert runtime["metrics"]["slices"] > 0
@@ -209,6 +210,9 @@ class TestErrorExit:
         assert json.loads(
             (tmp_path / "BENCH_sweep.json").read_text()
         )["metrics"]["disk_warm_dp_builds"] == 0
+        store = json.loads((tmp_path / "BENCH_store.json").read_text())
+        assert store["metrics"]["warm_runs_executed"] == 0
+        assert store["metrics"]["warm_store_hits"] == store["metrics"]["runs"]
 
     def test_bench_gate_failure_exits_2(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
