@@ -84,7 +84,7 @@ from .api import (
 )
 from .store import Store
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArchitectureSpec",

@@ -126,23 +126,31 @@ def stored_results(store, predicate=None, **axes) -> ResultSet:
     return store.query(predicate, **axes)
 
 
-def render_store(store, by: str = "arch") -> str:
+def render_store(store, by: str = "arch", kind: str | None = None,
+                 limit: int | None = None) -> str:
     """Per-run and aggregate tables of a store's contents, from disk.
 
     The rendering a finished (possibly sharded, possibly multi-day)
     sweep is inspected with: every stored batch record as one row, then
     the same per-axis aggregate ``repro sweep`` prints — computed
-    entirely from stored results.
+    entirely from stored results.  ``kind`` restricts the listing to
+    one record kind (``run``, ``fleet`` or ``qos`` — the latter renders
+    the stored QoS summary rows) and ``limit`` truncates it to the
+    first N entries of the deterministic order; both back
+    ``repro store ls --kind/--limit``.
     """
-    results = stored_results(store)
     state = store.info()
-    lines = [
+    header = (
         f"{state['entries']} stored entries at {state['path']} "
         f"({state['bytes'] / 1024:.0f} kB"
         + (f", {state['quarantined']} quarantined" if state["quarantined"]
            else "")
-        + ")",
-    ]
+        + ")"
+    )
+    if kind == "qos":
+        return "\n".join([header, ""] + _qos_listing(store, limit))
+    results = store.query(kind=kind, limit=limit)
+    lines = [header]
     if not len(results):
         return lines[0]
     table = TextTable(["Kind", "Architecture", "Model", "Scenario",
@@ -170,6 +178,29 @@ def render_store(store, by: str = "arch") -> str:
         )
     lines += ["", f"aggregate by {by}:", summary.render()]
     return "\n".join(lines)
+
+
+def _qos_listing(store, limit: int | None) -> list:
+    """The ``--kind qos`` table rows for :func:`render_store`."""
+    rows = store.qos_rows(limit=limit)
+    if not rows:
+        return ["no stored qos entries"]
+    table = TextTable(["Architecture", "Model", "Scenario", "Devices",
+                       "Discipline", "Autoscaler", "Completed",
+                       "SLO att.", "Energy (mJ)"])
+    for row in rows:
+        table.add_row(
+            row["arch"],
+            row["model"],
+            row["scenario"],
+            row["devices"],
+            row["qos"],
+            row["autoscaler"],
+            row["completed"],
+            f"{row['slo_attainment']:.1%}",
+            round(row["total_energy_nj"] / 1e6, 2),
+        )
+    return [table.render()]
 
 
 def sweep_time_slice(

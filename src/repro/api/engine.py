@@ -27,6 +27,7 @@ zero-rebuild property is asserted.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -361,7 +362,8 @@ class Engine:
     def run_qos(self, config: ExperimentConfig,
                 scenario: Scenario | None = None,
                 requests=None, store=None,
-                resume: bool | None = None) -> QoSResult:
+                resume: bool | None = None,
+                on_window=None) -> QoSResult:
         """Simulate the config's scenario at request level (see
         :mod:`repro.qos`).
 
@@ -378,6 +380,13 @@ class Engine:
         config's ``qos`` key and a resumed call returns it without
         re-simulating — but only when the config fully describes the run
         (no ``scenario``/``requests`` override).
+
+        ``on_window`` is a streaming observer called with each service
+        window's :class:`~repro.qos.slo.QoSSliceStats` as the simulation
+        produces it (the serving daemon feeds its metrics exporter this
+        way).  Observation never alters the result, and a store-served
+        (resumed) result skips the callback entirely — the windows were
+        produced by an earlier run.
         """
         store = self.store if store is None else _coerce_store(store)
         resume = self.resume if resume is None else resume
@@ -400,12 +409,39 @@ class Engine:
             max_devices=config.max_fleet,
             batch=config.batch,
             slo=config.slo,
+            on_window=on_window,
         )
         result = simulator.run(workload, requests=requests, seed=config.seed)
         self.stats.runs += 1
         if store is not None and addressable:
             store.put_qos(config, result, engine_stats=self.stats)
         return result
+
+    def run_job(self, config: ExperimentConfig, kind: str | None = None,
+                on_window=None) -> tuple:
+        """Execute one config as a serving job; returns ``(kind, outcome)``.
+
+        The single entry point the serving daemon dispatches SUBMIT jobs
+        through.  ``kind`` picks the execution path — ``"run"``
+        (:meth:`run_record`), ``"fleet"`` (:meth:`run_fleet_record`) or
+        ``"qos"`` (:meth:`run_qos`); ``None`` infers ``"fleet"`` for
+        multi-device configs and ``"run"`` otherwise.  The outcome is the
+        corresponding record/result object, produced by exactly the same
+        code path an in-process caller would use — daemon-served results
+        are bit-identical to local ones by construction.  ``on_window``
+        streams QoS windows (ignored for the other kinds).
+        """
+        if kind is None:
+            kind = "fleet" if config.fleet > 1 else "run"
+        if kind == "run":
+            return kind, self.run_record(config)
+        if kind == "fleet":
+            return kind, self.run_fleet_record(config)
+        if kind == "qos":
+            return kind, self.run_qos(config, on_window=on_window)
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; known: run, fleet, qos"
+        )
 
     def run_many(self, configs, max_workers: int | None = None,
                  store=None, resume: bool | None = None) -> ResultSet:
@@ -576,6 +612,27 @@ class Engine:
     def cached_runtimes(self) -> int:
         """Number of distinct runtimes currently memoized."""
         return len(self._runtimes)
+
+    def stats_snapshot(self) -> dict:
+        """The current :class:`EngineStats` as a JSON-ready dict.
+
+        Adds the derived ``cached_runtimes`` count and the hit rates the
+        serving daemon exports as gauges: ``lut_hit_rate`` (in-memory
+        runtime reuse over all runtime requests) and ``store_hit_rate``
+        (store-served runs over all store consultations); both are 0.0
+        before any traffic.
+        """
+        snapshot = dataclasses.asdict(self.stats)
+        snapshot["cached_runtimes"] = self.cached_runtimes
+        runtime_requests = self.stats.lut_hits + self.stats.lut_builds
+        snapshot["lut_hit_rate"] = (
+            self.stats.lut_hits / runtime_requests if runtime_requests else 0.0
+        )
+        consultations = self.stats.store_hits + self.stats.store_misses
+        snapshot["store_hit_rate"] = (
+            self.stats.store_hits / consultations if consultations else 0.0
+        )
+        return snapshot
 
 
 _SHARED: Engine | None = None

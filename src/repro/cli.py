@@ -19,6 +19,10 @@ Usage::
     python -m repro store info             # persistent experiment store
     python -m repro docs                   # regenerate docs/REGISTRY.md
     python -m repro list                   # registered specs
+    python -m repro serve                  # resident daemon (warm engine)
+    python -m repro submit --scenario bursty    # job to a running daemon
+    python -m repro status --metrics       # scrape the daemon's metrics
+    python -m repro shutdown               # drain the daemon and stop it
 
 Every experiment command goes through :class:`repro.api.Engine`, so
 architectures, models and scenarios registered via :mod:`repro.api`
@@ -292,11 +296,9 @@ def _cmd_fleet(args) -> str:
     return header + "\n\n" + render_fleet(result)
 
 
-def _cmd_qos(args) -> str:
-    import json
-
-    engine = shared_engine()
-    config = ExperimentConfig(
+def _qos_config(args) -> ExperimentConfig:
+    """The fully keyed config behind ``repro qos`` and ``repro submit``."""
+    return ExperimentConfig(
         arch=ARCHITECTURES.canonical(args.arch),
         model=MODELS.canonical(args.model),
         scenario=SCENARIOS.canonical(args.scenario),
@@ -314,6 +316,13 @@ def _cmd_qos(args) -> str:
         time_steps=args.steps,
         lut_cache=not args.no_cache,
     )
+
+
+def _cmd_qos(args) -> str:
+    import json
+
+    engine = shared_engine()
+    config = _qos_config(args)
     result = engine.run_qos(config)
     if args.json:
         return json.dumps(
@@ -327,6 +336,105 @@ def _cmd_qos(args) -> str:
         f"{len(result.scenario)} slices"
     )
     return header + "\n\n" + render_qos(result)
+
+
+def _cmd_serve(args) -> str:
+    """Run the resident serving daemon until SHUTDOWN or a signal."""
+    from .service.daemon import ServeDaemon
+
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        workers=args.workers,
+        metrics_file=args.metrics_file,
+        pidfile=args.pidfile,
+    )
+    final = daemon.run()
+    jobs = final["jobs"]
+    return (
+        f"served {jobs['done'] + jobs['failed']} jobs "
+        f"({jobs['failed']} failed) over {final['uptime_s']:.1f}s"
+    )
+
+
+def _cmd_submit(args) -> str:
+    import json
+
+    from .service.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    job_id = client.submit(
+        _qos_config(args), kind=args.kind, records=args.records
+    )
+    if args.no_wait:
+        return job_id
+    payload = client.result(job_id, timeout=args.timeout)
+    if args.json:
+        return json.dumps(payload, indent=2)
+    result = payload["result"]
+    if payload["kind"] == "qos":
+        return (
+            f"{job_id}: {result['completed']}/{result['total_requests']} "
+            f"requests, SLO attainment {result['slo_attainment']:.1%}, "
+            f"energy {result['total_energy_nj'] / 1e6:.2f} mJ"
+        )
+    row = payload["row"]
+    return (
+        f"{job_id}: {row['arch']}/{row['model']} on {row['scenario']}, "
+        f"energy {row['total_energy_nj'] / 1e6:.2f} mJ, deadlines "
+        + ("met" if row["deadlines_met"] else "MISSED")
+    )
+
+
+def _cmd_status(args) -> str:
+    import json
+
+    from .service.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    if args.metrics:
+        return client.metrics().rstrip("\n")
+    state = client.status(args.job)
+    if args.json:
+        return json.dumps(state, indent=2)
+    if args.job is not None:
+        job = state["job"]
+        wall = f", {job['wall_s']:.3f}s" if job["wall_s"] is not None else ""
+        error = f" ({job['error']})" if job["error"] else ""
+        return f"{job['job_id']}: {job['state']}{wall} [{job['label']}]{error}"
+    jobs = state["jobs"]
+    engine = state["engine"]
+    lines = [
+        f"daemon pid {state['pid']} at {state['host']}:{state['port']}, "
+        f"up {state['uptime_s']:.1f}s"
+        + (", draining" if state["draining"] else ""),
+        f"jobs: {jobs['done']} done, {jobs['failed']} failed, "
+        f"{jobs['running']} running, {jobs['pending']} queued",
+        f"engine: {engine['runs']} runs, {engine['dp_builds']} DP builds, "
+        f"{engine['lut_hits']} LUT hits ({engine['lut_hit_rate']:.0%}), "
+        f"{engine['store_hits']} store hits",
+    ]
+    for job in state["recent"]:
+        wall = f" {job['wall_s']:.3f}s" if job["wall_s"] is not None else ""
+        lines.append(
+            f"  {job['job_id']}  {job['state']:<8}{wall}  [{job['label']}]"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_shutdown(args) -> str:
+    from .service.client import ServeClient
+
+    client = ServeClient(host=args.host, port=args.port)
+    if args.drain:
+        done = client.drain(timeout=args.timeout)
+        return (
+            f"daemon at {args.host}:{args.port} drained ({done} jobs "
+            f"done); still answering status/metrics"
+        )
+    client.shutdown(timeout=args.timeout)
+    return f"daemon at {args.host}:{args.port} is draining and stopping"
 
 
 def _cmd_scenarios(args) -> str:
@@ -397,6 +505,14 @@ def _cmd_bench(args) -> str:
             f"{resume_speedup:.2f}x faster than the cold sweep, below "
             f"the required {args.min_store_speedup:.2f}x"
         )
+    serve_speedup = report["serve"]["speedup"]
+    if (args.min_serve_speedup is not None
+            and serve_speedup < args.min_serve_speedup):
+        raise ReproError(
+            f"perf gate failed: warm-daemon submissions are only "
+            f"{serve_speedup:.2f}x faster than cold per-process engines, "
+            f"below the required {args.min_serve_speedup:.2f}x"
+        )
     if args.json:
         return json.dumps(report, indent=2, sort_keys=True)
     lines = [render_report(report), ""]
@@ -413,7 +529,9 @@ def _cmd_store(args) -> str:
         removed = store.clear()
         return f"removed {removed} stored entries from {store.root}"
     if args.action == "ls":
-        return render_store(store, by=args.by)
+        return render_store(
+            store, by=args.by, kind=args.kind, limit=args.limit
+        )
     state = store.info()
     kinds = ", ".join(
         f"{count} {kind}" for kind, count in state["by_kind"].items() if count
@@ -485,6 +603,53 @@ def _cmd_list(_args) -> str:
     return "\n".join(lines)
 
 
+def _add_qos_config_args(parser) -> None:
+    """The experiment-config flags shared by ``qos`` and ``submit``."""
+    parser.add_argument("--devices", type=int, default=2,
+                        help="initial fleet size (default: 2)")
+    parser.add_argument("--max-devices", type=int, default=None,
+                        help="autoscaler ceiling (default: --devices, i.e. "
+                             "no growth)")
+    parser.add_argument("--autoscaler", default="fixed",
+                        help="capacity policy (fixed, threshold, queue_depth, "
+                             "or a registered key)")
+    parser.add_argument("--discipline", default="fifo",
+                        help="queue discipline (fifo, priority, edf, or a "
+                             "registered key)")
+    parser.add_argument("--dispatch", default="round_robin",
+                        help="dispatch policy splitting arrivals across "
+                             "devices")
+    parser.add_argument("--batch", type=int, default=1,
+                        help="per-device batch size (requests served back to "
+                             "back, completing together)")
+    parser.add_argument("--slo", type=float, default=2.0,
+                        help="latency SLO target in time slices (default: "
+                             "the paper's 2T staging bound)")
+    parser.add_argument("--arch", default="HH-PIM")
+    parser.add_argument("--model", default="EfficientNet-B0")
+    parser.add_argument("--scenario", default="bursty",
+                        help="any registered scenario key (case1..case6, "
+                             "poisson, bursty, diurnal, ...)")
+    parser.add_argument("--peak", type=int, default=10,
+                        help="scenario peak load per slice")
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--slices", type=int, default=50)
+    parser.add_argument("--blocks", type=int, default=48)
+    parser.add_argument("--steps", type=int, default=6000)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent on-disk LUT cache")
+
+
+def _add_client_args(parser) -> None:
+    """The daemon-address flags shared by the serve client verbs."""
+    from .service.daemon import DEFAULT_HOST, DEFAULT_PORT
+
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"daemon address (default: {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"daemon TCP port (default: {DEFAULT_PORT})")
+
+
 def _add_resolution_args(parser, blocks: int, steps: int) -> None:
     parser.add_argument("--slices", type=int, default=50)
     parser.add_argument("--blocks", type=int, default=blocks)
@@ -495,11 +660,25 @@ def _add_resolution_args(parser, blocks: int, steps: int) -> None:
                         help="skip the persistent on-disk LUT cache")
 
 
+def _version() -> str:
+    """The installed distribution version, or the source-tree fallback."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro-hhpim")
+    except metadata.PackageNotFoundError:
+        from . import __version__
+
+        return f"{__version__} (source tree)"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="HH-PIM (DAC 2025) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
     for name in ("table1", "table2", "table3", "table4", "table5", "list"):
         table = sub.add_parser(name)
@@ -581,42 +760,63 @@ def build_parser() -> argparse.ArgumentParser:
     qos = sub.add_parser(
         "qos", help="request-level QoS simulation: latency, SLOs, autoscaling"
     )
-    qos.add_argument("--devices", type=int, default=2,
-                     help="initial fleet size (default: 2)")
-    qos.add_argument("--max-devices", type=int, default=None,
-                     help="autoscaler ceiling (default: --devices, i.e. "
-                          "no growth)")
-    qos.add_argument("--autoscaler", default="fixed",
-                     help="capacity policy (fixed, threshold, queue_depth, "
-                          "or a registered key)")
-    qos.add_argument("--discipline", default="fifo",
-                     help="queue discipline (fifo, priority, edf, or a "
-                          "registered key)")
-    qos.add_argument("--dispatch", default="round_robin",
-                     help="dispatch policy splitting arrivals across devices")
-    qos.add_argument("--batch", type=int, default=1,
-                     help="per-device batch size (requests served back to "
-                          "back, completing together)")
-    qos.add_argument("--slo", type=float, default=2.0,
-                     help="latency SLO target in time slices (default: the "
-                          "paper's 2T staging bound)")
-    qos.add_argument("--arch", default="HH-PIM")
-    qos.add_argument("--model", default="EfficientNet-B0")
-    qos.add_argument("--scenario", default="bursty",
-                     help="any registered scenario key (case1..case6, "
-                          "poisson, bursty, diurnal, ...)")
-    qos.add_argument("--peak", type=int, default=10,
-                     help="scenario peak load per slice")
-    qos.add_argument("--seed", type=int, default=2025)
+    _add_qos_config_args(qos)
     qos.add_argument("--json", action="store_true",
                      help="emit the machine-readable QoS summary")
     qos.add_argument("--records", action="store_true",
                      help="with --json: include per-device slice records")
-    qos.add_argument("--slices", type=int, default=50)
-    qos.add_argument("--blocks", type=int, default=48)
-    qos.add_argument("--steps", type=int, default=6000)
-    qos.add_argument("--no-cache", action="store_true",
-                     help="skip the persistent on-disk LUT cache")
+    serve = sub.add_parser(
+        "serve", help="resident serving daemon: warm engine behind a socket"
+    )
+    _add_client_args(serve)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="job executor threads (default: 1; engine "
+                            "access is serialized either way)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="experiment store the daemon persists results "
+                            "into (default: REPRO_STORE or the XDG cache)")
+    serve.add_argument("--metrics-file", metavar="FILE", default=None,
+                       help="append line-protocol metrics to FILE (a "
+                            "Telegraf tail input can follow it)")
+    serve.add_argument("--pidfile", metavar="FILE", default=None,
+                       help="write the daemon pid to FILE while serving")
+    submit = sub.add_parser(
+        "submit", help="submit one experiment to a running serve daemon"
+    )
+    _add_client_args(submit)
+    submit.add_argument("--kind", default="qos",
+                        choices=("run", "fleet", "qos"),
+                        help="execution path for the job (default: qos)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id immediately instead of "
+                             "waiting for the result")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="seconds to wait for the result (default: 300)")
+    _add_qos_config_args(submit)
+    submit.add_argument("--json", action="store_true",
+                        help="print the full result payload as JSON")
+    submit.add_argument("--records", action="store_true",
+                        help="include per-device records in the result")
+    status = sub.add_parser(
+        "status", help="inspect a running serve daemon (or one job)"
+    )
+    _add_client_args(status)
+    status.add_argument("--job", metavar="ID", default=None,
+                        help="show one job instead of the daemon summary")
+    status.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry as InfluxDB line "
+                             "protocol instead of the summary")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw STATUS reply as JSON")
+    shutdown = sub.add_parser(
+        "shutdown", help="drain a running serve daemon and stop it"
+    )
+    _add_client_args(shutdown)
+    shutdown.add_argument("--drain", action="store_true",
+                          help="drain only: finish queued jobs and refuse "
+                               "new ones, but keep the daemon up")
+    shutdown.add_argument("--timeout", type=float, default=300.0,
+                          help="seconds to wait for the drain (default: 300)")
     scenarios = sub.add_parser(
         "scenarios", help="preview registered workload scenarios"
     )
@@ -653,6 +853,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-store-speedup", type=float, default=None,
                        help="fail (exit 2) if a warm store-resume sweep is "
                             "not this many times faster than the cold sweep")
+    bench.add_argument("--min-serve-speedup", type=float, default=None,
+                       help="fail (exit 2) if warm-daemon submissions are "
+                            "not this many times faster than cold "
+                            "per-process engines")
     bench.add_argument("--json", action="store_true",
                        help="print the full machine-readable report")
     cache = sub.add_parser(
@@ -670,6 +874,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("arch", "model", "scenario", "policy",
                                 "dispatch"),
                        help="aggregation axis for the ls summary table")
+    store.add_argument("--kind", default=None,
+                       choices=("run", "fleet", "qos"),
+                       help="list only one record kind (qos renders the "
+                            "stored QoS summary rows)")
+    store.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="list at most N entries of the sorted order")
     docs = sub.add_parser(
         "docs", help="regenerate docs/REGISTRY.md from the live registries"
     )
@@ -693,6 +903,10 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
     "qos": _cmd_qos,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "shutdown": _cmd_shutdown,
     "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
@@ -706,6 +920,13 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         print(_HANDLERS[args.command](args))
+    except KeyboardInterrupt:
+        # Ctrl-C is a deliberate stop, not an error: the conventional
+        # 128+SIGINT exit, one line, no traceback.  (`repro serve`
+        # installs its own SIGINT handler for a clean drain; this
+        # covers every other command.)
+        print("interrupted", file=sys.stderr)
+        return 130
     except ReproError as error:
         # Library failures (bad configs, infeasible placements, unknown
         # registry keys) are user errors: one line, no traceback.

@@ -126,6 +126,32 @@ class QoSError(ServingError):
     """
 
 
+class ServiceError(ReproError):
+    """The resident serving daemon failed to start or operate.
+
+    Raised for socket-level failures the daemon treats as fatal — a
+    port already in use, an unwritable pidfile — and for client-side
+    failures talking to a daemon (connection refused, a typed error
+    reply).  Derives from :class:`ReproError` so the CLI's one-line
+    exit-2 handling covers the serving subsystem too.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire message violated the serve protocol.
+
+    Raised for unparseable frames (bad length prefix, invalid JSON,
+    oversized payloads), unknown message types, missing required
+    fields, and protocol-version mismatches.  Carries a machine-
+    readable ``code`` so daemons can answer with a typed error reply
+    instead of dropping the connection.
+    """
+
+    def __init__(self, message: str, code: str = "bad_message") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 class RegistryError(ConfigurationError):
     """A registry lookup or registration failed.
 

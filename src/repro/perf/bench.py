@@ -36,6 +36,14 @@ Six sections, each emitted as one ``BENCH_<section>.json``:
     purely from stored entries — ``warm_runs_executed`` must be zero
     and the CI perf gate fails when ``resume_speedup`` drops below
     ``--min-store-speedup``.
+``serve``
+    Resident-daemon serving: a batch of QoS configs submitted to a warm
+    in-process :class:`~repro.service.daemon.ServeDaemon` (one LUT
+    build amortised across every job) vs the same batch on cold
+    per-process engines (the floor of a fresh CLI invocation per
+    config, interpreter startup excluded) — ``warm_dp_builds`` must be
+    zero and the CI perf gate fails when ``speedup`` drops below
+    ``--min-serve-speedup``.
 
 All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 """
@@ -90,6 +98,9 @@ def default_bench_settings(quick: bool = False) -> dict:
         "lookups": 2000 if quick else 20000,
         "runtime_slices": 2000 if quick else 10000,
         "qos_slices": 400 if quick else 2000,
+        "serve_cases": ["case1", "case2", "case3"] if quick
+        else ["case1", "case2", "case3", "case4", "case5", "case6"],
+        "serve_slices": 8 if quick else 20,
     }
 
 
@@ -393,6 +404,78 @@ def bench_store(settings: dict, model_name: str) -> dict:
     }
 
 
+def bench_serve(settings: dict, model_name: str) -> dict:
+    """Warm resident-daemon submissions vs cold per-process engines.
+
+    The cold pass runs each QoS config on its own fresh engine — the
+    cost floor of one CLI invocation per config, minus interpreter
+    startup.  The warm pass stands up an in-process
+    :class:`~repro.service.daemon.ServeDaemon` (no store, no disk
+    cache, so memoization is the *only* advantage), primes it with one
+    submission, then times the same batch end to end over the real wire
+    protocol.  Every timed job reuses the first submission's LUT:
+    ``warm_dp_builds`` must be zero.
+    """
+    from ..service.client import ServeClient
+    from ..service.daemon import ServeDaemon
+
+    configs = [
+        ExperimentConfig(
+            model=MODELS.canonical(model_name),
+            scenario=case,
+            slices=settings["serve_slices"],
+            block_count=settings["sweep_blocks"],
+            time_steps=settings["sweep_steps"],
+        )
+        for case in settings["serve_cases"]
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        with lutcache.temporary_cache_dir(Path(tmp) / "lut"):
+
+            def cold_pass() -> None:
+                for config in configs:
+                    Engine(use_disk_cache=False).run_qos(config)
+
+            cold_s = _best_of(cold_pass, 1)
+
+            daemon = ServeDaemon(
+                port=0,
+                engine=Engine(use_disk_cache=False),
+                log=lambda line: None,
+            )
+            daemon.start()
+            try:
+                client = ServeClient(port=daemon.port)
+                start = time.perf_counter()
+                client.result(client.submit(configs[0]))
+                warmup_s = time.perf_counter() - start
+                dp_before = daemon.engine.stats.dp_builds
+                start = time.perf_counter()
+                for job_id in [client.submit(c) for c in configs]:
+                    client.result(job_id)
+                warm_s = time.perf_counter() - start
+                warm_dp_builds = daemon.engine.stats.dp_builds - dp_before
+                stats = daemon.engine.stats_snapshot()
+            finally:
+                daemon.drain()
+                daemon.stop()
+    return {
+        "jobs": len(configs),
+        "cases": settings["serve_cases"],
+        "slices": settings["serve_slices"],
+        "cold_s": cold_s,
+        "cold_jobs_per_s": len(configs) / cold_s,
+        "warmup_s": warmup_s,
+        "warm_s": warm_s,
+        "warm_jobs_per_s": len(configs) / warm_s,
+        "warm_dp_builds": warm_dp_builds,
+        "daemon_lut_builds": stats["lut_builds"],
+        "daemon_lut_hits": stats["lut_hits"],
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+
 # -- orchestration ---------------------------------------------------------------
 
 
@@ -422,6 +505,7 @@ def run_bench(
             model, settings["qos_slices"], settings["repeats"]
         ),
         "store": bench_store(settings, model),
+        "serve": bench_serve(settings, model),
     }
     # A machine-relative companion to requests_per_s: QoS requests
     # simulated per scalar-reference slice on the same box, so the perf
@@ -457,6 +541,7 @@ def render_report(report: dict) -> str:
     loop = report["runtime"]
     qos = report["qos"]
     store = report["store"]
+    serve = report["serve"]
     lines = [
         (
             f"LUT build ({build['arch']}/{build['model']}, "
@@ -501,6 +586,13 @@ def render_report(report: dict) -> str:
             f"{store['warm_s'] * 1e3:.1f} ms "
             f"({store['warm_runs_executed']} runs recomputed), "
             f"resume speedup {store['resume_speedup']:.1f}x"
+        ),
+        (
+            f"serve ({serve['jobs']} qos jobs): cold per-process "
+            f"{serve['cold_s'] * 1e3:.1f} ms, warm daemon "
+            f"{serve['warm_s'] * 1e3:.1f} ms "
+            f"({serve['warm_dp_builds']} DP builds while warm), "
+            f"speedup {serve['speedup']:.1f}x"
         ),
     ]
     return "\n".join(lines)

@@ -148,6 +148,8 @@ class QoSSimulator:
     produces.  ``slo`` is the latency target in units of the time slice
     (default: the paper's ``2T`` staging bound); ``max_devices`` bounds
     the autoscaler (default: the initial size, i.e. no growth).
+    ``on_window`` streams each window's stats to an observer as the run
+    unfolds (see :class:`SloAccountant`).
     """
 
     def __init__(
@@ -165,6 +167,7 @@ class QoSSimulator:
         deadline_slices: float = 2.0,
         classes=DEFAULT_CLASSES,
         max_drain: int | None = None,
+        on_window=None,
     ) -> None:
         if not isinstance(runtime, TimeSliceRuntime):
             raise QoSError(
@@ -195,6 +198,8 @@ class QoSSimulator:
         self.deadline_slices = deadline_slices
         self.classes = tuple(classes)
         self.max_drain = max_drain
+        #: Streaming per-window observer handed to the SloAccountant.
+        self.on_window = on_window
         self.policy = make_policy(dispatch)
         self.discipline = make_discipline(discipline)
         self.autoscaler = make_autoscaler(autoscaler)
@@ -327,7 +332,9 @@ class QoSSimulator:
 
         slack = self.runtime.optimizer.time_step_ns
         capacity = device_info(0, self.runtime).capacity
-        accountant = SloAccountant(slo_ns=self.slo * t_slice)
+        accountant = SloAccountant(
+            slo_ns=self.slo * t_slice, on_window=self.on_window
+        )
         boot_counts = self.runtime._boot_counts()
 
         size = self.devices

@@ -115,9 +115,16 @@ class SloAccountant:
     the runtime's time-quantisation slack: completions within it of their
     bound still count as met, mirroring the slice runtime's deadline
     accounting.
+
+    ``on_window`` is an optional streaming callback invoked with each
+    :class:`QoSSliceStats` the moment its window is folded in, so live
+    observers (the serving daemon's metrics exporter) see the series as
+    it is produced.  It runs after the stats are final and its return
+    value is ignored — observing a run never alters it.
     """
 
-    def __init__(self, slo_ns: float, tolerance_ns: float = 0.0) -> None:
+    def __init__(self, slo_ns: float, tolerance_ns: float = 0.0,
+                 on_window=None) -> None:
         if slo_ns <= 0:
             raise QoSError(f"SLO target must be positive, got {slo_ns!r}")
         if tolerance_ns < 0:
@@ -126,6 +133,7 @@ class SloAccountant:
             )
         self.slo_ns = slo_ns
         self.tolerance_ns = tolerance_ns
+        self.on_window = on_window
         #: Ascending latencies of every completion so far (streaming).
         self._latencies: list = []
         self.slices: list = []
@@ -199,6 +207,8 @@ class SloAccountant:
             slo_attainment=(count - slo_misses) / count if count else 1.0,
         )
         self.slices.append(stats)
+        if self.on_window is not None:
+            self.on_window(stats)
         return stats
 
     # -- overall statistics -----------------------------------------------------

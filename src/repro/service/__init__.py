@@ -1,0 +1,26 @@
+"""The resident serving subsystem: daemon, wire protocol, telemetry.
+
+``repro serve`` keeps one warm :class:`~repro.api.engine.Engine` (and
+its LUT caches and experiment store) resident behind a localhost TCP
+socket; ``repro submit``/``status``/``shutdown`` talk to it through
+:class:`ServeClient`.  See :mod:`repro.service.protocol` for the wire
+format, :mod:`repro.service.telemetry` for the line-protocol metrics
+exporter, and ``docs/SERVING.md`` for the operator guide.
+"""
+
+from .client import RemoteError, ServeClient
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, Job, ServeDaemon
+from .protocol import PROTOCOL_VERSION
+from .telemetry import LineFileWriter, MetricsRegistry
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "Job",
+    "LineFileWriter",
+    "MetricsRegistry",
+    "PROTOCOL_VERSION",
+    "RemoteError",
+    "ServeClient",
+    "ServeDaemon",
+]

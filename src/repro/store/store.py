@@ -295,18 +295,34 @@ class Store:
         """Every stored entry key (current version), sorted."""
         return [path.name[: -len(".pkl")] for path in self._entries()]
 
-    def query(self, predicate=None, **axes) -> ResultSet:
+    def query(self, predicate=None, kind: str | None = None,
+              limit: int | None = None, **axes) -> ResultSet:
         """Reload stored batch records as a :class:`ResultSet`.
 
         Accepts the same axis keywords and predicate as
         :meth:`ResultSet.filter`; ``qos`` entries are excluded (they are
-        not batch records — fetch them with :meth:`get_qos`).  Records
-        come back sorted by config label then key, so two processes
-        querying one store see the same order.
+        not batch records — fetch them with :meth:`get_qos`, or list
+        their summary rows with :meth:`qos_rows`).  ``kind`` restricts
+        the result to one record kind (``run`` or ``fleet``) and
+        ``limit`` keeps only the first ``limit`` records *after*
+        sorting and filtering.  Records come back sorted by config
+        label then key, so two processes querying one store see the
+        same order.
         """
+        if kind is not None and kind not in ("run", "fleet"):
+            raise ConfigurationError(
+                f"query kind must be 'run' or 'fleet' (qos entries are "
+                f"not batch records; see Store.qos_rows), got {kind!r}"
+            )
+        if limit is not None and limit < 0:
+            raise ConfigurationError(
+                f"query limit must be non-negative, got {limit!r}"
+            )
         records = []
         for path in list(self._entries()):
             if path.name.startswith("qos-"):
+                continue
+            if kind is not None and not path.name.startswith(f"{kind}-"):
                 continue
             payload = self._load_payload(path)
             if payload is None:
@@ -317,7 +333,36 @@ class Store:
         results = ResultSet(record for _, _, record in records)
         if predicate is not None or axes:
             results = results.filter(predicate, **axes)
+        if limit is not None:
+            results = ResultSet(tuple(results)[:limit])
         return results
+
+    def qos_rows(self, limit: int | None = None) -> list:
+        """The stored QoS entries' flat summary rows, sorted by key.
+
+        Each row is the plain dict :meth:`put_qos` embedded alongside
+        the pickled result (arch, model, scenario, devices, discipline,
+        autoscaler, completed, SLO attainment, total energy) — enough
+        for a listing without unpickling full per-window series into a
+        :class:`~repro.qos.slo.QoSResult`.  ``limit`` keeps only the
+        first ``limit`` rows of the sorted set.
+        """
+        if limit is not None and limit < 0:
+            raise ConfigurationError(
+                f"qos_rows limit must be non-negative, got {limit!r}"
+            )
+        rows = []
+        for path in list(self._entries()):
+            if not path.name.startswith("qos-"):
+                continue
+            payload = self._load_payload(path)
+            if payload is None or not isinstance(payload.get("row"), dict):
+                continue
+            rows.append((payload["key"], payload["row"]))
+        rows.sort(key=lambda item: item[0])
+        if limit is not None:
+            rows = rows[:limit]
+        return [row for _, row in rows]
 
     # -- maintenance ------------------------------------------------------------
 

@@ -194,7 +194,7 @@ class TestErrorExit:
         assert names == {"BENCH_lut_build.json", "BENCH_lut_cache.json",
                          "BENCH_sweep.json", "BENCH_lookup.json",
                          "BENCH_runtime.json", "BENCH_qos.json",
-                         "BENCH_store.json"}
+                         "BENCH_store.json", "BENCH_serve.json"}
         runtime = json.loads((tmp_path / "BENCH_runtime.json").read_text())
         assert runtime["metrics"]["speedup"] > 0
         assert runtime["metrics"]["slices"] > 0
@@ -213,6 +213,10 @@ class TestErrorExit:
         store = json.loads((tmp_path / "BENCH_store.json").read_text())
         assert store["metrics"]["warm_runs_executed"] == 0
         assert store["metrics"]["warm_store_hits"] == store["metrics"]["runs"]
+        serve = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert serve["metrics"]["warm_dp_builds"] == 0
+        assert serve["metrics"]["speedup"] > 0
+        assert serve["metrics"]["jobs"] == len(serve["metrics"]["cases"])
 
     def test_bench_gate_failure_exits_2(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
@@ -281,6 +285,82 @@ class TestErrorExit:
         assert proc.stdout == ""
 
 
+class TestVersionAndInterrupt:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert repro.__version__ in out
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def interrupt(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._HANDLERS, "list", interrupt)
+        assert main(["list"]) == 130
+        captured = capsys.readouterr()
+        assert captured.err.strip() == "interrupted"
+        assert "Traceback" not in captured.err
+
+
+class TestServeCli:
+    """The client verbs against an in-process daemon on an ephemeral port."""
+
+    @pytest.fixture
+    def daemon(self):
+        from repro.api import Engine
+        from repro.service import ServeDaemon
+
+        serving = ServeDaemon(port=0, engine=Engine(use_disk_cache=False),
+                              log=lambda line: None)
+        serving.start()
+        yield serving
+        serving.initiate_shutdown()
+        serving._shutdown_thread.join(timeout=30)
+
+    def submit_args(self, daemon, *extra):
+        return ["submit", "--port", str(daemon.port), "--scenario", "case1",
+                "--slices", "6", "--blocks", "16", "--steps", "1500", *extra]
+
+    def test_submit_status_shutdown_verbs(self, capsys, daemon):
+        port = str(daemon.port)
+        out = run_cli(capsys, *self.submit_args(daemon))
+        assert "job-000001" in out and "SLO attainment" in out
+        out = run_cli(capsys, *self.submit_args(daemon, "--no-wait"))
+        assert out.strip() == "job-000002"
+        out = run_cli(capsys, *self.submit_args(daemon, "--json"))
+        assert json.loads(out)["kind"] == "qos"
+        out = run_cli(capsys, "status", "--port", port)
+        assert "daemon pid" in out and "engine:" in out
+        out = run_cli(capsys, "status", "--port", port, "--job", "job-000001")
+        assert "job-000001" in out and "done" in out
+        out = run_cli(capsys, "status", "--port", port, "--metrics")
+        assert "jobs_submitted=3i" in out
+        out = run_cli(capsys, "shutdown", "--port", port)
+        assert "stopping" in out
+
+    def test_client_verbs_without_daemon_exit_2(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = str(probe.getsockname()[1])
+        for verb in (self.submit_args_unreachable(free_port),
+                     ["status", "--port", free_port],
+                     ["shutdown", "--port", free_port]):
+            assert main(verb) == 2
+            err = capsys.readouterr().err
+            assert "is repro serve running?" in err
+
+    def submit_args_unreachable(self, port):
+        return ["submit", "--port", port, "--scenario", "case1",
+                "--slices", "6", "--blocks", "16", "--steps", "1500"]
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -293,3 +373,17 @@ class TestParser:
     def test_case_bounds(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--case", "9"])
+
+    def test_submit_kind_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--kind", "banana"])
+
+    def test_store_ls_kind_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "ls", "--kind", "banana"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 7787
+        assert args.workers == 1

@@ -1,0 +1,108 @@
+"""Subprocess lifecycle tests for ``repro serve``.
+
+These exercise what the in-process daemon tests cannot: the CLI entry
+point, the pidfile and structured startup log of a real daemon
+process, a client in a *different* process driving it, and the clean
+exit-0 shutdown with its one-line summary.  Everything runs on an
+ephemeral port with isolated cache/store directories, so parallel CI
+jobs never collide.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from _shared import SMALL_BLOCKS, SMALL_STEPS
+from repro.api import ExperimentConfig
+from repro.service import ServeClient
+
+
+def qos_config():
+    return ExperimentConfig(
+        scenario="case1", slices=6,
+        block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS,
+    )
+
+
+@pytest.fixture
+def serve_process(tmp_path):
+    """A real ``repro serve`` subprocess on an ephemeral port."""
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_LUT_CACHE"] = str(tmp_path / "lut")
+    pidfile = tmp_path / "serve.pid"
+    metrics_file = tmp_path / "metrics.lp"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", str(tmp_path / "store"),
+         "--pidfile", str(pidfile),
+         "--metrics-file", str(metrics_file)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        # The structured startup line carries the resolved port.
+        deadline = time.monotonic() + 60
+        banner = ""
+        while time.monotonic() < deadline:
+            banner = proc.stderr.readline()
+            if "event=listening" in banner or proc.poll() is not None:
+                break
+        match = re.search(r"port=(\d+)", banner)
+        assert match, f"no event=listening banner, got {banner!r}"
+        yield proc, int(match.group(1)), pidfile, metrics_file
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=30)
+        proc.stdout.close()
+        proc.stderr.close()
+
+
+class TestServeSubprocess:
+    def test_full_lifecycle(self, serve_process):
+        proc, port, pidfile, metrics_file = serve_process
+        assert pidfile.read_text().strip() == str(proc.pid)
+
+        client = ServeClient(port=port, timeout=60.0)
+        assert client.ping()
+        payload = client.result(client.submit(qos_config()))
+        assert payload["kind"] == "qos"
+        assert payload["result"]["completed"] > 0
+
+        state = client.status()
+        assert state["pid"] == proc.pid
+        assert state["jobs"]["done"] == 1
+        assert "jobs_completed=1i" in client.metrics()
+
+        client.shutdown()
+        assert proc.wait(timeout=60) == 0
+        out = proc.stdout.read()
+        assert "served 1 jobs (0 failed)" in out
+        assert not pidfile.exists()
+        assert "repro_serve_job," in metrics_file.read_text()
+        err = proc.stderr.read()
+        assert "event=stopped" in err
+        assert not client.ping()
+
+    def test_port_collision_exits_2(self, serve_process, tmp_path):
+        _, port, _, _ = serve_process
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_LUT_CACHE"] = str(tmp_path / "lut2")
+        rival = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--store", str(tmp_path / "store2")],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert rival.returncode == 2
+        assert rival.stderr.startswith("error: cannot listen on")
+        assert "already running" in rival.stderr
+        # The incumbent is untouched.
+        assert ServeClient(port=port, timeout=10.0).ping()

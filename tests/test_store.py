@@ -339,6 +339,40 @@ class TestStoreCLI:
         assert main(["sweep", "--resume", "--case", "1"]) == 2
         assert "needs --store" in capsys.readouterr().err
 
+    def test_ls_kind_and_limit(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        self.run_cli(
+            "sweep", "--case", "1", "--case", "3", "--arch", "HH-PIM",
+            "--model", "EfficientNet-B0", "--blocks", str(SMALL_BLOCKS),
+            "--steps", str(SMALL_STEPS), "--slices", "4",
+            "--store", store_dir,
+        )
+        # No qos entries yet: the qos listing says so instead of erroring.
+        empty = self.run_cli("store", "ls", "--store", store_dir,
+                             "--kind", "qos")
+        assert "no stored qos entries" in empty
+        # A qos run through a store-attached engine persists its row.
+        store = Store(store_dir)
+        Engine(use_disk_cache=False, store=store).run_qos(
+            ExperimentConfig(scenario="case1", slices=4,
+                             block_count=SMALL_BLOCKS,
+                             time_steps=SMALL_STEPS)
+        )
+        qos = self.run_cli("store", "ls", "--store", store_dir,
+                           "--kind", "qos")
+        assert "SLO att." in qos and "HH-PIM" in qos
+        # --kind filters the batch listing; --limit truncates it.
+        runs = self.run_cli("store", "ls", "--store", store_dir,
+                            "--kind", "run")
+        assert runs.count("\nrun ") == 2
+        limited = self.run_cli("store", "ls", "--store", store_dir,
+                               "--kind", "run", "--limit", "1")
+        assert limited.count("\nrun ") == 1
+        # No fleet entries: header only, no table.
+        fleet = self.run_cli("store", "ls", "--store", store_dir,
+                             "--kind", "fleet")
+        assert "Deadlines" not in fleet
+
     def test_info_ls_clear(self, tmp_path):
         store_dir = str(tmp_path / "store")
         self.run_cli(
