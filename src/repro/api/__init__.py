@@ -42,7 +42,13 @@ from .registry import (
     register_model,
     register_scenario,
 )
-from .results import AggregateStats, FleetRecord, ResultSet, RunRecord
+from .results import (
+    AggregateStats,
+    FleetRecord,
+    ResultSet,
+    RunRecord,
+    StoredResultSet,
+)
 
 __all__ = [
     "ARCHITECTURES",
@@ -64,4 +70,5 @@ __all__ = [
     "FleetRecord",
     "ResultSet",
     "RunRecord",
+    "StoredResultSet",
 ]

@@ -51,7 +51,7 @@ from .registry import (
     QOS,
     SCENARIOS,
 )
-from .results import FleetRecord, ResultSet, RunRecord
+from .results import FleetRecord, ResultSet, RunRecord, StoredResultSet
 
 
 @dataclass
@@ -443,8 +443,14 @@ class Engine:
             f"unknown job kind {kind!r}; known: run, fleet, qos"
         )
 
+    #: Configs computed per chunk in spill mode — bounds how many
+    #: records a spilled sweep holds in memory at once while still
+    #: giving the process pool a full fan-out per chunk.
+    SPILL_CHUNK = 64
+
     def run_many(self, configs, max_workers: int | None = None,
-                 store=None, resume: bool | None = None) -> ResultSet:
+                 store=None, resume: bool | None = None,
+                 spill: bool = False) -> ResultSet:
         """Execute a batch of configs; results follow the input order.
 
         Fleet configs (``fleet > 1``) run serially through
@@ -463,10 +469,24 @@ class Engine:
         and served from the store — ``stats.store_hits`` counts them —
         so an interrupted or sharded sweep completes with zero
         recomputation and a batch bit-identical to an uninterrupted run.
+
+        With ``spill=True`` (requires a store) computed records are
+        written to the store in bounded chunks and *dropped* instead of
+        accumulated, and the returned :class:`StoredResultSet` streams
+        them back on demand — peak memory stays bounded however many
+        configs the batch holds, and exports are byte-identical to the
+        in-memory path's.
         """
         configs = tuple(configs)
         store = self.store if store is None else _coerce_store(store)
         resume = self.resume if resume is None else resume
+        if spill:
+            if store is None:
+                raise ConfigurationError(
+                    "run_many(spill=True) needs an experiment store; "
+                    "attach one with store= or Engine(store=...)"
+                )
+            return self._run_many_spill(configs, max_workers, store, resume)
         if store is None:
             return self._execute_many(configs, max_workers)
         records: list = [None] * len(configs)
@@ -489,9 +509,40 @@ class Engine:
                 records[position] = record
         return ResultSet(records)
 
+    def _run_many_spill(self, configs: tuple, max_workers: int | None,
+                        store, resume: bool) -> "StoredResultSet":
+        """The bounded-memory batch executor behind ``spill=True``.
+
+        Skips already-stored configs (under ``resume``) without loading
+        their records, computes the rest :attr:`SPILL_CHUNK` configs at
+        a time, persists each chunk and drops it.  A failed store write
+        is an error here — unlike the in-memory path there is no record
+        left to fall back on.
+        """
+        pending: list = []
+        for config in configs:
+            if resume and config in store:
+                self.stats.store_hits += 1
+                continue
+            pending.append(config)
+            if resume:
+                self.stats.store_misses += 1
+        for start in range(0, len(pending), self.SPILL_CHUNK):
+            chunk = tuple(pending[start : start + self.SPILL_CHUNK])
+            for record in self._execute_many(chunk, max_workers):
+                if not store.put(record, engine_stats=self.stats):
+                    raise ConfigurationError(
+                        f"spill sweep could not persist config "
+                        f"{record.config.fingerprint()} to the store at "
+                        f"{store.root}; spilled batches need a writable "
+                        f"store"
+                    )
+        return StoredResultSet(store, configs)
+
     def sweep(self, base: ExperimentConfig | None = None, *,
               shard=None, max_workers: int | None = None,
-              store=None, resume: bool | None = None, **axes) -> ResultSet:
+              store=None, resume: bool | None = None,
+              spill: bool = False, **axes) -> ResultSet:
         """Expand a config grid and run it (optionally one shard of it).
 
         ``axes`` are :meth:`ExperimentConfig.sweep` keyword grids fanned
@@ -499,9 +550,10 @@ class Engine:
         an ``"I/N"`` string or ``(index, count)`` pair — restricts the
         batch to the configs :func:`repro.store.sharding.shard_index`
         deterministically assigns to shard I of N, so N processes
-        expanding the same grid split it exactly.  ``store``/``resume``
-        behave as in :meth:`run_many`; together they make the sharded
-        grid resumable::
+        expanding the same grid split it exactly.  ``store``/``resume``/
+        ``spill`` behave as in :meth:`run_many`; together they make the
+        sharded grid resumable, and ``spill=True`` keeps a grid of
+        thousands of configs bounded-memory::
 
             engine.sweep(shard="0/2", store="results/", arch=[...])
             engine.sweep(shard="1/2", store="results/", arch=[...])
@@ -514,7 +566,8 @@ class Engine:
 
             configs = select_shard(configs, shard)
         return self.run_many(
-            configs, max_workers=max_workers, store=store, resume=resume
+            configs, max_workers=max_workers, store=store, resume=resume,
+            spill=spill,
         )
 
     def _execute_many(self, configs: tuple,

@@ -9,6 +9,12 @@ expose the same flat metric surface, so one batch can mix single-device
 and fleet experiments and still slice like a sequence, filter by any
 config axis, aggregate energy/latency/deadline statistics per group, and
 export to JSON or CSV with a uniform row schema.
+
+:class:`StoredResultSet` is the *spill* variant behind
+``Engine.run_many(..., spill=True)``: the same interface over records
+that live in the experiment store rather than in memory — every
+iteration streams them back one at a time, so a sweep over thousands of
+configs exports with bounded peak memory and byte-identical output.
 """
 
 from __future__ import annotations
@@ -430,7 +436,7 @@ class ResultSet:
                 values = [values]
             wanted[name] = {str(v).lower() for v in values}
         out = []
-        for record in self._records:
+        for record in self:
             if any(
                 getattr(record, name).lower() not in accepted
                 for name, accepted in wanted.items()
@@ -444,22 +450,22 @@ class ResultSet:
     def best(self, metric: str = "total_energy_nj",
              minimize: bool = True) -> RunRecord:
         """The single best run under a flat metric."""
-        if not self._records:
+        if not len(self):
             raise ConfigurationError("cannot pick best of an empty ResultSet")
         chooser = min if minimize else max
-        return chooser(self._records, key=lambda r: getattr(r, metric))
+        return chooser(self, key=lambda r: getattr(r, metric))
 
     # -- aggregate statistics ---------------------------------------------------
 
     @property
     def total_energy_nj(self) -> float:
         """Energy summed over every record, in nanojoules."""
-        return sum(r.total_energy_nj for r in self._records)
+        return sum(r.total_energy_nj for r in self)
 
     @property
     def deadlines_met(self) -> bool:
         """Whether every record met all of its deadlines."""
-        return all(r.deadlines_met for r in self._records)
+        return all(r.deadlines_met for r in self)
 
     def aggregate(self, by: str = "arch") -> dict:
         """Group stats by a config axis (or a callable over records).
@@ -476,7 +482,7 @@ class ResultSet:
                 f"unknown aggregation axis {by!r}; known: {', '.join(_AXES)}"
             )
         groups: dict = {}
-        for record in self._records:
+        for record in self:
             groups.setdefault(key_of(record), []).append(record)
         out = {}
         for key, records in groups.items():
@@ -513,7 +519,7 @@ class ResultSet:
         averages over pairs.  Returns ``{other_arch: mean_savings}``.
         """
         by_cell: dict = {}
-        for record in self._records:
+        for record in self:
             by_cell.setdefault((record.model, record.scenario), {})[
                 record.arch
             ] = record.total_energy_nj
@@ -539,7 +545,7 @@ class ResultSet:
 
     def to_rows(self) -> list:
         """Flat per-run summary dicts, in run order."""
-        return [record.to_row() for record in self._records]
+        return [record.to_row() for record in self]
 
     def to_json(self, path=None, indent: int = 2) -> str:
         """Serialise the per-run summaries as JSON (optionally to a file)."""
@@ -564,3 +570,71 @@ class ResultSet:
             with open(path, "w", newline="") as handle:
                 handle.write(text)
         return text
+
+
+class StoredResultSet(ResultSet):
+    """A :class:`ResultSet` whose records live in the experiment store.
+
+    ``Engine.run_many(..., spill=True)`` returns one instead of holding
+    every computed record: the set keeps only the config tuple, and each
+    record is streamed back from the store (one ``get`` per access) when
+    iterated.  The full :class:`ResultSet` surface — filtering,
+    aggregation, ``best``, ``to_rows``/``to_json``/``to_csv`` — works
+    unchanged and produces byte-identical exports, because the base
+    class iterates ``self`` and the store returns the very records an
+    in-memory batch would have held.  Peak memory is bounded by one
+    record at a time plus the flat rows; only :attr:`records`,
+    :meth:`filter` and slicing re-materialise records in memory.
+    """
+
+    def __init__(self, store, configs) -> None:
+        """Wrap ``store`` (a :class:`repro.store.Store`) and the batch's
+        configs, in batch order.  Records are fetched lazily — a config
+        whose entry has vanished from the store raises on access."""
+        self._store = store
+        self._configs = tuple(configs)
+
+    @property
+    def store(self):
+        """The backing experiment store."""
+        return self._store
+
+    @property
+    def configs(self) -> tuple:
+        """The batch's configs, in batch order."""
+        return self._configs
+
+    @property
+    def records(self) -> tuple:
+        """Every record, materialised in memory (loses the bound)."""
+        return tuple(self)
+
+    def _load(self, config) -> "RunRecord | FleetRecord":
+        record = self._store.get(config)
+        if record is None:
+            raise ConfigurationError(
+                f"spilled record missing from the experiment store at "
+                f"{self._store.root} for config {config.fingerprint()}; "
+                f"was the store cleared mid-sweep?"
+            )
+        return record
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __iter__(self):
+        for config in self._configs:
+            yield self._load(config)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return StoredResultSet(self._store, self._configs[index])
+        return self._load(self._configs[index])
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(tuple(self) + tuple(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoredResultSet({len(self)} runs @ {self._store.root})"
+        )

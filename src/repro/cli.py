@@ -11,10 +11,12 @@ Usage::
     python -m repro sweep --model ResNet-18 --case 1 --case 2
     python -m repro sweep --store runs/ --shard 0/4   # fill shard 0 of 4
     python -m repro sweep --store runs/ --resume      # stitch, zero recompute
+    python -m repro sweep --store runs/ --spill       # bounded-memory sweep
     python -m repro fleet --devices 4 --dispatch least_loaded --scenario bursty
     python -m repro qos --scenario bursty --autoscaler queue_depth --json
     python -m repro scenarios              # registered scenarios, previewed
     python -m repro bench --quick          # perf harness -> BENCH_*.json
+    python -m repro trend --current out/   # compare vs committed baselines
     python -m repro cache info             # persistent LUT cache state
     python -m repro store info             # persistent experiment store
     python -m repro docs                   # regenerate docs/REGISTRY.md
@@ -221,8 +223,11 @@ def _cmd_sweep(args) -> str:
     store = Store(args.store) if args.store else None
     if store is None and args.resume:
         raise ReproError("--resume needs --store DIR to resume from")
+    if store is None and args.spill:
+        raise ReproError("--spill needs --store DIR to spill records into")
     results = engine.run_many(
-        configs, max_workers=args.workers, store=store, resume=args.resume
+        configs, max_workers=args.workers, store=store, resume=args.resume,
+        spill=args.spill,
     )
     if args.csv:
         results.to_csv(args.csv)
@@ -497,6 +502,14 @@ def _cmd_bench(args) -> str:
             f"{qos_throughput:.0f} requests/s is below the required "
             f"{args.min_qos_throughput:.0f}"
         )
+    qos_speedup = report["qos"]["speedup"]
+    if (args.min_qos_speedup is not None
+            and qos_speedup < args.min_qos_speedup):
+        raise ReproError(
+            f"perf gate failed: vectorized QoS engine speedup "
+            f"{qos_speedup:.2f}x is below the required "
+            f"{args.min_qos_speedup:.2f}x"
+        )
     resume_speedup = report["store"]["resume_speedup"]
     if (args.min_store_speedup is not None
             and resume_speedup < args.min_store_speedup):
@@ -518,6 +531,29 @@ def _cmd_bench(args) -> str:
     lines = [render_report(report), ""]
     lines += [f"wrote {path}" for path in paths]
     return "\n".join(lines)
+
+
+def _cmd_trend(args) -> str:
+    from pathlib import Path
+
+    from .perf import compare_reports, render_markdown
+
+    deltas = compare_reports(
+        args.baseline, args.current, tolerance=args.tolerance
+    )
+    table = render_markdown(deltas, tolerance=args.tolerance)
+    if args.summary:
+        Path(args.summary).write_text(table)
+    regressions = [delta for delta in deltas if delta.regressed]
+    if regressions:
+        worst = min(regressions, key=lambda delta: delta.ratio)
+        raise ReproError(
+            f"perf trend failed: {len(regressions)} of {len(deltas)} "
+            f"sections regressed beyond {args.tolerance:.0%} (worst: "
+            f"{worst.section} {worst.metric} at {worst.ratio:.2f}x of "
+            f"baseline)\n\n{table}"
+        )
+    return table
 
 
 def _cmd_store(args) -> str:
@@ -730,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--resume", action="store_true",
                        help="with --store: serve already-stored configs "
                             "from the store instead of recomputing them")
+    sweep.add_argument("--spill", action="store_true",
+                       help="with --store: stream completed records to the "
+                            "store instead of holding them all in memory "
+                            "(bounded-RSS sweeps over huge grids)")
     _add_resolution_args(sweep, blocks=48, steps=6000)
     fleet = sub.add_parser(
         "fleet", help="serve one scenario on a multi-device fleet"
@@ -850,6 +890,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-qos-throughput", type=float, default=None,
                        help="fail (exit 2) if the QoS simulator falls below "
                             "this many simulated requests per second")
+    bench.add_argument("--min-qos-speedup", type=float, default=None,
+                       help="fail (exit 2) if the vectorized QoS engine is "
+                            "not this many times faster than the per-event "
+                            "scalar reference")
     bench.add_argument("--min-store-speedup", type=float, default=None,
                        help="fail (exit 2) if a warm store-resume sweep is "
                             "not this many times faster than the cold sweep")
@@ -859,6 +903,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-process engines")
     bench.add_argument("--json", action="store_true",
                        help="print the full machine-readable report")
+    trend = sub.add_parser(
+        "trend", help="compare bench artifacts against committed baselines"
+    )
+    trend.add_argument("--baseline", metavar="DIR", default=".",
+                       help="directory holding the committed BENCH_*.json "
+                            "baselines (default: the repo root)")
+    trend.add_argument("--current", metavar="DIR", required=True,
+                       help="directory holding the fresh bench artifacts "
+                            "(a `repro bench --out DIR` run)")
+    trend.add_argument("--tolerance", type=float, default=0.30,
+                       help="fractional slack before a lower headline "
+                            "metric fails the trend (default: 0.30)")
+    trend.add_argument("--summary", metavar="FILE", default=None,
+                       help="also write the markdown delta table to FILE "
+                            "(point it at $GITHUB_STEP_SUMMARY in CI)")
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent LUT cache"
     )
@@ -909,6 +968,7 @@ _HANDLERS = {
     "shutdown": _cmd_shutdown,
     "scenarios": _cmd_scenarios,
     "bench": _cmd_bench,
+    "trend": _cmd_trend,
     "cache": _cmd_cache,
     "store": _cmd_store,
     "docs": _cmd_docs,

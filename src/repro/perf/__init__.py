@@ -4,7 +4,9 @@ The harness times the paths the ROADMAP cares about — LUT construction
 (vectorized vs the scalar reference, cold vs persistent-cache warm),
 sweep throughput through the experiment engine, and per-slice lookup
 latency — and writes machine-readable ``BENCH_*.json`` artifacts that CI
-uploads and gates on.
+uploads and gates on.  :mod:`repro.perf.trend` compares a fresh run's
+headline metrics against the committed baselines so CI also catches
+*relative* drift, not just absolute-floor violations.
 """
 
 from .bench import (
@@ -14,6 +16,13 @@ from .bench import (
     run_bench,
     write_reports,
 )
+from .trend import (
+    DEFAULT_TOLERANCE,
+    HEADLINE_METRICS,
+    TrendDelta,
+    compare_reports,
+    render_markdown,
+)
 
 __all__ = [
     "BENCH_PREFIX",
@@ -21,4 +30,9 @@ __all__ = [
     "render_report",
     "run_bench",
     "write_reports",
+    "DEFAULT_TOLERANCE",
+    "HEADLINE_METRICS",
+    "TrendDelta",
+    "compare_reports",
+    "render_markdown",
 ]

@@ -15,6 +15,14 @@ autoscalers (:mod:`repro.qos.autoscale`).
 With zero queueing the simulator degenerates *exactly* to
 :class:`repro.serving.fleet.Fleet` — same per-slice records, bit for bit
 — so every QoS number stays anchored to the paper's energy model.
+
+Two engines share the simulator's semantics: the *vectorized* batch
+engine (columnar :class:`RequestBatch` streams, one lexsort per queue,
+memoized placement prices, array SLO folds) is the production path; the
+original per-event discrete-event loop is the scalar reference, selected
+with ``REPRO_SCALAR_QOS=1`` or :func:`scalar_qos` — mirroring
+``REPRO_SCALAR_DP`` / ``REPRO_SCALAR_RUNTIME``.  Both produce
+bit-identical results; the differential suite pins it.
 """
 
 from .autoscale import (
@@ -34,12 +42,16 @@ from .queueing import (
     QoSSimulator,
     QueueDiscipline,
     make_discipline,
+    scalar_qos,
+    use_scalar_qos,
 )
 from .requests import (
     DEFAULT_CLASSES,
     INTERACTIVE_MIX,
     Request,
+    RequestBatch,
     RequestClass,
+    sample_request_batch,
     sample_requests,
 )
 from .slo import PERCENTILES, QoSResult, QoSSliceStats, SloAccountant, percentile
@@ -59,10 +71,14 @@ __all__ = [
     "QoSSimulator",
     "QueueDiscipline",
     "make_discipline",
+    "scalar_qos",
+    "use_scalar_qos",
     "DEFAULT_CLASSES",
     "INTERACTIVE_MIX",
     "Request",
+    "RequestBatch",
     "RequestClass",
+    "sample_request_batch",
     "sample_requests",
     "PERCENTILES",
     "QoSResult",

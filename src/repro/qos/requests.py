@@ -27,6 +27,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import cached_property
+from itertools import accumulate
+
+import numpy as np
 
 from ..errors import QoSError
 from ..workloads.scenarios import Scenario
@@ -34,9 +38,11 @@ from ..workloads.scenarios import Scenario
 __all__ = [
     "RequestClass",
     "Request",
+    "RequestBatch",
     "DEFAULT_CLASSES",
     "INTERACTIVE_MIX",
     "sample_requests",
+    "sample_request_batch",
 ]
 
 
@@ -105,6 +111,136 @@ class Request:
         return self.deadline_ns - self.arrival_ns
 
 
+@dataclass(frozen=True)
+class RequestBatch:
+    """A request stream as parallel NumPy columns (structure of arrays).
+
+    The vectorized QoS engine consumes streams in this shape: one
+    ``float64``/``int64`` column per :class:`Request` field plus an
+    integer index into the ``classes`` tuple, so queue ordering, batch
+    scheduling and SLO accounting become array gathers instead of
+    per-object attribute walks.  :func:`sample_request_batch` produces
+    batches bit-identical to :func:`sample_requests`;
+    :meth:`from_requests`/:meth:`to_requests` convert losslessly in both
+    directions (the round trip is exact — timestamps are float64 either
+    way).
+    """
+
+    #: Stable ids in arrival order (``int64``).
+    rid: np.ndarray
+    #: Scenario slice each request arrived in (``int64``).
+    slice_index: np.ndarray
+    #: Wall-clock arrivals in ns (``float64``).
+    arrival_ns: np.ndarray
+    #: Hard completion deadlines in ns (``float64``).
+    deadline_ns: np.ndarray
+    #: Index of each request's class in :attr:`classes` (``int64``).
+    cls_index: np.ndarray
+    #: The distinct :class:`RequestClass` objects, in first-appearance
+    #: order for :meth:`from_requests` streams.
+    classes: tuple
+
+    def __len__(self) -> int:
+        return int(self.rid.shape[0])
+
+    @cached_property
+    def priority(self) -> np.ndarray:
+        """Per-request class priority column (``int64``)."""
+        table = np.array(
+            [cls.priority for cls in self.classes], dtype=np.int64
+        )
+        return table[self.cls_index]
+
+    @cached_property
+    def slo_factor(self) -> np.ndarray:
+        """Per-request SLO scale factor column (``float64``)."""
+        table = np.array(
+            [cls.slo_factor for cls in self.classes], dtype=np.float64
+        )
+        return table[self.cls_index]
+
+    def to_requests(self) -> tuple:
+        """Materialise the batch as a tuple of :class:`Request`."""
+        classes = self.classes
+        return tuple(
+            Request(
+                rid=int(rid),
+                slice_index=int(slice_index),
+                arrival_ns=float(arrival),
+                deadline_ns=float(deadline),
+                cls=classes[cls_index],
+            )
+            for rid, slice_index, arrival, deadline, cls_index in zip(
+                self.rid.tolist(),
+                self.slice_index.tolist(),
+                self.arrival_ns.tolist(),
+                self.deadline_ns.tolist(),
+                self.cls_index.tolist(),
+            )
+        )
+
+    @classmethod
+    def from_requests(cls, requests) -> "RequestBatch":
+        """Columnarise an iterable of :class:`Request` (order preserved).
+
+        Classes are deduplicated by value in first-appearance order, so
+        two streams sharing a mix produce comparable ``cls_index``
+        columns.
+        """
+        requests = tuple(requests)
+        class_index: dict = {}
+        classes: list = []
+        cls_column = np.empty(len(requests), dtype=np.int64)
+        for i, request in enumerate(requests):
+            if not isinstance(request, Request):
+                raise QoSError(
+                    f"RequestBatch.from_requests needs Request instances, "
+                    f"got {type(request).__name__}"
+                )
+            index = class_index.get(request.cls)
+            if index is None:
+                index = len(classes)
+                class_index[request.cls] = index
+                classes.append(request.cls)
+            cls_column[i] = index
+        return cls(
+            rid=np.array([r.rid for r in requests], dtype=np.int64),
+            slice_index=np.array(
+                [r.slice_index for r in requests], dtype=np.int64
+            ),
+            arrival_ns=np.array(
+                [r.arrival_ns for r in requests], dtype=np.float64
+            ),
+            deadline_ns=np.array(
+                [r.deadline_ns for r in requests], dtype=np.float64
+            ),
+            cls_index=cls_column,
+            classes=tuple(classes),
+        )
+
+
+def _validated_classes(classes) -> tuple:
+    classes = tuple(classes)
+    if not classes:
+        raise QoSError("request sampling needs at least one request class")
+    for cls in classes:
+        if not isinstance(cls, RequestClass):
+            raise QoSError(
+                f"request classes must be RequestClass instances, "
+                f"got {type(cls).__name__}"
+            )
+    return classes
+
+
+def _validate_sampling(t_slice_ns: float, deadline_slices: float) -> None:
+    if t_slice_ns <= 0:
+        raise QoSError(f"t_slice_ns must be positive, got {t_slice_ns!r}")
+    if deadline_slices <= 0:
+        raise QoSError(
+            f"deadline_slices must be positive, got {deadline_slices!r}"
+        )
+
+
 def sample_requests(
     scenario: Scenario,
     t_slice_ns: float,
@@ -120,22 +256,12 @@ def sample_requests(
     ``deadline_slices`` sets the hard deadline in units of the time slice
     (default: the paper's ``2T`` staging bound).  Returns a tuple of
     :class:`Request` in arrival order.
+
+    This is the scalar reference; :func:`sample_request_batch` draws the
+    same stream into columnar arrays, bit for bit.
     """
-    if t_slice_ns <= 0:
-        raise QoSError(f"t_slice_ns must be positive, got {t_slice_ns!r}")
-    if deadline_slices <= 0:
-        raise QoSError(
-            f"deadline_slices must be positive, got {deadline_slices!r}"
-        )
-    classes = tuple(classes)
-    if not classes:
-        raise QoSError("request sampling needs at least one request class")
-    for cls in classes:
-        if not isinstance(cls, RequestClass):
-            raise QoSError(
-                f"request classes must be RequestClass instances, "
-                f"got {type(cls).__name__}"
-            )
+    _validate_sampling(t_slice_ns, deadline_slices)
+    classes = _validated_classes(classes)
     weights = [cls.weight for cls in classes]
     rng = random.Random(seed)
     deadline_ns = deadline_slices * t_slice_ns
@@ -160,3 +286,73 @@ def sample_requests(
             )
             rid += 1
     return tuple(requests)
+
+
+def sample_request_batch(
+    scenario: Scenario,
+    t_slice_ns: float,
+    seed: int = 2025,
+    classes=DEFAULT_CLASSES,
+    deadline_slices: float = 2.0,
+) -> RequestBatch:
+    """Draw :func:`sample_requests`'s stream directly into a batch.
+
+    Consumes the *same* ``random.Random(seed)`` draws in the same order
+    (per slice: the sorted uniform offsets, then one draw per request
+    for the class mix — ``random.choices`` is one ``random()`` per
+    pick), so ``sample_request_batch(...).to_requests()`` equals
+    ``sample_requests(...)`` exactly; only the assembly is columnar.
+    The class draw replicates ``Random.choices``'s
+    ``bisect_right(cum_weights, u * total, hi=n-1)`` as a clamped
+    ``searchsorted``.
+    """
+    _validate_sampling(t_slice_ns, deadline_slices)
+    classes = _validated_classes(classes)
+    rng = random.Random(seed)
+    deadline_ns = deadline_slices * t_slice_ns
+    multi = len(classes) > 1
+    if multi:
+        cum_weights = np.array(
+            list(accumulate(cls.weight for cls in classes)), dtype=np.float64
+        )
+        total = float(cum_weights[-1]) + 0.0
+
+    slice_columns: list = []
+    offset_columns: list = []
+    cls_columns: list = []
+    for index, load in enumerate(scenario.loads):
+        if not load:
+            continue
+        offsets = sorted(rng.random() for _ in range(load))
+        slice_columns.append(np.full(load, index, dtype=np.int64))
+        offset_columns.append(np.asarray(offsets, dtype=np.float64))
+        if multi:
+            draws = np.asarray(
+                [rng.random() for _ in range(load)], dtype=np.float64
+            )
+            cls_columns.append(
+                np.minimum(
+                    np.searchsorted(cum_weights, draws * total, side="right"),
+                    len(classes) - 1,
+                ).astype(np.int64)
+            )
+
+    if slice_columns:
+        slice_index = np.concatenate(slice_columns)
+        offsets_arr = np.concatenate(offset_columns)
+    else:
+        slice_index = np.empty(0, dtype=np.int64)
+        offsets_arr = np.empty(0, dtype=np.float64)
+    if multi and cls_columns:
+        cls_index = np.concatenate(cls_columns)
+    else:
+        cls_index = np.zeros(len(slice_index), dtype=np.int64)
+    arrival = (slice_index + offsets_arr) * t_slice_ns
+    return RequestBatch(
+        rid=np.arange(len(slice_index), dtype=np.int64),
+        slice_index=slice_index,
+        arrival_ns=arrival,
+        deadline_ns=arrival + deadline_ns,
+        cls_index=cls_index,
+        classes=classes,
+    )

@@ -22,9 +22,10 @@ plain-primitive :meth:`QoSResult.to_dict` for JSON export.
 
 from __future__ import annotations
 
-import heapq
 import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import QoSError
 from ..workloads.scenarios import Scenario
@@ -42,10 +43,14 @@ PERCENTILES = (0.50, 0.95, 0.99)
 
 
 def percentile(ordered, q: float):
-    """Nearest-rank percentile of an ascending sequence (None if empty)."""
+    """Nearest-rank percentile of an ascending sequence (None if empty).
+
+    Accepts any ascending sequence — a list or a NumPy array (arrays are
+    ambiguous under ``bool()``, so emptiness is length-based).
+    """
     if not 0.0 < q <= 1.0:
         raise QoSError(f"percentile rank must lie in (0, 1], got {q!r}")
-    if not ordered:
+    if len(ordered) == 0:
         return None
     rank = max(1, math.ceil(q * len(ordered)))
     return ordered[rank - 1]
@@ -134,8 +139,9 @@ class SloAccountant:
         self.slo_ns = slo_ns
         self.tolerance_ns = tolerance_ns
         self.on_window = on_window
-        #: Ascending latencies of every completion so far (streaming).
-        self._latencies: list = []
+        #: Ascending latencies of every completion so far (streaming,
+        #: float64 — merged once per window).
+        self._latencies = np.empty(0, dtype=np.float64)
         self.slices: list = []
         self.completed = 0
         self.deadline_misses = 0
@@ -177,25 +183,125 @@ class SloAccountant:
             if latency > target + tolerance_ns:
                 slo_misses += 1
         window_latencies.sort()
-        # one sorted-merge per window keeps the streaming list O(n) per
-        # window instead of O(n) per completion
-        self._latencies = list(
-            heapq.merge(self._latencies, window_latencies)
+        return self._fold_window(
+            index=index,
+            arrivals=arrivals,
+            window_latencies=np.asarray(window_latencies, dtype=np.float64),
+            deadline_misses=deadline_misses,
+            slo_misses=slo_misses,
+            backlog=backlog,
+            fleet_size=fleet_size,
+            energy_nj=energy_nj,
+            utilization=utilization,
         )
+
+    def observe_window_arrays(
+        self,
+        index: int,
+        arrivals: int,
+        *,
+        arrival_ns,
+        deadline_ns,
+        slo_factor,
+        completion_ns,
+        rid=None,
+        backlog: int,
+        fleet_size: int,
+        energy_nj: float,
+        utilization: float,
+        tolerance_ns: float | None = None,
+    ) -> QoSSliceStats:
+        """Array form of :meth:`observe_window` (the vectorized engine's).
+
+        ``arrival_ns``/``deadline_ns``/``slo_factor``/``completion_ns``
+        are parallel float64 columns over this window's completions
+        (``rid`` optionally carries ids for error reporting).  The
+        comparisons run the same float arithmetic as the scalar loop, so
+        the two paths fold bit-identical :class:`QoSSliceStats`.
+        """
+        if tolerance_ns is None:
+            tolerance_ns = self.tolerance_ns
+        arrival_ns = np.asarray(arrival_ns, dtype=np.float64)
+        deadline_ns = np.asarray(deadline_ns, dtype=np.float64)
+        slo_factor = np.asarray(slo_factor, dtype=np.float64)
+        completion_ns = np.asarray(completion_ns, dtype=np.float64)
+        latencies = completion_ns - arrival_ns
+        negative = latencies < 0
+        if negative.any():
+            first = int(np.argmax(negative))
+            label = int(rid[first]) if rid is not None else first
+            raise QoSError(
+                f"request {label} completed before it arrived"
+            )
+        deadline_misses = int(
+            np.count_nonzero(completion_ns > deadline_ns + tolerance_ns)
+        )
+        slo_misses = int(np.count_nonzero(
+            latencies > self.slo_ns * slo_factor + tolerance_ns
+        ))
+        return self._fold_window(
+            index=index,
+            arrivals=arrivals,
+            window_latencies=np.sort(latencies),
+            deadline_misses=deadline_misses,
+            slo_misses=slo_misses,
+            backlog=backlog,
+            fleet_size=fleet_size,
+            energy_nj=energy_nj,
+            utilization=utilization,
+        )
+
+    def _fold_window(
+        self,
+        index: int,
+        arrivals: int,
+        window_latencies: np.ndarray,
+        deadline_misses: int,
+        slo_misses: int,
+        backlog: int,
+        fleet_size: int,
+        energy_nj: float,
+        utilization: float,
+    ) -> QoSSliceStats:
+        """Merge one window's sorted latencies into the streaming series.
+
+        Shared by both observe paths: the cumulative list update is one
+        ``searchsorted`` + ``insert`` merge per window (O(n), like the
+        old heapq merge), and every stat lands as a plain Python float
+        so the stats stay JSON-serialisable whichever path produced
+        them.
+        """
+        if len(self._latencies):
+            positions = np.searchsorted(
+                self._latencies, window_latencies, side="left"
+            )
+            self._latencies = np.insert(
+                self._latencies, positions, window_latencies
+            )
+        else:
+            self._latencies = np.array(window_latencies, dtype=np.float64)
         count = len(window_latencies)
         self.completed += count
         self.deadline_misses += deadline_misses
         self.slo_misses += slo_misses
-        p50, p95, p99 = (percentile(window_latencies, q) for q in PERCENTILES)
-        c50, c95, c99 = (percentile(self._latencies, q) for q in PERCENTILES)
+
+        def _float(value):
+            return None if value is None else float(value)
+
+        p50, p95, p99 = (
+            _float(percentile(window_latencies, q)) for q in PERCENTILES
+        )
+        c50, c95, c99 = (
+            _float(percentile(self._latencies, q)) for q in PERCENTILES
+        )
         stats = QoSSliceStats(
             index=index,
             arrivals=arrivals,
             completed=count,
             backlog=backlog,
             fleet_size=fleet_size,
-            energy_nj=energy_nj,
-            utilization=utilization,
+            energy_nj=float(energy_nj),
+            utilization=float(utilization),
             p50_ns=p50,
             p95_ns=p95,
             p99_ns=p99,
@@ -215,7 +321,12 @@ class SloAccountant:
 
     def overall_percentiles(self) -> tuple:
         """(p50, p95, p99) over every completion so far."""
-        return tuple(percentile(self._latencies, q) for q in PERCENTILES)
+        return tuple(
+            None if value is None else float(value)
+            for value in (
+                percentile(self._latencies, q) for q in PERCENTILES
+            )
+        )
 
     @property
     def deadline_miss_rate(self) -> float:

@@ -200,6 +200,8 @@ class TestErrorExit:
         assert runtime["metrics"]["slices"] > 0
         qos = json.loads((tmp_path / "BENCH_qos.json").read_text())
         assert qos["metrics"]["requests_per_s"] > 0
+        assert qos["metrics"]["scalar_requests_per_s"] > 0
+        assert qos["metrics"]["speedup"] > 0
         assert (
             qos["metrics"]["completed"] + qos["metrics"]["unfinished"]
             == qos["metrics"]["requests"]
@@ -234,6 +236,31 @@ class TestErrorExit:
         captured = capsys.readouterr()
         assert code == 2
         assert "QoS simulator throughput" in captured.err
+
+    def test_bench_qos_speedup_gate_failure_exits_2(self, capsys, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
+        code = main(["bench", "--quick", "--blocks", "12", "--steps", "600",
+                     "--out", str(tmp_path), "--min-qos-speedup", "1e9"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "vectorized QoS engine speedup" in captured.err
+
+    def test_sweep_spill_needs_store(self, capsys):
+        code = main(["sweep", "--model", "EfficientNet-B0", "--case", "1",
+                     "--blocks", "16", "--steps", "1500", "--slices", "2",
+                     "--spill"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--spill needs --store" in captured.err
+
+    def test_sweep_spill_through_store(self, capsys, tmp_path):
+        out = run_cli(capsys, "sweep", "--model", "EfficientNet-B0",
+                      "--case", "1", "--blocks", "16", "--steps", "1500",
+                      "--slices", "2", "--store", str(tmp_path / "runs"),
+                      "--spill", "--csv", str(tmp_path / "rows.csv"))
+        assert "runs" in out
+        assert (tmp_path / "rows.csv").read_text().count("\n") > 1
 
     def test_cache_info_and_clear(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_LUT_CACHE", str(tmp_path / "cache"))
@@ -387,3 +414,18 @@ class TestParser:
         assert args.host == "127.0.0.1"
         assert args.port == 7787
         assert args.workers == 1
+
+    def test_trend_requires_current(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trend"])
+
+    def test_trend_defaults(self):
+        args = build_parser().parse_args(["trend", "--current", "out/"])
+        assert args.baseline == "."
+        assert args.tolerance == 0.30
+        assert args.summary is None
+
+    def test_sweep_spill_flag(self):
+        args = build_parser().parse_args(["sweep", "--spill"])
+        assert args.spill is True
+        assert build_parser().parse_args(["sweep"]).spill is False

@@ -59,8 +59,11 @@ class TestSwitch:
     def test_run_dispatches_on_switch(self, runtimes):
         runtime = runtimes["HH-PIM"]
         workload = scenario(ALL_CASES[2], slices=8)
-        assert not use_scalar_runtime()
-        default = runtime.run(workload)
+        # Pin both states explicitly so the test also holds on the CI
+        # leg that exports REPRO_SCALAR_RUNTIME=1 for the whole suite.
+        with scalar_runtime(False):
+            assert not use_scalar_runtime()
+            default = runtime.run(workload)
         with scalar_runtime():
             assert use_scalar_runtime()
             forced = runtime.run(workload)
