@@ -542,7 +542,8 @@ class Engine:
     def sweep(self, base: ExperimentConfig | None = None, *,
               shard=None, max_workers: int | None = None,
               store=None, resume: bool | None = None,
-              spill: bool = False, **axes) -> ResultSet:
+              spill: bool = False, dist: int | None = None,
+              **axes) -> ResultSet:
         """Expand a config grid and run it (optionally one shard of it).
 
         ``axes`` are :meth:`ExperimentConfig.sweep` keyword grids fanned
@@ -558,6 +559,13 @@ class Engine:
             engine.sweep(shard="0/2", store="results/", arch=[...])
             engine.sweep(shard="1/2", store="results/", arch=[...])
             full = engine.sweep(store="results/", arch=[...])  # all hits
+
+        ``dist=N`` executes the grid through the work-stealing
+        executor instead (:func:`repro.dist.executor.distributed_sweep`
+        — a coordinator plus N worker processes writing into the
+        store, which is required); the returned
+        :class:`StoredResultSet` exports byte-identically to the
+        in-process paths.
         """
         base = ExperimentConfig() if base is None else base
         configs = base.sweep(**axes)
@@ -565,6 +573,16 @@ class Engine:
             from ..store.sharding import select_shard
 
             configs = select_shard(configs, shard)
+        if dist is not None:
+            target = self.store if store is None else _coerce_store(store)
+            if target is None:
+                raise ConfigurationError(
+                    "sweep(dist=N) needs an experiment store; attach one "
+                    "with store= or Engine(store=...)"
+                )
+            from ..dist.executor import distributed_sweep
+
+            return distributed_sweep(configs, target, workers=dist)
         return self.run_many(
             configs, max_workers=max_workers, store=store, resume=resume,
             spill=spill,

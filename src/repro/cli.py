@@ -12,6 +12,8 @@ Usage::
     python -m repro sweep --store runs/ --shard 0/4   # fill shard 0 of 4
     python -m repro sweep --store runs/ --resume      # stitch, zero recompute
     python -m repro sweep --store runs/ --spill       # bounded-memory sweep
+    python -m repro sweep --store runs/ --workers 4   # work-stealing pool
+    python -m repro sweep-worker --connect HOST:PORT  # attach one worker
     python -m repro fleet --devices 4 --dispatch least_loaded --scenario bursty
     python -m repro qos --scenario bursty --autoscaler queue_depth --json
     python -m repro scenarios              # registered scenarios, previewed
@@ -30,7 +32,9 @@ Every experiment command goes through :class:`repro.api.Engine`, so
 architectures, models and scenarios registered via :mod:`repro.api`
 are immediately available on the command line.  Heavy artifacts accept
 ``--blocks/--steps`` to trade fidelity for speed, and ``--workers`` to
-batch over a process pool.  Library failures (bad configuration,
+batch over a process pool (with ``sweep --store DIR`` it instead
+spawns that many work-stealing worker processes; 0 starts a
+coordinator alone for ``repro sweep-worker`` to attach to).  Library failures (bad configuration,
 infeasible placements) exit with code 2 and a one-line error.
 """
 
@@ -207,8 +211,12 @@ def _cmd_run(args) -> str:
 
 
 def _cmd_sweep(args) -> str:
-    from .store import Store, select_shard
+    from .store import Store, parse_shard, select_shard
 
+    # Reject malformed/out-of-range shards before any grid work so the
+    # failure is a clean one-liner, not a traceback mid-expansion.
+    if args.shard is not None:
+        parse_shard(args.shard)
     engine = shared_engine()
     archs = _resolve_axis(args.arch, ARCHITECTURES)
     models = _resolve_axis(args.model, MODELS)
@@ -225,10 +233,28 @@ def _cmd_sweep(args) -> str:
         raise ReproError("--resume needs --store DIR to resume from")
     if store is None and args.spill:
         raise ReproError("--spill needs --store DIR to spill records into")
-    results = engine.run_many(
-        configs, max_workers=args.workers, store=store, resume=args.resume,
-        spill=args.spill,
-    )
+    dist_status: dict = {}
+    if store is not None and args.workers is not None:
+        # With a store attached, --workers N means the work-stealing
+        # executor: a coordinator plus N worker *processes* filling the
+        # store (0 = coordinator only; attach via repro sweep-worker).
+        from .dist.coordinator import DEFAULT_CHUNK_SIZE, DEFAULT_LEASE_S
+        from .dist.executor import distributed_sweep
+
+        results = distributed_sweep(
+            configs,
+            store,
+            workers=args.workers,
+            chunk_size=args.chunk or DEFAULT_CHUNK_SIZE,
+            lease_s=args.lease or DEFAULT_LEASE_S,
+            port=args.coordinator_port,
+            status_sink=dist_status.update,
+        )
+    else:
+        results = engine.run_many(
+            configs, max_workers=args.workers, store=store,
+            resume=args.resume, spill=args.spill,
+        )
     if args.csv:
         results.to_csv(args.csv)
     if args.json:
@@ -241,17 +267,26 @@ def _cmd_sweep(args) -> str:
         f"({len(archs)} architectures x {len(models)} models x "
         f"{len(cases)} scenarios)"
     )
-    store_note = (
-        f", store hits: {engine.stats.store_hits}, "
-        f"misses: {engine.stats.store_misses}"
-        if store is not None
-        else ""
-    )
+    if dist_status:
+        chunks = dist_status["chunks"]
+        detail = (
+            f"distributed over {len(dist_status['workers'])} workers: "
+            f"{chunks['completed']} chunks done, {chunks['stolen']} stolen"
+        )
+    else:
+        store_note = (
+            f", store hits: {engine.stats.store_hits}, "
+            f"misses: {engine.stats.store_misses}"
+            if store is not None
+            else ""
+        )
+        detail = (
+            f"LUTs built: {engine.stats.lut_builds}, reused: "
+            f"{engine.stats.lut_hits}, DP builds: {engine.stats.dp_builds}, "
+            f"disk hits: {engine.stats.lut_disk_hits}" + store_note
+        )
     lines = [
-        grid_note + ", "
-        f"LUTs built: {engine.stats.lut_builds}, reused: "
-        f"{engine.stats.lut_hits}, DP builds: {engine.stats.dp_builds}, "
-        f"disk hits: {engine.stats.lut_disk_hits}" + store_note,
+        grid_note + ", " + detail,
         "",
         _results_table(results).render(),
     ]
@@ -392,6 +427,54 @@ def _cmd_submit(args) -> str:
     )
 
 
+def _cmd_sweep_worker(args) -> str:
+    """Attach one work-stealing worker to a running sweep coordinator."""
+    import json
+
+    from .dist.worker import run_worker
+
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ReproError(
+            f"--connect must look like HOST:PORT, got {args.connect!r}"
+        )
+    summary = run_worker(
+        host, int(port), worker=args.id, max_workers=args.workers
+    )
+    if args.json:
+        return json.dumps(summary)
+    abandoned = (
+        f", {summary['abandoned']} abandoned" if summary["abandoned"] else ""
+    )
+    return (
+        f"{summary['worker']}: {summary['chunks']} chunks, "
+        f"{summary['configs']} configs{abandoned}"
+    )
+
+
+def _render_coordinator_status(state: dict) -> str:
+    """The text body ``repro status`` prints for a sweep coordinator."""
+    chunks = state["chunks"]
+    configs = state["configs"]
+    lines = [
+        f"sweep coordinator pid {state['pid']} at "
+        f"{state['host']}:{state['port']}"
+        + (", done" if state["done"] else ""),
+        f"chunks: {chunks['completed']}/{chunks['total']} done, "
+        f"{chunks['leased']} leased, {chunks['pending']} pending, "
+        f"{chunks['stolen']} stolen",
+        f"configs: {configs['completed']}/{configs['total']} "
+        f"(store {state['store']}, lease {state['lease_s']:.0f}s)",
+    ]
+    for name, worker in state["workers"].items():
+        lines.append(
+            f"  {name}  {worker['chunks_completed']} chunks, "
+            f"{worker['configs_completed']} configs, "
+            f"{worker['throughput_configs_s']:.2f} configs/s"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_status(args) -> str:
     import json
 
@@ -403,6 +486,8 @@ def _cmd_status(args) -> str:
     state = client.status(args.job)
     if args.json:
         return json.dumps(state, indent=2)
+    if "chunks" in state:  # a sweep coordinator answered, not a daemon
+        return _render_coordinator_status(state)
     if args.job is not None:
         job = state["job"]
         wall = f", {job['wall_s']:.3f}s" if job["wall_s"] is not None else ""
@@ -525,6 +610,14 @@ def _cmd_bench(args) -> str:
             f"perf gate failed: warm-daemon submissions are only "
             f"{serve_speedup:.2f}x faster than cold per-process engines, "
             f"below the required {args.min_serve_speedup:.2f}x"
+        )
+    dist_speedup = report["dist"]["speedup"]
+    if (args.min_dist_speedup is not None
+            and dist_speedup < args.min_dist_speedup):
+        raise ReproError(
+            f"perf gate failed: the {report['dist']['workers']}-worker "
+            f"distributed sweep is only {dist_speedup:.2f}x faster than "
+            f"one worker, below the required {args.min_dist_speedup:.2f}x"
         )
     if args.json:
         return json.dumps(report, indent=2, sort_keys=True)
@@ -770,7 +863,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --store: stream completed records to the "
                             "store instead of holding them all in memory "
                             "(bounded-RSS sweeps over huge grids)")
+    sweep.add_argument("--chunk", type=int, default=None, metavar="N",
+                       help="with --store --workers: configs per "
+                            "work-stealing chunk (default: 8)")
+    sweep.add_argument("--lease", type=float, default=None, metavar="S",
+                       help="with --store --workers: seconds a chunk lease "
+                            "lives without a heartbeat before another "
+                            "worker may steal it (default: 30)")
+    sweep.add_argument("--coordinator-port", type=int, default=0,
+                       metavar="PORT",
+                       help="with --store --workers: coordinator TCP port "
+                            "(default: 0 = ephemeral; the bound port is "
+                            "logged for repro sweep-worker --connect)")
     _add_resolution_args(sweep, blocks=48, steps=6000)
+    worker = sub.add_parser(
+        "sweep-worker",
+        help="attach one work-stealing worker to a running sweep "
+             "coordinator (repro sweep --store DIR --workers N)",
+    )
+    worker.add_argument("--connect", metavar="HOST:PORT", required=True,
+                        help="the coordinator's address (from its "
+                             "event=listening log line)")
+    worker.add_argument("--id", default=None, metavar="NAME",
+                        help="worker identity in leases and telemetry "
+                             "(default: w-<hostname>-<pid>)")
+    worker.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for each chunk's batch")
+    worker.add_argument("--json", action="store_true",
+                        help="emit the final worker summary as JSON")
     fleet = sub.add_parser(
         "fleet", help="serve one scenario on a multi-device fleet"
     )
@@ -901,6 +1021,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail (exit 2) if warm-daemon submissions are "
                             "not this many times faster than cold "
                             "per-process engines")
+    bench.add_argument("--min-dist-speedup", type=float, default=None,
+                       help="fail (exit 2) if the multi-worker distributed "
+                            "sweep is not this many times faster than a "
+                            "single worker under the same synthetic cost")
     bench.add_argument("--json", action="store_true",
                        help="print the full machine-readable report")
     trend = sub.add_parser(
@@ -960,6 +1084,7 @@ _HANDLERS = {
     "fig6": _cmd_fig6,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "sweep-worker": _cmd_sweep_worker,
     "fleet": _cmd_fleet,
     "qos": _cmd_qos,
     "serve": _cmd_serve,

@@ -1,0 +1,37 @@
+"""Work-stealing distributed sweep execution on top of the store.
+
+A sweep grid becomes a set of hash-stable config **chunks**
+(:func:`repro.store.sharding.partition_chunks`); one
+:class:`~repro.dist.coordinator.SweepCoordinator` hands chunks to any
+number of worker processes over the v2 wire protocol
+(:mod:`repro.service.protocol`: CLAIM/HEARTBEAT/PROGRESS/COMPLETE) and
+guards each grant with a filesystem **lease**
+(:mod:`repro.dist.leases`).  Workers are thin loops around
+``Engine.run_many(..., spill=True)`` writing into one shared
+experiment store, so the system needs no consensus: every run is
+idempotent and content-addressed, a worker that dies simply stops
+renewing its lease, and the next idle worker *steals* the expired
+chunk.  The aggregated :class:`~repro.api.results.StoredResultSet` is
+byte-identical to a single-process sweep — pinned by a differential
+test that SIGKILLs a worker mid-sweep.
+
+Entry points: ``repro sweep --workers N --store DIR`` spawns a local
+coordinator plus N workers (:func:`~repro.dist.executor.
+distributed_sweep`); ``repro sweep-worker --connect HOST:PORT``
+attaches another process — on any machine sharing the store — to a
+running coordinator.
+"""
+
+from .coordinator import SweepCoordinator
+from .executor import distributed_sweep
+from .leases import Lease, LeaseManager
+from .worker import CoordinatorClient, run_worker
+
+__all__ = [
+    "SweepCoordinator",
+    "distributed_sweep",
+    "Lease",
+    "LeaseManager",
+    "CoordinatorClient",
+    "run_worker",
+]

@@ -1,0 +1,462 @@
+"""The sweep coordinator: chunks, leases and work-stealing over TCP.
+
+One coordinator owns one sweep: the grid is partitioned once into
+hash-stable chunks (:func:`repro.store.sharding.partition_chunks`) and
+served to workers over the v2 wire protocol.  A CLAIM hands out the
+largest available chunk — preferring never-granted chunks, then
+*stealing* chunks whose lease expired (a dead or wedged worker) — with
+a :class:`~repro.dist.leases.LeaseManager` grant whose files live
+beside the store, so grants survive a coordinator restart.  HEARTBEAT
+and PROGRESS renew the lease; COMPLETE retires the chunk and releases
+it.  When every chunk is complete the done event fires, further CLAIMs
+answer ``{"type": "EMPTY", "done": true}``, and workers drain away.
+
+The coordinator never computes and never aggregates results — workers
+write straight into the shared store, which is what makes stealing
+safe: re-running a half-finished chunk re-serves the finished configs
+from the store and computes only the remainder.
+
+Live observability: PROGRESS reports feed a
+:class:`~repro.service.telemetry.MetricsRegistry` (counters per worker
+plus sweep-wide gauges), scraped over METRICS as line protocol or over
+STATUS as the JSON body ``repro status --json`` renders.
+"""
+
+from __future__ import annotations
+
+import os
+import socketserver
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..api.config import ExperimentConfig
+from ..errors import ProtocolError, ServiceError
+from ..service import protocol
+from ..service.daemon import DEFAULT_HOST, _Handler
+from ..service.telemetry import MetricsRegistry
+from ..store.sharding import partition_chunks
+from .leases import LeaseManager
+
+__all__ = ["SweepCoordinator", "DEFAULT_CHUNK_SIZE", "DEFAULT_LEASE_S"]
+
+#: Configs per chunk: small enough that stealing a dead worker's chunk
+#: is cheap, large enough that claim round-trips stay negligible.
+DEFAULT_CHUNK_SIZE = 8
+
+#: Seconds a granted chunk lives without a heartbeat before any idle
+#: worker may steal it.
+DEFAULT_LEASE_S = 30.0
+
+#: What an idle worker is told to wait before re-CLAIMing when every
+#: remaining chunk is under a live lease.
+RETRY_S = 0.5
+
+
+@dataclass
+class _Chunk:
+    """One unit of work travelling through the coordinator."""
+
+    index: int
+    configs: tuple
+    done: bool = False
+    #: Configs the current holder has reported finished (PROGRESS).
+    completed: int = 0
+    #: Times this chunk was granted (1 = never stolen).
+    grants: int = 0
+
+
+@dataclass
+class _Worker:
+    """Per-worker accounting behind STATUS throughput numbers."""
+
+    first_seen: float
+    last_seen: float
+    chunks_completed: int = 0
+    configs_completed: int = 0
+    #: Progress inside the currently-held chunk (not yet COMPLETE).
+    inflight: int = 0
+
+    def throughput(self, now: float) -> float:
+        """Configs per second over this worker's observed lifetime."""
+        elapsed = max(now - self.first_seen, 1e-9)
+        return (self.configs_completed + self.inflight) / elapsed
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = False
+    daemon_threads = True
+
+
+class SweepCoordinator:
+    """Serves one sweep grid to work-stealing workers.
+
+    ``configs`` is the (already sharded, if requested) grid;
+    ``store`` the shared experiment store workers write into (a
+    :class:`~repro.store.Store` or directory path).  ``chunk_size``,
+    ``lease_s`` and ``clock`` parameterise chunking and lease expiry
+    (tests inject a manual clock); ``log`` overrides the structured
+    stderr logger.  Start with :meth:`start`, wait on :meth:`wait`,
+    stop with :meth:`stop` — or drive requests directly through
+    :meth:`dispatch` (the lease tests do).
+    """
+
+    def __init__(
+        self,
+        configs,
+        store,
+        host: str = DEFAULT_HOST,
+        port: int = 0,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        lease_s: float = DEFAULT_LEASE_S,
+        clock=time.time,
+        log=None,
+    ) -> None:
+        """See the class docstring."""
+        from ..api.engine import _coerce_store
+
+        self.store = _coerce_store(store)
+        if self.store is None:
+            raise ServiceError("a sweep coordinator needs a store")
+        self.configs = tuple(configs)
+        self.host = host
+        self.requested_port = port
+        self.clock = clock
+        self._log_sink = log
+        self._chunks = [
+            _Chunk(index=i, configs=chunk)
+            for i, chunk in enumerate(
+                partition_chunks(self.configs, chunk_size)
+            )
+        ]
+        self.leases = LeaseManager(
+            self.store.root / "leases", ttl_s=lease_s, clock=clock
+        )
+        self._lock = threading.Lock()
+        self._workers: dict = {}
+        self._done = threading.Event()
+        if not self._chunks:
+            self._done.set()
+        self._server: _Server | None = None
+        self._started_s: float | None = None
+        self.metrics = MetricsRegistry()
+        sweep = "repro_dist_sweep"
+        self._m_total = self.metrics.gauge(sweep, "chunks_total")
+        self._m_total.set(len(self._chunks))
+        self._m_completed = self.metrics.counter(sweep, "chunks_completed")
+        self._m_stolen = self.metrics.counter(sweep, "chunks_stolen")
+        self._m_configs = self.metrics.counter(sweep, "configs_completed")
+        self.metrics.gauge(sweep, "configs_total").set(len(self.configs))
+
+    # -- logging -----------------------------------------------------------------
+
+    def _log(self, message: str) -> None:
+        line = f"repro-sweep-coordinator {message}"
+        if self._log_sink is not None:
+            self._log_sink(line)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self.requested_port
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        """Bind the socket and start the acceptor thread."""
+        if self._server is not None:
+            raise ServiceError("coordinator already started")
+        try:
+            self._server = _Server((self.host, self.requested_port), _Handler)
+        except OSError as error:
+            raise ServiceError(
+                f"cannot listen on {self.host}:{self.requested_port}: "
+                f"{error.strerror or error}"
+            ) from error
+        # _Handler reads `server.serve_daemon`; anything with a
+        # dispatch() fits.
+        self._server.serve_daemon = self
+        self._started_s = time.monotonic()
+        acceptor = threading.Thread(
+            target=self._server.serve_forever,
+            name="sweep-coordinator",
+            daemon=True,
+        )
+        acceptor.start()
+        self._log(
+            f"event=listening host={self.host} port={self.port} "
+            f"pid={os.getpid()} chunks={len(self._chunks)} "
+            f"configs={len(self.configs)} store={self.store.root}"
+        )
+
+    def stop(self) -> None:
+        """Stop the acceptor and close the socket."""
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        self._log(
+            f"event=stopped done={self._done.is_set()} "
+            f"chunks_completed={self._m_completed.value}"
+        )
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until every chunk completes; True when the sweep is done."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        """Whether every chunk has been completed."""
+        return self._done.is_set()
+
+    # -- request dispatch --------------------------------------------------------
+
+    def dispatch(self, message: dict) -> dict:
+        """Answer one inbound request message with a reply message."""
+        rtype = protocol.validate_request(message)
+        if rtype == "PING":
+            return protocol.request("PING") | {"type": "PONG"}
+        if rtype == "CLAIM":
+            return self._handle_claim(message)
+        if rtype == "HEARTBEAT":
+            return self._handle_renew(message, completed=None)
+        if rtype == "PROGRESS":
+            return self._handle_renew(
+                message, completed=message["completed"]
+            )
+        if rtype == "COMPLETE":
+            return self._handle_complete(message)
+        if rtype == "STATUS":
+            return {
+                "v": protocol.PROTOCOL_VERSION,
+                "type": "STATUS",
+                **self.status(),
+            }
+        if rtype == "METRICS":
+            return {
+                "v": protocol.PROTOCOL_VERSION,
+                "type": "METRICS",
+                "body": self.metrics.render(),
+            }
+        if rtype == "SHUTDOWN":
+            threading.Thread(target=self.stop, daemon=True).start()
+            return {"v": protocol.PROTOCOL_VERSION, "type": "STOPPING"}
+        raise ProtocolError(
+            f"{rtype} is not served by a sweep coordinator "
+            f"(send it to repro serve)",
+            code="unsupported",
+        )
+
+    def _touch(self, worker: str) -> _Worker:
+        now = self.clock()
+        state = self._workers.get(worker)
+        if state is None:
+            state = self._workers[worker] = _Worker(
+                first_seen=now, last_seen=now
+            )
+        state.last_seen = now
+        return state
+
+    def _chunk(self, message: dict) -> _Chunk:
+        index = message["chunk"]
+        if not 0 <= index < len(self._chunks):
+            raise ProtocolError(
+                f"unknown chunk {index} (sweep has {len(self._chunks)})",
+                code="unknown_chunk",
+            )
+        return self._chunks[index]
+
+    def _handle_claim(self, message: dict) -> dict:
+        worker = message["worker"]
+        with self._lock:
+            self._touch(worker)
+            granted, stolen = self._next_grant(worker)
+            if granted is None:
+                return {
+                    "v": protocol.PROTOCOL_VERSION,
+                    "type": "EMPTY",
+                    "done": self._done.is_set(),
+                    "retry_s": RETRY_S,
+                }
+            granted.grants += 1
+            granted.completed = 0
+            if stolen:
+                self._m_stolen.inc()
+        self._log(
+            f"event=chunk_granted chunk={granted.index} worker={worker} "
+            f"configs={len(granted.configs)} stolen={int(stolen)}"
+        )
+        return {
+            "v": protocol.PROTOCOL_VERSION,
+            "type": "CHUNK",
+            "chunk": granted.index,
+            "configs": [config.to_dict() for config in granted.configs],
+            "lease_s": self.leases.ttl_s,
+            "store": str(self.store.root),
+        }
+
+    def _next_grant(self, worker: str):
+        """The best claimable chunk: fresh first, then expired grants.
+
+        Fresh chunks go out largest-first (the classic LPT greedy):
+        hash partitioning leaves chunk sizes uneven, and handing the
+        big ones out early means the sweep's tail — the last chunks
+        finishing while other workers idle — is bounded by the
+        *smallest* chunks rather than the largest.  Ties break on
+        index, so grant order stays deterministic.
+
+        Returns ``(chunk, stolen)``; ``(None, False)`` when every
+        pending chunk is under a live lease (or the sweep is done).
+        """
+        fresh = []
+        reclaimable = []
+        for chunk in self._chunks:
+            if chunk.done:
+                continue
+            lease = self.leases.holder(chunk.index)
+            if lease is None:
+                fresh.append(chunk)
+            elif lease.expired(self.clock()):
+                reclaimable.append(chunk)
+        fresh.sort(key=lambda chunk: (-len(chunk.configs), chunk.index))
+        for chunk in fresh:
+            if self.leases.claim(chunk.index, worker) is not None:
+                return chunk, chunk.grants > 0
+        for chunk in reclaimable:
+            if self.leases.claim(chunk.index, worker) is not None:
+                return chunk, True
+        return None, False
+
+    def _handle_renew(self, message: dict, completed) -> dict:
+        worker = message["worker"]
+        chunk = self._chunk(message)
+        with self._lock:
+            state = self._touch(worker)
+            if chunk.done:
+                # The chunk was stolen and finished by someone else;
+                # the renewing worker must abandon its copy.
+                raise ProtocolError(
+                    f"chunk {chunk.index} already completed",
+                    code="stale_lease",
+                )
+            lease = self.leases.renew(chunk.index, worker)
+            if completed is not None:
+                delta = max(0, completed - chunk.completed)
+                chunk.completed = max(chunk.completed, completed)
+                state.inflight += delta
+                self._m_configs.inc(delta)
+                self.metrics.counter(
+                    "repro_dist_worker", "configs_completed",
+                    {"worker": worker},
+                ).inc(delta)
+        return {
+            "v": protocol.PROTOCOL_VERSION,
+            "type": "OK",
+            "chunk": chunk.index,
+            "expires": lease.expires,
+        }
+
+    def _handle_complete(self, message: dict) -> dict:
+        worker = message["worker"]
+        chunk = self._chunk(message)
+        with self._lock:
+            state = self._touch(worker)
+            if chunk.done:
+                raise ProtocolError(
+                    f"chunk {chunk.index} already completed",
+                    code="stale_lease",
+                )
+            self.leases.release(chunk.index, worker)
+            chunk.done = True
+            # COMPLETE implies the whole chunk ran, whatever the last
+            # PROGRESS said; settle the remainder into the counters.
+            delta = len(chunk.configs) - chunk.completed
+            chunk.completed = len(chunk.configs)
+            state.inflight = 0
+            state.chunks_completed += 1
+            state.configs_completed += chunk.completed
+            self._m_completed.inc()
+            if delta > 0:
+                self._m_configs.inc(delta)
+                self.metrics.counter(
+                    "repro_dist_worker", "configs_completed",
+                    {"worker": worker},
+                ).inc(delta)
+            done = all(c.done for c in self._chunks)
+        self._log(
+            f"event=chunk_completed chunk={chunk.index} worker={worker} "
+            f"configs={len(chunk.configs)}"
+        )
+        if done:
+            self._done.set()
+            self._log(
+                f"event=sweep_done chunks={len(self._chunks)} "
+                f"configs={len(self.configs)}"
+            )
+        return {
+            "v": protocol.PROTOCOL_VERSION,
+            "type": "OK",
+            "chunk": chunk.index,
+            "done": done,
+        }
+
+    # -- observability -----------------------------------------------------------
+
+    def status(self) -> dict:
+        """The coordinator-wide STATUS body (JSON-ready).
+
+        ``chunks`` counts total/pending/leased/completed/stolen;
+        ``workers`` maps each worker id to its chunk/config counts and
+        configs-per-second throughput; ``configs`` tracks sweep-wide
+        completion.
+        """
+        now = self.clock()
+        with self._lock:
+            leased = sum(
+                1
+                for chunk in self._chunks
+                if not chunk.done
+                and (lease := self.leases.holder(chunk.index)) is not None
+                and not lease.expired(now)
+            )
+            completed = sum(1 for chunk in self._chunks if chunk.done)
+            stolen = sum(
+                max(0, chunk.grants - 1) for chunk in self._chunks
+            )
+            workers = {
+                name: {
+                    "chunks_completed": state.chunks_completed,
+                    "configs_completed": state.configs_completed
+                    + state.inflight,
+                    "throughput_configs_s": state.throughput(now),
+                    "last_seen_s": max(0.0, now - state.last_seen),
+                }
+                for name, state in sorted(self._workers.items())
+            }
+            configs_done = sum(chunk.completed for chunk in self._chunks)
+        return {
+            "pid": os.getpid(),
+            "host": self.host,
+            "port": self.port,
+            "done": self._done.is_set(),
+            "store": str(self.store.root),
+            "lease_s": self.leases.ttl_s,
+            "chunks": {
+                "total": len(self._chunks),
+                "pending": len(self._chunks) - completed - leased,
+                "leased": leased,
+                "completed": completed,
+                "stolen": stolen,
+            },
+            "configs": {
+                "total": len(self.configs),
+                "completed": configs_done,
+            },
+            "workers": workers,
+        }

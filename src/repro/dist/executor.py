@@ -1,0 +1,150 @@
+"""One-call distributed sweeps: coordinator + local worker pool.
+
+:func:`distributed_sweep` is what ``repro sweep --workers N --store
+DIR`` runs: start an in-process :class:`~repro.dist.coordinator.
+SweepCoordinator` on an ephemeral port, spawn N ``repro sweep-worker``
+subprocesses pointed at it (inheriting the environment, so store and
+LUT-cache overrides propagate), wait for every chunk to complete, and
+return the grid's :class:`~repro.api.results.StoredResultSet` — the
+same lazy, byte-identical-export view a single-process spill sweep
+returns, because both are just reads of the same content-addressed
+store.
+
+Worker death is survivable by design (the next CLAIM steals the
+expired chunk), but *total* worker loss would wait forever; the
+executor watches its pool and fails fast with the dead workers' last
+stderr lines when nobody is left to finish the sweep.  Extra remote
+workers may attach to the printed port at any time — the pool here is
+a convenience, not a boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+
+from ..api.results import StoredResultSet
+from ..errors import ServiceError
+from .coordinator import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_LEASE_S,
+    SweepCoordinator,
+)
+
+__all__ = ["distributed_sweep", "spawn_worker"]
+
+#: How often the executor polls the coordinator and its worker pool.
+POLL_S = 0.1
+
+
+def spawn_worker(host: str, port: int, worker: str,
+                 env: dict | None = None) -> subprocess.Popen:
+    """Start one ``repro sweep-worker`` subprocess against a coordinator.
+
+    Runs ``python -m repro`` (not the console script) so worker spawn
+    works from a source checkout and a test harness alike; the child
+    inherits this process's environment plus any ``env`` overrides.
+    Stderr is piped — the executor keeps it for failure reports.
+    """
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "sweep-worker",
+            "--connect", f"{host}:{port}", "--id", worker,
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env=merged,
+        text=True,
+    )
+
+
+def distributed_sweep(
+    configs,
+    store,
+    workers: int = 2,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    lease_s: float = DEFAULT_LEASE_S,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    log=None,
+    env: dict | None = None,
+    timeout: float | None = None,
+    status_sink=None,
+) -> StoredResultSet:
+    """Run a config grid across a local pool of worker processes.
+
+    ``configs`` is the expanded (and, if requested, sharded) grid;
+    ``store`` the shared experiment store (everything lands there).
+    ``workers=0`` starts a coordinator with no local pool and blocks
+    until remotely-attached workers finish the sweep — the CI smoke
+    test and multi-machine runs use this.  ``timeout`` bounds the whole
+    sweep (``None`` = wait forever, as long as live workers remain).
+    ``status_sink`` receives the coordinator's final STATUS body (how
+    the CLI reports chunk/steal counts).  Returns the grid's
+    :class:`StoredResultSet`.
+    """
+    if workers < 0:
+        raise ServiceError(f"need a non-negative worker count, got {workers}")
+    coordinator = SweepCoordinator(
+        configs, store, host=host, port=port,
+        chunk_size=chunk_size, lease_s=lease_s, log=log,
+    )
+    coordinator.start()
+    pool = {}
+    failures = []
+    deadline = None if timeout is None else time.monotonic() + timeout
+    try:
+        for index in range(workers):
+            name = f"w{index}-{os.getpid()}"
+            pool[name] = spawn_worker(
+                coordinator.host, coordinator.port, name, env=env
+            )
+        while not coordinator.wait(POLL_S):
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"distributed sweep timed out after {timeout:.1f}s "
+                    f"({coordinator.status()['chunks']})"
+                )
+            for name, process in list(pool.items()):
+                code = process.poll()
+                if code is None:
+                    continue
+                del pool[name]
+                if code != 0:
+                    stderr = (process.stderr.read() or "").strip()
+                    tail = stderr.splitlines()[-3:]
+                    failures.append(
+                        f"{name} exited {code}"
+                        + (f": {' | '.join(tail)}" if tail else "")
+                    )
+            if workers and not pool and not coordinator.done:
+                chunks = coordinator.status()["chunks"]
+                detail = "; ".join(failures) or "all workers exited early"
+                raise ServiceError(
+                    f"distributed sweep stalled: no live workers remain "
+                    f"and {chunks['completed']}/{chunks['total']} chunks "
+                    f"are done ({detail})"
+                )
+        for process in pool.values():
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        if status_sink is not None:
+            status_sink(coordinator.status())
+    finally:
+        for process in pool.values():
+            if process.poll() is None:
+                process.kill()
+        for process in pool.values():
+            if process.stderr is not None:
+                process.stderr.close()
+        coordinator.stop()
+    from ..api.engine import _coerce_store
+
+    return StoredResultSet(_coerce_store(store), tuple(configs))

@@ -1,0 +1,222 @@
+"""Filesystem leases: one JSON file per granted chunk, atomically owned.
+
+A lease is the coordinator's durable record that a chunk is out with a
+worker.  Grants are atomic (``O_CREAT | O_EXCL``), renewals rewrite the
+file through the store's tmp-then-``os.replace`` idiom, and release
+unlinks it — so a finished sweep leaves an *empty* lease directory, and
+a coordinator restarted over the same store sees exactly the grants
+that were live when it died.
+
+Expiry is the whole failure model: a worker that crashes simply stops
+renewing, the lease's ``expires`` timestamp passes, and the next
+:meth:`LeaseManager.claim` hands the chunk to someone else (recorded as
+a renewal-count reset and a new holder).  Time comes from an injectable
+``clock`` so the tests exercise expiry and reclaim without sleeping.
+
+Runs are idempotent through the content-addressed store, so the rare
+race — a worker finishing just as its expired chunk is re-granted —
+costs duplicate compute, never corrupt results; the COMPLETE of the
+stale holder is rejected (``stale_lease``) and the new holder's
+completion wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ProtocolError
+
+__all__ = ["Lease", "LeaseManager"]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted chunk: who holds it and until when."""
+
+    chunk: int
+    worker: str
+    granted: float
+    expires: float
+    renewals: int = 0
+
+    def expired(self, now: float) -> bool:
+        """Whether the holder has missed its renewal deadline."""
+        return now >= self.expires
+
+    def to_dict(self) -> dict:
+        """The JSON body of the lease file."""
+        return {
+            "chunk": self.chunk,
+            "worker": self.worker,
+            "granted": self.granted,
+            "expires": self.expires,
+            "renewals": self.renewals,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        """Rebuild a lease from its file body."""
+        return cls(
+            chunk=int(data["chunk"]),
+            worker=str(data["worker"]),
+            granted=float(data["granted"]),
+            expires=float(data["expires"]),
+            renewals=int(data.get("renewals", 0)),
+        )
+
+
+class LeaseManager:
+    """Grants, renews, releases and reclaims chunk leases under one dir.
+
+    ``ttl_s`` is how long a grant lives without a renewal; ``clock`` is
+    any zero-argument callable returning seconds (``time.time`` by
+    default; tests inject a manual clock so expiry needs no sleeping).
+    The manager never remembers state between calls — the files *are*
+    the state — so a coordinator can be restarted over a live sweep.
+    """
+
+    def __init__(self, root, ttl_s: float = 30.0, clock=time.time) -> None:
+        """See the class docstring; ``root`` is created if missing."""
+        if ttl_s <= 0:
+            raise ProtocolError(f"lease ttl must be positive, got {ttl_s}")
+        self.root = Path(root)
+        self.ttl_s = float(ttl_s)
+        self.clock = clock
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- file plumbing -----------------------------------------------------------
+
+    def path(self, chunk: int) -> Path:
+        """The lease file for one chunk id."""
+        return self.root / f"chunk-{chunk:06d}.lease"
+
+    def _read(self, chunk: int) -> Lease | None:
+        try:
+            body = self.path(chunk).read_text(encoding="utf-8")
+            return Lease.from_dict(json.loads(body))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError) as error:
+            # A torn or corrupt lease file means the grant is
+            # unknowable; treat it as expired so the chunk stays
+            # claimable rather than stuck.
+            raise ProtocolError(
+                f"unreadable lease file {self.path(chunk)}: {error}"
+            ) from error
+
+    def _rewrite(self, lease: Lease) -> None:
+        path = self.path(lease.chunk)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(lease.to_dict()), encoding="utf-8")
+        os.replace(tmp, path)
+
+    # -- the lease lifecycle -----------------------------------------------------
+
+    def claim(self, chunk: int, worker: str) -> Lease | None:
+        """Grant ``chunk`` to ``worker``; ``None`` if validly held.
+
+        A fresh chunk is granted by atomic file creation; a chunk whose
+        lease has expired is *reclaimed* — the stale file is rewritten
+        in place and the previous holder's later COMPLETE/renewals are
+        rejected as ``stale_lease``.  A chunk under a live lease
+        (including this worker's own) returns ``None``.
+        """
+        now = self.clock()
+        lease = Lease(
+            chunk=chunk, worker=worker, granted=now, expires=now + self.ttl_s
+        )
+        try:
+            handle = os.open(
+                self.path(chunk), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            try:
+                current = self._read(chunk)
+            except ProtocolError:
+                current = None  # corrupt grant: reclaimable
+            if current is not None and not current.expired(now):
+                return None
+            # Expired (or vanished between the open and the read):
+            # reclaim by rewrite.  Concurrent reclaims race benignly —
+            # last writer wins, and the store keeps runs idempotent.
+            self._rewrite(lease)
+            return lease
+        with os.fdopen(handle, "w", encoding="utf-8") as file:
+            file.write(json.dumps(lease.to_dict()))
+        return lease
+
+    def renew(self, chunk: int, worker: str) -> Lease:
+        """Extend ``worker``'s lease on ``chunk`` by one TTL.
+
+        Raises a typed :class:`~repro.errors.ProtocolError`:
+        ``stale_lease`` when the lease expired or now belongs to
+        another worker (the caller must abandon the chunk), or
+        ``unknown_chunk`` when no lease file exists at all.
+        """
+        now = self.clock()
+        current = self._read(chunk)
+        if current is None:
+            raise ProtocolError(
+                f"no lease on chunk {chunk} (released or never granted)",
+                code="unknown_chunk",
+            )
+        if current.worker != worker or current.expired(now):
+            raise ProtocolError(
+                f"chunk {chunk} lease is stale for {worker!r}: held by "
+                f"{current.worker!r}"
+                + (" (expired)" if current.expired(now) else ""),
+                code="stale_lease",
+            )
+        renewed = Lease(
+            chunk=chunk,
+            worker=worker,
+            granted=current.granted,
+            expires=now + self.ttl_s,
+            renewals=current.renewals + 1,
+        )
+        self._rewrite(renewed)
+        return renewed
+
+    def release(self, chunk: int, worker: str) -> None:
+        """Drop ``worker``'s lease on ``chunk`` (after its COMPLETE).
+
+        Raises ``stale_lease`` when the chunk was reclaimed by another
+        worker in the meantime — the completion must be discarded, the
+        new holder owns the chunk now.  Releasing an already-released
+        chunk is an ``unknown_chunk`` error.
+        """
+        current = self._read(chunk)
+        if current is None:
+            raise ProtocolError(
+                f"no lease on chunk {chunk} (released or never granted)",
+                code="unknown_chunk",
+            )
+        if current.worker != worker:
+            raise ProtocolError(
+                f"chunk {chunk} was reclaimed by {current.worker!r}; "
+                f"{worker!r} must abandon it",
+                code="stale_lease",
+            )
+        try:
+            os.unlink(self.path(chunk))
+        except FileNotFoundError:
+            pass
+
+    def holder(self, chunk: int) -> Lease | None:
+        """The current lease on ``chunk`` (expired or not), if any."""
+        return self._read(chunk)
+
+    def active(self) -> list:
+        """Every lease on disk, sorted by chunk id."""
+        leases = []
+        for path in sorted(self.root.glob("chunk-*.lease")):
+            try:
+                body = json.loads(path.read_text(encoding="utf-8"))
+                leases.append(Lease.from_dict(body))
+            except (OSError, ValueError, KeyError):
+                continue
+        return leases

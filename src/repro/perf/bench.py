@@ -46,6 +46,16 @@ Six sections, each emitted as one ``BENCH_<section>.json``:
     config, interpreter startup excluded) — ``warm_dp_builds`` must be
     zero and the CI perf gate fails when ``speedup`` drops below
     ``--min-serve-speedup``.
+``dist``
+    Work-stealing sweep executor scheduling: the same seed grid through
+    :func:`~repro.dist.executor.distributed_sweep` with one worker vs a
+    four-worker pool, both under an identical synthetic per-config cost
+    (``REPRO_DIST_RUN_STALL_S``, a sleep the workers honour after each
+    run).  Sleeps overlap across worker processes regardless of core
+    count, so the measured ``speedup`` reflects how well the
+    claim/lease/complete loop keeps N workers busy — not the machine —
+    and the CI perf gate fails when it drops below
+    ``--min-dist-speedup``.
 
 All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 """
@@ -53,6 +63,7 @@ All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import tempfile
 import time
@@ -103,6 +114,13 @@ def default_bench_settings(quick: bool = False) -> dict:
         "serve_cases": ["case1", "case2", "case3"] if quick
         else ["case1", "case2", "case3", "case4", "case5", "case6"],
         "serve_slices": 8 if quick else 20,
+        "dist_workers": 4,
+        "dist_configs": 24 if quick else 32,
+        "dist_chunk": 1,
+        # Big enough that overlapped sleeps dominate the serialized
+        # worker-spawn ramp even on a single core; identical for both
+        # passes, so the speedup isolates executor scheduling.
+        "dist_stall_s": 1.0,
     }
 
 
@@ -489,6 +507,81 @@ def bench_serve(settings: dict, model_name: str) -> dict:
     }
 
 
+def bench_dist(settings: dict, model_name: str) -> dict:
+    """1-worker vs N-worker distributed sweep under a synthetic run cost.
+
+    Both passes push the same seed grid through
+    :func:`~repro.dist.executor.distributed_sweep` into throwaway
+    stores, with ``REPRO_DIST_RUN_STALL_S`` charging every config an
+    identical sleep after it computes.  Sleeps overlap across worker
+    processes even on one core, so the 4-worker pass beats the 1-worker
+    baseline exactly as far as the coordinator keeps its pool fed —
+    a serialized claim loop, leaked lease, or blocking COMPLETE path
+    shows up directly as lost speedup.  The shared LUT disk cache is
+    warmed first so neither pass pays DP construction.
+    """
+    from ..dist.executor import distributed_sweep
+
+    workers = settings["dist_workers"]
+    stall_s = settings["dist_stall_s"]
+    grid = ExperimentConfig(
+        model=MODELS.canonical(model_name),
+        slices=4,
+        block_count=16,
+        time_steps=1500,
+    ).sweep(seed=list(range(2025, 2025 + settings["dist_configs"])))
+    env = {"REPRO_DIST_RUN_STALL_S": repr(stall_s)}
+    status = {"baseline": {}, "dist": {}}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as tmp:
+        with lutcache.temporary_cache_dir(Path(tmp) / "lut"):
+            # One build primes the disk cache every worker inherits
+            # (the whole grid shares a runtime key — seeds only vary
+            # the workload sample, not the LUT).
+            Engine().runtime(grid[0])
+
+            baseline_s = _best_of(
+                lambda: distributed_sweep(
+                    grid,
+                    Path(tmp) / "store-baseline",
+                    workers=1,
+                    chunk_size=settings["dist_chunk"],
+                    env=env,
+                    log=lambda line: None,
+                    status_sink=status["baseline"].update,
+                ),
+                1,
+            )
+            dist_s = _best_of(
+                lambda: distributed_sweep(
+                    grid,
+                    Path(tmp) / "store-pool",
+                    workers=workers,
+                    chunk_size=settings["dist_chunk"],
+                    env=env,
+                    log=lambda line: None,
+                    status_sink=status["dist"].update,
+                ),
+                1,
+            )
+    chunks = status["dist"].get("chunks", {})
+    return {
+        "configs": len(grid),
+        "workers": workers,
+        "chunk_size": settings["dist_chunk"],
+        "run_stall_s": stall_s,
+        "cores": os.cpu_count(),
+        "baseline_s": baseline_s,
+        "baseline_runs_per_s": len(grid) / baseline_s,
+        "dist_s": dist_s,
+        "dist_runs_per_s": len(grid) / dist_s,
+        "chunks_completed": chunks.get("completed", 0),
+        "chunks_stolen": chunks.get("stolen", 0),
+        "pool_workers_seen": len(status["dist"].get("workers", {})),
+        "speedup": baseline_s / dist_s if dist_s > 0 else float("inf"),
+    }
+
+
 # -- orchestration ---------------------------------------------------------------
 
 
@@ -519,6 +612,7 @@ def run_bench(
         ),
         "store": bench_store(settings, model),
         "serve": bench_serve(settings, model),
+        "dist": bench_dist(settings, model),
     }
     # A machine-relative companion to requests_per_s: QoS requests
     # simulated per scalar-reference slice on the same box, so the perf
@@ -555,6 +649,7 @@ def render_report(report: dict) -> str:
     qos = report["qos"]
     store = report["store"]
     serve = report["serve"]
+    dist = report["dist"]
     lines = [
         (
             f"LUT build ({build['arch']}/{build['model']}, "
@@ -608,6 +703,15 @@ def render_report(report: dict) -> str:
             f"{serve['warm_s'] * 1e3:.1f} ms "
             f"({serve['warm_dp_builds']} DP builds while warm), "
             f"speedup {serve['speedup']:.1f}x"
+        ),
+        (
+            f"dist ({dist['configs']} configs, "
+            f"+{dist['run_stall_s'] * 1e3:.0f} ms synthetic cost each): "
+            f"1 worker {dist['baseline_s']:.2f} s, {dist['workers']} "
+            f"workers {dist['dist_s']:.2f} s "
+            f"({dist['chunks_completed']} chunks, "
+            f"{dist['chunks_stolen']} stolen), "
+            f"speedup {dist['speedup']:.1f}x"
         ),
     ]
     return "\n".join(lines)

@@ -42,6 +42,7 @@ HEADLINE_METRICS: dict[str, str] = {
     "qos": "speedup",
     "store": "resume_speedup",
     "serve": "speedup",
+    "dist": "speedup",
 }
 
 #: Fractional slack before a lower headline metric counts as a

@@ -505,11 +505,19 @@ class ServeDaemon:
                 "type": "DRAINED",
                 "jobs_done": done,
             }
-        # SHUTDOWN: reply first, then stop from another thread so this
-        # handler can still flush the reply over the dying socket.
-        self._draining.set()
-        self.initiate_shutdown()
-        return {"v": protocol.PROTOCOL_VERSION, "type": "STOPPING"}
+        if rtype == "SHUTDOWN":
+            # Reply first, then stop from another thread so this
+            # handler can still flush the reply over the dying socket.
+            self._draining.set()
+            self.initiate_shutdown()
+            return {"v": protocol.PROTOCOL_VERSION, "type": "STOPPING"}
+        # The distributed-sweep verbs are valid protocol but belong to
+        # the sweep coordinator, not the serve daemon.
+        raise ProtocolError(
+            f"{rtype} is not served by this daemon "
+            f"(send it to a sweep coordinator)",
+            code="unsupported",
+        )
 
     def _handle_submit(self, message: dict) -> dict:
         if self._draining.is_set():

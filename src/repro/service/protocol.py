@@ -33,9 +33,32 @@ Requests
 ``PING``
     ``{}`` — liveness probe; replies ``{"type": "PONG"}``.
 
+Distributed-sweep requests (v2, answered by the
+:class:`~repro.dist.coordinator.SweepCoordinator`; the serve daemon
+rejects them with a typed ``unsupported`` error)
+--------------------------------------------------------------------
+``CLAIM``
+    ``{"worker": "w-..."}`` — ask for the next available chunk.
+    Replies ``{"type": "CHUNK", "chunk": int, "configs": [...],
+    "lease_s": float}`` with a lease on the chunk, ``{"type":
+    "EMPTY", "done": bool, "retry_s": float}`` when nothing is
+    currently claimable, or ``{"type": "EMPTY", "done": true}`` when
+    the sweep has finished and the worker should exit.
+``HEARTBEAT``
+    ``{"worker": ..., "chunk": int}`` — renew the chunk's lease.
+    Replies ``OK``; a ``stale_lease`` error means another worker
+    reclaimed the chunk and this worker must abandon it.
+``PROGRESS``
+    ``{"worker": ..., "chunk": int, "completed": int}`` — report
+    configs finished so far in the chunk; renews the lease like
+    ``HEARTBEAT`` and feeds the coordinator's live telemetry.
+``COMPLETE``
+    ``{"worker": ..., "chunk": int}`` — mark the chunk done and
+    release its lease.  Replies ``OK`` with ``{"done": bool}``.
+
 Errors are typed replies, never dropped connections::
 
-    {"v": 1, "type": "ERROR", "code": "bad_config", "error": "..."}
+    {"v": 2, "type": "ERROR", "code": "bad_config", "error": "..."}
 
 with ``code`` one of :data:`ERROR_CODES`.  A job that raises inside the
 daemon keeps the daemon serving: the failure surfaces as a
@@ -53,6 +76,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "REQUEST_TYPES",
+    "DIST_TYPES",
     "SUBMIT_KINDS",
     "ERROR_CODES",
     "ConnectionClosed",
@@ -66,7 +90,10 @@ __all__ = [
 ]
 
 #: Bumped whenever a message's shape or meaning changes.
-PROTOCOL_VERSION = 1
+#: v2 added the distributed-sweep verbs (CLAIM/HEARTBEAT/PROGRESS/
+#: COMPLETE) and the ``unknown_chunk``/``stale_lease``/``unsupported``
+#: error codes.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame's JSON body; a length prefix beyond it is
 #: treated as a corrupt stream, not an allocation request.
@@ -75,7 +102,11 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 #: Every request type a daemon must answer.
 REQUEST_TYPES = (
     "SUBMIT", "STATUS", "RESULT", "METRICS", "DRAIN", "SHUTDOWN", "PING",
+    "CLAIM", "HEARTBEAT", "PROGRESS", "COMPLETE",
 )
+
+#: The distributed-sweep verbs a coordinator answers (v2).
+DIST_TYPES = ("CLAIM", "HEARTBEAT", "PROGRESS", "COMPLETE")
 
 #: The experiment kinds a SUBMIT may carry (the store's record kinds).
 SUBMIT_KINDS = ("run", "fleet", "qos")
@@ -90,6 +121,12 @@ ERROR_CODES = (
     "job_failed",       # RESULT for a job whose execution raised
     "job_pending",      # RESULT with wait=False for an unfinished job
     "draining",         # SUBMIT after a DRAIN/SHUTDOWN was accepted
+    "unknown_chunk",    # HEARTBEAT/PROGRESS/COMPLETE for a chunk id
+                        # the coordinator never handed out
+    "stale_lease",      # the chunk's lease expired and was reclaimed
+                        # by another worker; the sender must abandon it
+    "unsupported",      # a valid v2 verb this daemon does not serve
+                        # (e.g. CLAIM sent to the serve daemon)
 )
 
 _LENGTH = struct.Struct(">I")
@@ -232,4 +269,20 @@ def validate_request(message: dict) -> str:
         message.get("job_id"), str
     ):
         raise ProtocolError(f"{rtype} needs a job_id string")
+    if rtype in DIST_TYPES and not isinstance(message.get("worker"), str):
+        raise ProtocolError(f"{rtype} needs a worker string")
+    if rtype in ("HEARTBEAT", "PROGRESS", "COMPLETE"):
+        chunk = message.get("chunk")
+        if not isinstance(chunk, int) or isinstance(chunk, bool):
+            raise ProtocolError(f"{rtype} needs an integer chunk id")
+    if rtype == "PROGRESS":
+        completed = message.get("completed")
+        if (
+            not isinstance(completed, int)
+            or isinstance(completed, bool)
+            or completed < 0
+        ):
+            raise ProtocolError(
+                "PROGRESS needs a non-negative integer completed count"
+            )
     return rtype

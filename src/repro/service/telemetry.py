@@ -268,6 +268,33 @@ class MetricsRegistry:
         """The whole registry as a line-protocol document."""
         return "\n".join(self.lines(timestamp_ns)) + "\n"
 
+    def values(self) -> dict:
+        """The registry as a JSON-ready nested dict.
+
+        ``{measurement: {field...: value}}`` with every group's tag
+        dict folded into the measurement key as line-protocol tag
+        syntax (``measurement,tag=value``), mirroring :meth:`lines` so
+        a ``STATUS --json`` body and a ``METRICS`` scrape agree on
+        naming.  Histograms expand into their ``_count``/``_sum``/...
+        fields exactly as they render.
+        """
+        with self._lock:
+            snapshot = [
+                (key, self._tags[key], dict(group))
+                for key, group in sorted(self._groups.items())
+            ]
+        values: dict = {}
+        for (measurement, _), tags, group in snapshot:
+            name = measurement + "".join(
+                f",{escape_tag(key)}={escape_tag(tags[key])}"
+                for key in sorted(tags)
+            )
+            fields: dict = {}
+            for field, metric in group.items():
+                fields.update(metric.fields(field))
+            values[name] = fields
+        return values
+
 
 class LineFileWriter:
     """Append-only ``metrics.lp`` writer a Telegraf ``tail`` can follow.

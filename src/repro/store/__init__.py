@@ -26,7 +26,13 @@ From the shell the same store backs ``repro sweep --store DIR
 [--shard I/N] [--resume]`` and ``repro store {info,ls,clear}``.
 """
 
-from .sharding import parse_shard, partition, select_shard, shard_index
+from .sharding import (
+    parse_shard,
+    partition,
+    partition_chunks,
+    select_shard,
+    shard_index,
+)
 from .store import (
     KINDS,
     STORE_VERSION,
@@ -47,6 +53,7 @@ __all__ = [
     "temporary_store_dir",
     "parse_shard",
     "partition",
+    "partition_chunks",
     "select_shard",
     "shard_index",
 ]

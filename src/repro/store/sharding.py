@@ -78,6 +78,28 @@ def partition(configs, count: int) -> list:
     return [tuple(shard) for shard in shards]
 
 
+def partition_chunks(configs, chunk_size: int) -> list:
+    """Split a grid into hash-stable chunks of roughly ``chunk_size``.
+
+    The distributed executor's work unit: the grid partitions into
+    ``ceil(len(configs) / chunk_size)`` hash shards (so a config's
+    chunk depends only on its own fingerprint and the grid size, never
+    on grid order), then empty shards drop out.  Returns a list of
+    non-empty config tuples; every config appears in exactly one.
+    Hash partitioning keeps chunk membership stable when the same grid
+    is re-expanded by a resumed coordinator.
+    """
+    if chunk_size <= 0:
+        raise ConfigurationError(
+            f"chunk size must be positive, got {chunk_size}"
+        )
+    configs = tuple(configs)
+    if not configs:
+        return []
+    count = -(-len(configs) // chunk_size)
+    return [chunk for chunk in partition(configs, count) if chunk]
+
+
 def select_shard(configs, shard) -> tuple:
     """The subset of a grid belonging to one shard, in grid order.
 

@@ -306,8 +306,10 @@ class Store:
         the result to one record kind (``run`` or ``fleet``) and
         ``limit`` keeps only the first ``limit`` records *after*
         sorting and filtering.  Records come back sorted by config
-        label then key, so two processes querying one store see the
-        same order.
+        fingerprint then key — a total order derived from content
+        hashes, never from directory listing order — so two processes
+        querying one store (on any filesystem) see the same records in
+        the same order, and ``--limit N`` truncates to the same N.
         """
         if kind is not None and kind not in ("run", "fleet"):
             raise ConfigurationError(
@@ -327,8 +329,10 @@ class Store:
             payload = self._load_payload(path)
             if payload is None:
                 continue
-            records.append((payload["record"].config.label, payload["key"],
-                            payload["record"]))
+            # The key is "<kind>-<fingerprint>"; order by fingerprint
+            # first so run/fleet records of one config sit together.
+            fingerprint = payload["key"].split("-", 1)[1]
+            records.append((fingerprint, payload["key"], payload["record"]))
         records.sort(key=lambda item: (item[0], item[1]))
         results = ResultSet(record for _, _, record in records)
         if predicate is not None or axes:

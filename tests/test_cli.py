@@ -194,7 +194,8 @@ class TestErrorExit:
         assert names == {"BENCH_lut_build.json", "BENCH_lut_cache.json",
                          "BENCH_sweep.json", "BENCH_lookup.json",
                          "BENCH_runtime.json", "BENCH_qos.json",
-                         "BENCH_store.json", "BENCH_serve.json"}
+                         "BENCH_store.json", "BENCH_serve.json",
+                         "BENCH_dist.json"}
         runtime = json.loads((tmp_path / "BENCH_runtime.json").read_text())
         assert runtime["metrics"]["speedup"] > 0
         assert runtime["metrics"]["slices"] > 0
@@ -253,6 +254,17 @@ class TestErrorExit:
         captured = capsys.readouterr()
         assert code == 2
         assert "--spill needs --store" in captured.err
+
+    def test_sweep_shard_validated_up_front(self, capsys):
+        """Bad ``--shard`` specs fail before any compute starts."""
+        for bad in ("2/2", "3/2", "-1/4", "0/0", "0/-1", "banana", "1"):
+            code = main(["sweep", "--model", "EfficientNet-B0",
+                         "--case", "1", "--blocks", "16", "--steps", "1500",
+                         "--slices", "2", f"--shard={bad}"])
+            captured = capsys.readouterr()
+            assert code == 2, bad
+            assert captured.err.startswith("error:")
+            assert "Traceback" not in captured.err
 
     def test_sweep_spill_through_store(self, capsys, tmp_path):
         out = run_cli(capsys, "sweep", "--model", "EfficientNet-B0",

@@ -237,6 +237,18 @@ class TestRegistry:
         assert first == registry.render(timestamp_ns=123)
         assert first.splitlines()[0].startswith("a ")
 
+    def test_values_mirror_lines(self):
+        """``values()`` is the JSON face of ``lines()``: same grouping
+        by measurement+tags, same field payload."""
+        registry = MetricsRegistry()
+        registry.counter("jobs", "done").inc(2)
+        registry.gauge("jobs", "queue").set(3)
+        registry.counter("jobs", "n", tags={"kind": "qos"}).inc()
+        assert registry.values() == {
+            "jobs": {"done": 2, "queue": 3},
+            "jobs,kind=qos": {"n": 1},
+        }
+
     def test_kind_conflict_rejected(self):
         registry = MetricsRegistry()
         registry.counter("m", "f")

@@ -25,6 +25,7 @@ from repro.store import (
     Store,
     parse_shard,
     partition,
+    partition_chunks,
     select_shard,
     shard_index,
 )
@@ -214,6 +215,27 @@ class TestSharding:
                 next(c for c in grown if c == config), 4
             )
 
+    def test_partition_chunks_conserves_the_grid(self):
+        grid = tiny_grid()
+        chunks = partition_chunks(grid, 2)
+        assert all(chunks)  # empty shards are dropped, not served
+        flattened = [config for chunk in chunks for config in chunk]
+        assert sorted(flattened, key=lambda c: c.fingerprint()) == sorted(
+            grid, key=lambda c: c.fingerprint()
+        )
+        # chunking is deterministic: same grid, same chunks
+        assert partition_chunks(grid, 2) == chunks
+
+    def test_partition_chunks_edge_cases(self):
+        grid = tiny_grid()
+        assert partition_chunks((), 4) == []
+        assert partition_chunks(grid, len(grid) * 10) == [
+            chunk for chunk in partition(grid, 1) if chunk
+        ]
+        for bad in (0, -2):
+            with pytest.raises(ConfigurationError):
+                partition_chunks(grid, bad)
+
     def test_partition_matches_across_processes(self, tmp_path):
         """Same grid -> same shard assignment in a fresh interpreter."""
         script = tmp_path / "shards.py"
@@ -306,6 +328,31 @@ class TestResumedSweeps:
         hh = store.query(arch="HH-PIM")
         assert {r.arch for r in hh} == {"HH-PIM"}
         assert len(hh) == 2
+
+    def test_query_limit_is_listing_order_independent(
+        self, store, monkeypatch
+    ):
+        """``limit=N`` truncates the fingerprint-sorted order, so the
+        same store queried on any filesystem (or any readdir order)
+        yields the same head."""
+        grid = tiny_grid()
+        Engine(use_disk_cache=False, store=store).run_many(grid)
+        full = store.query()
+        fingerprints = [r.config.fingerprint() for r in full]
+        assert fingerprints == sorted(fingerprints)
+        head = store.query(limit=2)
+        assert [r.config.fingerprint() for r in head] == fingerprints[:2]
+
+        listing = store._entries
+        monkeypatch.setattr(
+            store, "_entries", lambda: list(listing())[::-1]
+        )
+        assert [
+            r.config.fingerprint() for r in store.query()
+        ] == fingerprints
+        assert [
+            r.config.fingerprint() for r in store.query(limit=2)
+        ] == fingerprints[:2]
 
 
 class TestStoreCLI:
