@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 from ..core import lutcache
 from ..core.knapsack import dp_build_count
+from ..obs.tracing import span as _span
 from ..core.placement import PlacementPolicy
 from ..core.runtime import TimeSliceRuntime, default_time_slice_ns
 from ..errors import ConfigurationError, RegistryError
@@ -124,13 +125,16 @@ def _materialize_runtime(resolved: _ResolvedRuntime) -> tuple:
     disk hit.
     """
     before = dp_build_count()
-    if resolved.use_cache and lutcache.enabled():
-        runtime, source = lutcache.fetch_or_build(
-            ("runtime",) + resolved.key, resolved.build
-        )
-    else:
-        runtime, source = resolved.build(), "built"
-    return runtime, source, dp_build_count() - before
+    with _span("engine.materialize_runtime") as trace_span:
+        if resolved.use_cache and lutcache.enabled():
+            runtime, source = lutcache.fetch_or_build(
+                ("runtime",) + resolved.key, resolved.build
+            )
+        else:
+            runtime, source = resolved.build(), "built"
+        dp_delta = dp_build_count() - before
+        trace_span.annotate(source=source, dp_builds=dp_delta)
+    return runtime, source, dp_delta
 
 
 def _coerce_store(store):
@@ -329,10 +333,14 @@ class Engine:
                 f"Engine.run_fleet / run_fleet_record (or run_many, which "
                 f"batches fleet configs as FleetRecord entries)"
             )
-        runtime, cached = self._runtime_cached(self.resolve(config))
-        workload = scenario if scenario is not None else self.scenario(config)
-        result = runtime.run(workload)
-        self.stats.runs += 1
+        with _span("engine.run", label=config.label) as trace_span:
+            runtime, cached = self._runtime_cached(self.resolve(config))
+            workload = (
+                scenario if scenario is not None else self.scenario(config)
+            )
+            result = runtime.run(workload)
+            self.stats.runs += 1
+            trace_span.annotate(lut_cached=cached)
         return RunRecord(config=config, result=result, lut_cached=cached)
 
     def run_fleet(self, config: ExperimentConfig,
@@ -350,13 +358,20 @@ class Engine:
     def run_fleet_record(self, config: ExperimentConfig,
                          scenario: Scenario | None = None) -> FleetRecord:
         """Like :meth:`run_fleet` but keeps the config and provenance."""
-        runtime, cached = self._runtime_cached(self.resolve(config))
-        workload = scenario if scenario is not None else self.scenario(config)
-        fleet = Fleet(
-            [runtime] * config.fleet, dispatch=DISPATCH.get(config.dispatch)
-        )
-        result = fleet.run(workload)
-        self.stats.runs += 1
+        with _span(
+            "engine.fleet", label=config.label, devices=config.fleet
+        ) as trace_span:
+            runtime, cached = self._runtime_cached(self.resolve(config))
+            workload = (
+                scenario if scenario is not None else self.scenario(config)
+            )
+            fleet = Fleet(
+                [runtime] * config.fleet,
+                dispatch=DISPATCH.get(config.dispatch),
+            )
+            result = fleet.run(workload)
+            self.stats.runs += 1
+            trace_span.annotate(lut_cached=cached)
         return FleetRecord(config=config, result=result, lut_cached=cached)
 
     def run_qos(self, config: ExperimentConfig,
@@ -391,30 +406,37 @@ class Engine:
         store = self.store if store is None else _coerce_store(store)
         resume = self.resume if resume is None else resume
         addressable = scenario is None and requests is None
-        if store is not None and addressable and resume:
-            stored = store.get_qos(config)
-            if stored is not None:
-                self.stats.store_hits += 1
-                return stored
-            self.stats.store_misses += 1
-        runtime, _ = self._runtime_cached(self.resolve(config))
-        workload = scenario if scenario is not None else self.scenario(config)
-        simulator = QoSSimulator(
-            runtime,
-            devices=config.fleet,
-            dispatch=DISPATCH.get(config.dispatch),
-            discipline=QOS.get(config.qos),
-            autoscaler=AUTOSCALERS.get(config.autoscaler),
-            # None defers to the simulator's default (the initial size)
-            max_devices=config.max_fleet,
-            batch=config.batch,
-            slo=config.slo,
-            on_window=on_window,
-        )
-        result = simulator.run(workload, requests=requests, seed=config.seed)
-        self.stats.runs += 1
-        if store is not None and addressable:
-            store.put_qos(config, result, engine_stats=self.stats)
+        with _span("engine.qos", label=config.label) as trace_span:
+            if store is not None and addressable and resume:
+                stored = store.get_qos(config)
+                if stored is not None:
+                    self.stats.store_hits += 1
+                    trace_span.annotate(source="store")
+                    return stored
+                self.stats.store_misses += 1
+            runtime, _ = self._runtime_cached(self.resolve(config))
+            workload = (
+                scenario if scenario is not None else self.scenario(config)
+            )
+            simulator = QoSSimulator(
+                runtime,
+                devices=config.fleet,
+                dispatch=DISPATCH.get(config.dispatch),
+                discipline=QOS.get(config.qos),
+                autoscaler=AUTOSCALERS.get(config.autoscaler),
+                # None defers to the simulator's default (the initial size)
+                max_devices=config.max_fleet,
+                batch=config.batch,
+                slo=config.slo,
+                on_window=on_window,
+            )
+            result = simulator.run(
+                workload, requests=requests, seed=config.seed
+            )
+            self.stats.runs += 1
+            trace_span.annotate(source="computed")
+            if store is not None and addressable:
+                store.put_qos(config, result, engine_stats=self.stats)
         return result
 
     def run_job(self, config: ExperimentConfig, kind: str | None = None,
@@ -480,6 +502,12 @@ class Engine:
         configs = tuple(configs)
         store = self.store if store is None else _coerce_store(store)
         resume = self.resume if resume is None else resume
+        with _span("engine.run_many", configs=len(configs), spill=spill):
+            return self._run_many(configs, max_workers, store, resume, spill)
+
+    def _run_many(self, configs: tuple, max_workers: int | None,
+                  store, resume: bool, spill: bool) -> ResultSet:
+        """The :meth:`run_many` body (split out for the tracing span)."""
         if spill:
             if store is None:
                 raise ConfigurationError(
@@ -529,14 +557,15 @@ class Engine:
                 self.stats.store_misses += 1
         for start in range(0, len(pending), self.SPILL_CHUNK):
             chunk = tuple(pending[start : start + self.SPILL_CHUNK])
-            for record in self._execute_many(chunk, max_workers):
-                if not store.put(record, engine_stats=self.stats):
-                    raise ConfigurationError(
-                        f"spill sweep could not persist config "
-                        f"{record.config.fingerprint()} to the store at "
-                        f"{store.root}; spilled batches need a writable "
-                        f"store"
-                    )
+            with _span("engine.spill_chunk", start=start, configs=len(chunk)):
+                for record in self._execute_many(chunk, max_workers):
+                    if not store.put(record, engine_stats=self.stats):
+                        raise ConfigurationError(
+                            f"spill sweep could not persist config "
+                            f"{record.config.fingerprint()} to the store at "
+                            f"{store.root}; spilled batches need a writable "
+                            f"store"
+                        )
         return StoredResultSet(store, configs)
 
     def sweep(self, base: ExperimentConfig | None = None, *,
@@ -573,6 +602,14 @@ class Engine:
             from ..store.sharding import select_shard
 
             configs = select_shard(configs, shard)
+        with _span("engine.sweep", configs=len(configs)):
+            return self._sweep(
+                configs, max_workers, store, resume, spill, dist
+            )
+
+    def _sweep(self, configs, max_workers, store, resume, spill,
+               dist) -> ResultSet:
+        """The :meth:`sweep` execution body (split out for tracing)."""
         if dist is not None:
             target = self.store if store is None else _coerce_store(store)
             if target is None:

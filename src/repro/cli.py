@@ -27,6 +27,8 @@ Usage::
     python -m repro submit --scenario bursty    # job to a running daemon
     python -m repro status --metrics       # scrape the daemon's metrics
     python -m repro shutdown               # drain the daemon and stop it
+    python -m repro sweep --trace t.json   # record a Perfetto-loadable trace
+    python -m repro profile t.json         # fold a trace into a phase table
 
 Every experiment command goes through :class:`repro.api.Engine`, so
 architectures, models and scenarios registered via :mod:`repro.api`
@@ -389,6 +391,7 @@ def _cmd_serve(args) -> str:
         workers=args.workers,
         metrics_file=args.metrics_file,
         pidfile=args.pidfile,
+        trace=args.trace,
     )
     final = daemon.run()
     jobs = final["jobs"]
@@ -452,6 +455,18 @@ def _cmd_sweep_worker(args) -> str:
     )
 
 
+def _cmd_profile(args) -> str:
+    """Fold a recorded trace file into the per-phase profile table."""
+    from .obs.profile import profile_file
+
+    try:
+        return profile_file(args.file)
+    except (OSError, ValueError, KeyError) as error:
+        raise ReproError(
+            f"cannot profile {args.file}: {error}"
+        ) from error
+
+
 def _render_coordinator_status(state: dict) -> str:
     """The text body ``repro status`` prints for a sweep coordinator."""
     chunks = state["chunks"]
@@ -465,6 +480,8 @@ def _render_coordinator_status(state: dict) -> str:
         f"{chunks['stolen']} stolen",
         f"configs: {configs['completed']}/{configs['total']} "
         f"(store {state['store']}, lease {state['lease_s']:.0f}s)",
+        f"obs: {state.get('spans_recorded', 0)} spans recorded, "
+        f"{state.get('events_logged', 0)} events logged",
     ]
     for name, worker in state["workers"].items():
         lines.append(
@@ -504,6 +521,8 @@ def _cmd_status(args) -> str:
         f"engine: {engine['runs']} runs, {engine['dp_builds']} DP builds, "
         f"{engine['lut_hits']} LUT hits ({engine['lut_hit_rate']:.0%}), "
         f"{engine['store_hits']} store hits",
+        f"obs: {state.get('spans_recorded', 0)} spans recorded, "
+        f"{state.get('events_logged', 0)} events logged",
     ]
     for job in state["recent"]:
         wall = f" {job['wall_s']:.3f}s" if job["wall_s"] is not None else ""
@@ -618,6 +637,14 @@ def _cmd_bench(args) -> str:
             f"perf gate failed: the {report['dist']['workers']}-worker "
             f"distributed sweep is only {dist_speedup:.2f}x faster than "
             f"one worker, below the required {args.min_dist_speedup:.2f}x"
+        )
+    obs_overhead = report["obs"]["disabled_overhead"]
+    if (args.max_obs_overhead is not None
+            and obs_overhead > args.max_obs_overhead):
+        raise ReproError(
+            f"perf gate failed: disabled-tracing instrumentation costs "
+            f"{obs_overhead:.2%} of the untraced workload, above the "
+            f"allowed {args.max_obs_overhead:.2%}"
         )
     if args.json:
         return json.dumps(report, indent=2, sort_keys=True)
@@ -789,6 +816,13 @@ def _add_resolution_args(parser, blocks: int, steps: int) -> None:
                         help="skip the persistent on-disk LUT cache")
 
 
+def _add_trace_arg(parser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record spans and write the trace to FILE on "
+                             "exit (Chrome trace JSON for Perfetto, or a "
+                             "raw span dump for a .jsonl path)")
+
+
 def _version() -> str:
     """The installed distribution version, or the source-tree fallback."""
     from importlib import metadata
@@ -833,6 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--records", action="store_true",
                      help="with --json: include the full per-slice records")
     _add_resolution_args(run, blocks=48, steps=6000)
+    _add_trace_arg(run)
     sweep = sub.add_parser(
         "sweep", help="grid over architectures x models x scenarios"
     )
@@ -876,6 +911,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: 0 = ephemeral; the bound port is "
                             "logged for repro sweep-worker --connect)")
     _add_resolution_args(sweep, blocks=48, steps=6000)
+    _add_trace_arg(sweep)
     worker = sub.add_parser(
         "sweep-worker",
         help="attach one work-stealing worker to a running sweep "
@@ -917,6 +953,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--steps", type=int, default=6000)
     fleet.add_argument("--no-cache", action="store_true",
                        help="skip the persistent on-disk LUT cache")
+    _add_trace_arg(fleet)
     qos = sub.add_parser(
         "qos", help="request-level QoS simulation: latency, SLOs, autoscaling"
     )
@@ -925,6 +962,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit the machine-readable QoS summary")
     qos.add_argument("--records", action="store_true",
                      help="with --json: include per-device slice records")
+    _add_trace_arg(qos)
     serve = sub.add_parser(
         "serve", help="resident serving daemon: warm engine behind a socket"
     )
@@ -940,6 +978,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "Telegraf tail input can follow it)")
     serve.add_argument("--pidfile", metavar="FILE", default=None,
                        help="write the daemon pid to FILE while serving")
+    _add_trace_arg(serve)
     submit = sub.add_parser(
         "submit", help="submit one experiment to a running serve daemon"
     )
@@ -1025,6 +1064,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fail (exit 2) if the multi-worker distributed "
                             "sweep is not this many times faster than a "
                             "single worker under the same synthetic cost")
+    bench.add_argument("--max-obs-overhead", type=float, default=None,
+                       help="fail (exit 2) if the disabled tracing "
+                            "instrumentation costs more than this fraction "
+                            "of the untraced workload (e.g. 0.05)")
     bench.add_argument("--json", action="store_true",
                        help="print the full machine-readable report")
     trend = sub.add_parser(
@@ -1071,6 +1114,12 @@ def build_parser() -> argparse.ArgumentParser:
     docs.add_argument("--check", action="store_true",
                       help="exit 2 instead of writing when the reference is "
                            "stale or a public docstring is missing")
+    profile = sub.add_parser(
+        "profile", help="fold a --trace file into a per-phase time table"
+    )
+    profile.add_argument("file", metavar="FILE",
+                         help="a trace written by --trace (Chrome trace "
+                              "JSON or a .jsonl span dump)")
     return parser
 
 
@@ -1098,11 +1147,20 @@ _HANDLERS = {
     "store": _cmd_store,
     "docs": _cmd_docs,
     "list": _cmd_list,
+    "profile": _cmd_profile,
 }
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # `repro serve --trace` hands the file to the daemon (which owns its
+    # tracer lifecycle); every other --trace command records here.
+    trace_path = getattr(args, "trace", None)
+    tracer = None
+    if trace_path is not None and args.command != "serve":
+        from .obs import tracing as obs_tracing
+
+        tracer = obs_tracing.activate(proc="main")
     try:
         print(_HANDLERS[args.command](args))
     except KeyboardInterrupt:
@@ -1117,6 +1175,12 @@ def main(argv=None) -> int:
         # registry keys) are user errors: one line, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            from .obs import tracing as obs_tracing
+
+            obs_tracing.deactivate()
+            tracer.trace().write(trace_path)
     return 0
 
 

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError, PlacementError
+from ..obs.tracing import span as _span
 
 #: Process-wide count of DP table constructions, for cache verification
 #: (a warm persistent-cache run must leave this untouched).
@@ -153,10 +154,16 @@ def knapsack_min_energy(
         _step_count(space.time_per_block_ns, time_step_ns) for space in spaces
     )
 
-    if use_scalar_dp():
-        _dp_scalar(spaces, t_steps, max_blocks, step_counts, dp, count)
-    else:
-        _dp_vectorized(spaces, t_steps, max_blocks, step_counts, dp, count)
+    with _span(
+        "core.dp_build", spaces=n, t_steps=t_steps, blocks=max_blocks,
+        scalar=use_scalar_dp(),
+    ):
+        if use_scalar_dp():
+            _dp_scalar(spaces, t_steps, max_blocks, step_counts, dp, count)
+        else:
+            _dp_vectorized(
+                spaces, t_steps, max_blocks, step_counts, dp, count
+            )
     return ClusterDpResult(
         spaces=tuple(spaces),
         dp=dp.transpose(0, 2, 1),

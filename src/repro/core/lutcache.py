@@ -47,6 +47,8 @@ from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from pathlib import Path
 
+from ..obs.tracing import span as _span
+
 #: Bump when a change alters what cached payloads contain or mean.
 CACHE_VERSION = 1
 
@@ -216,12 +218,16 @@ def fetch_or_build(key_parts: tuple, builder):
     from the cache), ``"stored"`` (built and persisted) or ``"built"``
     (built; persisting failed or the cache is unwritable).
     """
-    digest = fingerprint(*key_parts)
-    value = load(digest)
-    if value is not None:
-        return value, "disk"
-    value = builder()
-    return value, ("stored" if store(digest, value) else "built")
+    with _span("lutcache.fetch_or_build", kind=str(key_parts[0])) as sp:
+        digest = fingerprint(*key_parts)
+        value = load(digest)
+        if value is not None:
+            sp.annotate(source="disk")
+            return value, "disk"
+        value = builder()
+        source = "stored" if store(digest, value) else "built"
+        sp.annotate(source=source)
+        return value, source
 
 
 # -- maintenance -----------------------------------------------------------------

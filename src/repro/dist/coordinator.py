@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import os
 import socketserver
-import sys
 import threading
 import time
 from dataclasses import dataclass, field
 
 from ..api.config import ExperimentConfig
 from ..errors import ProtocolError, ServiceError
+from ..obs import events as obs_events
+from ..obs import tracing as obs_tracing
 from ..service import protocol
 from ..service.daemon import DEFAULT_HOST, _Handler
 from ..service.telemetry import MetricsRegistry
@@ -124,6 +125,7 @@ class SweepCoordinator:
         self.requested_port = port
         self.clock = clock
         self._log_sink = log
+        self.events = obs_events.EventLog("repro-sweep-coordinator", sink=log)
         self._chunks = [
             _Chunk(index=i, configs=chunk)
             for i, chunk in enumerate(
@@ -148,15 +150,6 @@ class SweepCoordinator:
         self._m_stolen = self.metrics.counter(sweep, "chunks_stolen")
         self._m_configs = self.metrics.counter(sweep, "configs_completed")
         self.metrics.gauge(sweep, "configs_total").set(len(self.configs))
-
-    # -- logging -----------------------------------------------------------------
-
-    def _log(self, message: str) -> None:
-        line = f"repro-sweep-coordinator {message}"
-        if self._log_sink is not None:
-            self._log_sink(line)
-        else:
-            print(line, file=sys.stderr, flush=True)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -188,10 +181,11 @@ class SweepCoordinator:
             daemon=True,
         )
         acceptor.start()
-        self._log(
-            f"event=listening host={self.host} port={self.port} "
-            f"pid={os.getpid()} chunks={len(self._chunks)} "
-            f"configs={len(self.configs)} store={self.store.root}"
+        obs_events.install(self.events)
+        self.events.emit(
+            "listening", host=self.host, port=self.port, pid=os.getpid(),
+            chunks=len(self._chunks), configs=len(self.configs),
+            store=str(self.store.root),
         )
 
     def stop(self) -> None:
@@ -201,10 +195,12 @@ class SweepCoordinator:
             return
         server.shutdown()
         server.server_close()
-        self._log(
-            f"event=stopped done={self._done.is_set()} "
-            f"chunks_completed={self._m_completed.value}"
+        self.events.emit(
+            "stopped", done=self._done.is_set(),
+            chunks_completed=self._m_completed.value,
         )
+        obs_events.uninstall(self.events)
+        self.events.close()
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until every chunk completes; True when the sweep is done."""
@@ -220,6 +216,12 @@ class SweepCoordinator:
     def dispatch(self, message: dict) -> dict:
         """Answer one inbound request message with a reply message."""
         rtype = protocol.validate_request(message)
+        if rtype in protocol.DIST_TYPES and message.get("trace"):
+            # Workers drain their span buffers into every sweep verb;
+            # fold them into this process's trace for the merged export.
+            tracer = obs_tracing.active_tracer()
+            if tracer is not None:
+                tracer.add_foreign_spans(message["trace"])
         if rtype == "PING":
             return protocol.request("PING") | {"type": "PONG"}
         if rtype == "CLAIM":
@@ -239,6 +241,13 @@ class SweepCoordinator:
                 **self.status(),
             }
         if rtype == "METRICS":
+            obs = "repro_obs"
+            self.metrics.gauge(obs, "spans_recorded").set(
+                self.spans_recorded
+            )
+            self.metrics.gauge(obs, "events_logged").set(
+                self.events.events_logged
+            )
             return {
                 "v": protocol.PROTOCOL_VERSION,
                 "type": "METRICS",
@@ -288,11 +297,11 @@ class SweepCoordinator:
             granted.completed = 0
             if stolen:
                 self._m_stolen.inc()
-        self._log(
-            f"event=chunk_granted chunk={granted.index} worker={worker} "
-            f"configs={len(granted.configs)} stolen={int(stolen)}"
+        self.events.emit(
+            "chunk_granted", chunk=granted.index, worker=worker,
+            configs=len(granted.configs), stolen=int(stolen),
         )
-        return {
+        reply = {
             "v": protocol.PROTOCOL_VERSION,
             "type": "CHUNK",
             "chunk": granted.index,
@@ -300,6 +309,9 @@ class SweepCoordinator:
             "lease_s": self.leases.ttl_s,
             "store": str(self.store.root),
         }
+        if obs_tracing.active_tracer() is not None:
+            reply["trace"] = True
+        return reply
 
     def _next_grant(self, worker: str):
         """The best claimable chunk: fresh first, then expired grants.
@@ -329,7 +341,12 @@ class SweepCoordinator:
             if self.leases.claim(chunk.index, worker) is not None:
                 return chunk, chunk.grants > 0
         for chunk in reclaimable:
+            holder = self.leases.holder(chunk.index)
             if self.leases.claim(chunk.index, worker) is not None:
+                self.events.emit(
+                    "lease_expired", chunk=chunk.index,
+                    worker=holder.worker if holder is not None else "?",
+                )
                 return chunk, True
         return None, False
 
@@ -389,15 +406,15 @@ class SweepCoordinator:
                     {"worker": worker},
                 ).inc(delta)
             done = all(c.done for c in self._chunks)
-        self._log(
-            f"event=chunk_completed chunk={chunk.index} worker={worker} "
-            f"configs={len(chunk.configs)}"
+        self.events.emit(
+            "chunk_completed", chunk=chunk.index, worker=worker,
+            configs=len(chunk.configs),
         )
         if done:
             self._done.set()
-            self._log(
-                f"event=sweep_done chunks={len(self._chunks)} "
-                f"configs={len(self.configs)}"
+            self.events.emit(
+                "sweep_done", chunks=len(self._chunks),
+                configs=len(self.configs),
             )
         return {
             "v": protocol.PROTOCOL_VERSION,
@@ -459,4 +476,12 @@ class SweepCoordinator:
                 "completed": configs_done,
             },
             "workers": workers,
+            "spans_recorded": self.spans_recorded,
+            "events_logged": self.events.events_logged,
         }
+
+    @property
+    def spans_recorded(self) -> int:
+        """Spans in the active tracer's buffer scope (0 when off)."""
+        tracer = obs_tracing.active_tracer()
+        return tracer.spans_recorded if tracer is not None else 0

@@ -27,6 +27,7 @@ import time
 
 from ..api.results import StoredResultSet
 from ..errors import ServiceError
+from ..obs import tracing as obs_tracing
 from .coordinator import (
     DEFAULT_CHUNK_SIZE,
     DEFAULT_LEASE_S,
@@ -75,6 +76,7 @@ def distributed_sweep(
     env: dict | None = None,
     timeout: float | None = None,
     status_sink=None,
+    trace=None,
 ) -> StoredResultSet:
     """Run a config grid across a local pool of worker processes.
 
@@ -87,9 +89,41 @@ def distributed_sweep(
     ``status_sink`` receives the coordinator's final STATUS body (how
     the CLI reports chunk/steal counts).  Returns the grid's
     :class:`StoredResultSet`.
+
+    ``trace`` names a file to receive the sweep-wide merged trace
+    (Chrome trace JSON, or a raw span dump for a ``.jsonl`` path):
+    a tracer is activated for the coordinator process (unless one
+    already is), CHUNK replies ask every worker to record and ship
+    spans back, and the merged timeline is written when the sweep
+    ends.  ``None`` leaves tracing exactly as the caller set it up.
     """
     if workers < 0:
         raise ServiceError(f"need a non-negative worker count, got {workers}")
+    own_tracer = False
+    if trace is not None and obs_tracing.active_tracer() is None:
+        obs_tracing.activate(proc="coordinator")
+        own_tracer = True
+    try:
+        with obs_tracing.span(
+            "dist.sweep", workers=workers, configs=len(configs)
+        ):
+            return _distributed_sweep(
+                configs, store, workers, chunk_size, lease_s,
+                host, port, log, env, timeout, status_sink,
+            )
+    finally:
+        tracer = obs_tracing.active_tracer()
+        if trace is not None and tracer is not None:
+            tracer.trace().write(trace)
+        if own_tracer:
+            obs_tracing.deactivate()
+
+
+def _distributed_sweep(
+    configs, store, workers, chunk_size, lease_s,
+    host, port, log, env, timeout, status_sink,
+) -> StoredResultSet:
+    """The :func:`distributed_sweep` body (split out for the span)."""
     coordinator = SweepCoordinator(
         configs, store, host=host, port=port,
         chunk_size=chunk_size, lease_s=lease_s, log=log,

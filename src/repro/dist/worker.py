@@ -35,6 +35,8 @@ import socket
 import time
 
 from ..errors import ServiceError
+from ..obs import events as obs_events
+from ..obs import tracing as obs_tracing
 from ..service import protocol
 from ..service.client import RemoteError
 
@@ -87,32 +89,33 @@ class CoordinatorClient:
             )
         return reply
 
-    def claim(self) -> dict:
-        """Ask for the next chunk; a CHUNK or EMPTY reply dict."""
-        return self._exchange(
-            protocol.request("CLAIM", worker=self.worker)
-        )
+    def _request(self, rtype: str, trace: list | None, **fields) -> dict:
+        message = protocol.request(rtype, worker=self.worker, **fields)
+        if trace:
+            message["trace"] = trace
+        return self._exchange(message)
 
-    def heartbeat(self, chunk: int) -> dict:
+    def claim(self, trace: list | None = None) -> dict:
+        """Ask for the next chunk; a CHUNK or EMPTY reply dict.
+
+        ``trace`` (here and on the other verbs) is an optional list of
+        drained span records to ship to a tracing coordinator.
+        """
+        return self._request("CLAIM", trace)
+
+    def heartbeat(self, chunk: int, trace: list | None = None) -> dict:
         """Renew the lease on ``chunk``."""
-        return self._exchange(
-            protocol.request("HEARTBEAT", worker=self.worker, chunk=chunk)
-        )
+        return self._request("HEARTBEAT", trace, chunk=chunk)
 
-    def progress(self, chunk: int, completed: int) -> dict:
+    def progress(self, chunk: int, completed: int,
+                 trace: list | None = None) -> dict:
         """Report ``completed`` configs done in ``chunk``; renews too."""
-        return self._exchange(
-            protocol.request(
-                "PROGRESS", worker=self.worker, chunk=chunk,
-                completed=completed,
-            )
-        )
+        return self._request("PROGRESS", trace, chunk=chunk,
+                             completed=completed)
 
-    def complete(self, chunk: int) -> dict:
+    def complete(self, chunk: int, trace: list | None = None) -> dict:
         """Mark ``chunk`` finished and release its lease."""
-        return self._exchange(
-            protocol.request("COMPLETE", worker=self.worker, chunk=chunk)
-        )
+        return self._request("COMPLETE", trace, chunk=chunk)
 
     def status(self) -> dict:
         """The coordinator's STATUS body."""
@@ -150,6 +153,13 @@ def run_worker(host: str, port: int, worker: str | None = None,
     passes through to ``Engine.run_many`` for intra-worker
     parallelism.  Returns ``{"worker", "chunks", "configs",
     "abandoned"}``.
+
+    When a CHUNK reply carries ``trace: true`` (a tracing
+    coordinator), the worker activates a local tracer (process label
+    ``worker:<id>``), wraps each claim exchange and chunk execution in
+    spans — the engine's own spans nest under the chunk span — and
+    drains the buffer into the ``trace`` field of every subsequent
+    request, so the coordinator assembles one sweep-wide trace.
     """
     from ..api.config import ExperimentConfig
     from ..api.engine import Engine
@@ -157,15 +167,16 @@ def run_worker(host: str, port: int, worker: str | None = None,
     if worker is None:
         worker = f"w-{socket.gethostname()}-{os.getpid()}"
     client = CoordinatorClient(host, port, worker)
+    events = obs_events.EventLog("repro-sweep-worker", sink=log)
+    tracer: obs_tracing.Tracer | None = None
+    own_tracer = False
 
-    def say(message: str) -> None:
-        line = f"repro-sweep-worker {message}"
-        if log is not None:
-            log(line)
-        else:
-            import sys
-
-            print(line, file=sys.stderr, flush=True)
+    def drained() -> list | None:
+        # Only ship when the tracer is private to this worker: a
+        # shared in-process tracer already holds the spans locally.
+        if own_tracer and tracer is not None:
+            return tracer.drain()
+        return None
 
     test_stall = _env_stall("REPRO_DIST_TEST_STALL_S")
     run_stall = _env_stall("REPRO_DIST_RUN_STALL_S")
@@ -174,68 +185,98 @@ def run_worker(host: str, port: int, worker: str | None = None,
     configs_done = 0
     abandoned = 0
     attached = False
-    say(f"event=started worker={worker} coordinator={host}:{port}")
-    while True:
-        try:
-            reply = client.claim()
-        except RemoteError:
-            raise
-        except ServiceError:
-            if attached:
-                # The coordinator finished and left between our claims.
-                break
-            raise
-        attached = True
-        if reply["type"] == "EMPTY":
-            if reply.get("done"):
-                break
-            time.sleep(float(reply.get("retry_s", 0.5)))
-            continue
-        chunk = reply["chunk"]
-        configs = tuple(
-            ExperimentConfig.from_dict(data) for data in reply["configs"]
-        )
-        if engine is None:
-            engine = Engine(store=reply["store"], resume=True)
-        stolen = False
-        completed = 0
-        for start in range(0, len(configs), PROGRESS_BATCH):
-            batch = configs[start : start + PROGRESS_BATCH]
-            engine.run_many(batch, max_workers=max_workers, spill=True)
-            if run_stall:
-                time.sleep(run_stall * len(batch))
-            completed += len(batch)
-            if test_stall and chunks_done == 0 and start == 0:
-                # Park without renewing: the lease expires under us.
-                say(f"event=test_stall chunk={chunk} stall_s={test_stall}")
-                time.sleep(test_stall)
-                test_stall = 0.0
+    events.emit("started", worker=worker, coordinator=f"{host}:{port}")
+    try:
+        while True:
+            claim_start = time.perf_counter_ns()
             try:
-                client.progress(chunk, completed)
-            except RemoteError as error:
-                if error.code == "stale_lease":
-                    stolen = True
+                reply = client.claim(trace=drained())
+            except RemoteError:
+                raise
+            except ServiceError:
+                if attached:
+                    # The coordinator finished and left between claims.
                     break
                 raise
-        if stolen:
-            abandoned += 1
-            say(f"event=chunk_abandoned chunk={chunk} worker={worker}")
-            continue
-        try:
-            done = client.complete(chunk).get("done", False)
-        except RemoteError as error:
-            if error.code == "stale_lease":
-                abandoned += 1
-                say(f"event=chunk_abandoned chunk={chunk} worker={worker}")
+            claim_end = time.perf_counter_ns()
+            attached = True
+            granted = reply["type"] == "CHUNK"
+            if granted and reply.get("trace") and tracer is None:
+                tracer = obs_tracing.active_tracer()
+                if tracer is None:
+                    tracer = obs_tracing.activate(proc=f"worker:{worker}")
+                    own_tracer = True
+            if tracer is not None:
+                extra = {"chunk": reply["chunk"]} if granted else {}
+                tracer.record(
+                    "worker.claim", claim_start, claim_end,
+                    granted=granted, **extra,
+                )
+            if not granted:
+                if reply.get("done"):
+                    break
+                time.sleep(float(reply.get("retry_s", 0.5)))
                 continue
-            raise
-        chunks_done += 1
-        configs_done += len(configs)
-        if done:
-            break
-    say(
-        f"event=finished worker={worker} chunks={chunks_done} "
-        f"configs={configs_done} abandoned={abandoned}"
+            chunk = reply["chunk"]
+            configs = tuple(
+                ExperimentConfig.from_dict(data)
+                for data in reply["configs"]
+            )
+            if engine is None:
+                engine = Engine(store=reply["store"], resume=True)
+            stolen = False
+            completed = 0
+            chunk_span = obs_tracing.span(
+                "worker.chunk", chunk=chunk, configs=len(configs)
+            )
+            with chunk_span:
+                for start in range(0, len(configs), PROGRESS_BATCH):
+                    batch = configs[start : start + PROGRESS_BATCH]
+                    engine.run_many(
+                        batch, max_workers=max_workers, spill=True
+                    )
+                    if run_stall:
+                        time.sleep(run_stall * len(batch))
+                    completed += len(batch)
+                    if test_stall and chunks_done == 0 and start == 0:
+                        # Park without renewing: lease expires under us.
+                        events.emit("test_stall", chunk=chunk,
+                                    stall_s=test_stall)
+                        time.sleep(test_stall)
+                        test_stall = 0.0
+                    try:
+                        client.progress(chunk, completed, trace=drained())
+                    except RemoteError as error:
+                        if error.code == "stale_lease":
+                            stolen = True
+                            break
+                        raise
+                chunk_span.annotate(completed=not stolen)
+            if stolen:
+                abandoned += 1
+                events.emit("chunk_abandoned", chunk=chunk, worker=worker)
+                continue
+            try:
+                done = client.complete(
+                    chunk, trace=drained()
+                ).get("done", False)
+            except RemoteError as error:
+                if error.code == "stale_lease":
+                    abandoned += 1
+                    events.emit("chunk_abandoned", chunk=chunk,
+                                worker=worker)
+                    continue
+                raise
+            chunks_done += 1
+            configs_done += len(configs)
+            if done:
+                break
+    finally:
+        if own_tracer:
+            obs_tracing.deactivate()
+    events.emit(
+        "finished", worker=worker, chunks=chunks_done,
+        configs=configs_done, abandoned=abandoned,
     )
     return {
         "worker": worker,

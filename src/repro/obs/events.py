@@ -1,0 +1,170 @@
+"""Structured event log with typed records and grep-stable rendering.
+
+Replaces the ad-hoc ``event=`` prints in the serving daemon and the
+sweep coordinator.  Every event name is declared in :data:`EVENTS`
+together with its allowed fields *in rendering order*, so:
+
+* the human line is always ``<prefix> event=<name> key=value ...``
+  with a stable field order (the old prints ordered fields by hand,
+  inconsistently), still greppable by the CI smoke scripts
+  (``event=listening``, ``port=NNNN``, ``stolen=1`` ...);
+* a typo'd event or field fails loudly at the call site instead of
+  producing a silently unparseable line;
+* the same record can land as one JSON object per line in an optional
+  JSONL file, timestamped by an injectable clock.
+
+:func:`install` / :func:`emit` provide a process-global hook so deep
+layers (e.g. the store's quarantine path) can report events without
+threading a logger through every constructor.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+#: Every event the log accepts, with its fields in rendering order.
+#: A field absent from an emit() call is simply omitted from the line;
+#: a field (or event) not declared here raises :class:`ValueError`.
+EVENTS = {
+    # -- service lifecycle (daemon + coordinator) --
+    "listening": (
+        "host", "port", "pid", "workers", "chunks", "configs", "store",
+    ),
+    "stopped": (
+        "pid", "jobs_completed", "jobs_failed", "uptime_s",
+        "done", "chunks_completed",
+    ),
+    "signal": ("signal",),
+    "drain": ("jobs_done",),
+    "metrics_file_error": ("path", "error"),
+    # -- daemon job lifecycle --
+    "job_submitted": ("job", "kind", "label"),
+    "job_done": ("job", "kind", "label", "wall_s"),
+    "job_failed": ("job", "kind", "label", "wall_s", "error"),
+    # -- distributed sweep: coordinator --
+    "chunk_granted": ("chunk", "worker", "configs", "stolen"),
+    "chunk_completed": ("chunk", "worker", "configs"),
+    "lease_expired": ("chunk", "worker"),
+    "sweep_done": ("chunks", "configs"),
+    # -- distributed sweep: worker --
+    "started": ("worker", "coordinator"),
+    "finished": ("worker", "chunks", "configs", "abandoned"),
+    "chunk_abandoned": ("chunk", "worker"),
+    "test_stall": ("chunk", "stall_s"),
+    # -- store --
+    "store_quarantine": ("path", "reason"),
+}
+
+
+def _render_value(value) -> str:
+    """One field value for the human line (grep- and eyeball-friendly)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, str) and (
+        not value or any(c.isspace() or c == "=" for c in value)
+    ):
+        return repr(value)
+    return str(value)
+
+
+class EventLog:
+    """Emits typed events as human log lines and optional JSONL records.
+
+    ``prefix`` heads every human line (e.g. ``"repro-serve"``);
+    ``sink`` overrides the stderr printer (same contract as the old
+    ``log=`` constructor hooks); ``path`` appends one JSON object per
+    event; ``clock`` supplies the JSONL ``ts_ns`` timestamps
+    (injectable for deterministic tests).
+    """
+
+    def __init__(self, prefix: str, sink=None, path=None, clock=None):
+        self.prefix = prefix
+        self._sink = sink
+        self._path = Path(path) if path is not None else None
+        self._clock = clock or time.time_ns
+        self._lock = threading.Lock()
+        self._handle = None
+        self.events_logged = 0
+
+    def emit(self, event: str, **fields) -> str:
+        """Record one event; returns the rendered human line.
+
+        Raises :class:`ValueError` for an undeclared event name or
+        field — the registry in :data:`EVENTS` is the schema.
+        """
+        order = EVENTS.get(event)
+        if order is None:
+            raise ValueError(f"unknown event {event!r}")
+        unknown = set(fields) - set(order)
+        if unknown:
+            raise ValueError(
+                f"event {event!r} does not accept field(s) "
+                f"{', '.join(sorted(unknown))}"
+            )
+        ordered = [(key, fields[key]) for key in order if key in fields]
+        line = f"{self.prefix} event={event}" + "".join(
+            f" {key}={_render_value(value)}" for key, value in ordered
+        )
+        with self._lock:
+            self.events_logged += 1
+            if self._path is not None:
+                record = {"ts_ns": self._clock(), "event": event}
+                record.update(
+                    (k, str(v) if isinstance(v, Path) else v)
+                    for k, v in ordered
+                )
+                if self._handle is None:
+                    self._handle = open(  # noqa: SIM115 - long-lived append
+                        self._path, "a", encoding="utf-8"
+                    )
+                self._handle.write(json.dumps(record) + "\n")
+                self._handle.flush()
+        if self._sink is not None:
+            self._sink(line)
+        else:
+            print(line, file=sys.stderr, flush=True)
+        return line
+
+    def close(self) -> None:
+        """Close the JSONL file handle, if one was opened."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+# -- process-global hook ----------------------------------------------------------
+
+_INSTALLED: list = []
+
+
+def install(log: EventLog) -> EventLog:
+    """Register ``log`` to receive :func:`emit` global events."""
+    if log not in _INSTALLED:
+        _INSTALLED.append(log)
+    return log
+
+
+def uninstall(log: EventLog) -> None:
+    """Remove ``log`` from the global emit hook (no-op if absent)."""
+    try:
+        _INSTALLED.remove(log)
+    except ValueError:
+        pass
+
+
+def emit(event: str, **fields) -> None:
+    """Emit a typed event to every installed log (no-op when none are).
+
+    This is the deep-layer escape hatch: the store's quarantine path
+    calls it without knowing whether a daemon, a coordinator, or
+    nobody is listening.
+    """
+    for log in list(_INSTALLED):
+        log.emit(event, **fields)

@@ -1,0 +1,108 @@
+"""Phase profiler: fold a recorded trace into per-phase aggregates.
+
+Spans answer *what happened*; this module answers *where the time
+went*.  Every span contributes its wall time to its phase (the span
+name) and its **self time** — wall time minus the wall time of its
+direct children — so a phase that merely wraps others (``engine.sweep``
+around hundreds of ``engine.run`` spans) shows near-zero self time
+while the true hot phases float to the top.  ``repro profile FILE``
+renders the fold as a table for any trace file written by
+``--trace`` (Chrome JSON or JSONL span dump).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tracing import Trace
+
+
+@dataclass
+class PhaseStats:
+    """Aggregates for one phase (all spans sharing a name)."""
+
+    name: str
+    count: int = 0
+    #: Sum of span wall times, nanoseconds.
+    total_ns: int = 0
+    #: Sum of span wall times minus direct children, nanoseconds.
+    self_ns: int = 0
+    max_ns: int = 0
+
+    @property
+    def avg_ns(self) -> float:
+        """Mean span wall time, nanoseconds."""
+        return self.total_ns / self.count if self.count else 0.0
+
+
+def fold(trace: Trace) -> list:
+    """Per-phase stats for ``trace``, hottest self-time first."""
+    child_ns: dict = {}
+    for span in trace.spans:
+        if span.parent is not None:
+            child_ns[span.parent] = child_ns.get(span.parent, 0) + span.dur_ns
+    phases: dict = {}
+    for span in trace.spans:
+        stats = phases.get(span.name)
+        if stats is None:
+            stats = phases[span.name] = PhaseStats(name=span.name)
+        stats.count += 1
+        stats.total_ns += span.dur_ns
+        stats.self_ns += max(0, span.dur_ns - child_ns.get(span.id, 0))
+        stats.max_ns = max(stats.max_ns, span.dur_ns)
+    return sorted(
+        phases.values(), key=lambda s: (-s.self_ns, -s.total_ns, s.name)
+    )
+
+
+def wall_ns(trace: Trace) -> int:
+    """End-to-end wall time covered by the trace (max end − min start)."""
+    if not trace.spans:
+        return 0
+    start = min(s.start_ns for s in trace.spans)
+    end = max(s.start_ns + s.dur_ns for s in trace.spans)
+    return end - start
+
+
+def _ms(ns: float) -> str:
+    return f"{ns / 1e6:.3f}"
+
+
+def render(trace: Trace) -> str:
+    """The ``repro profile`` table for ``trace`` (plain text)."""
+    stats = fold(trace)
+    total_self = sum(s.self_ns for s in stats) or 1
+    header = (
+        "phase", "count", "total_ms", "self_ms", "avg_ms", "max_ms", "self%"
+    )
+    rows = [header]
+    for s in stats:
+        rows.append((
+            s.name,
+            str(s.count),
+            _ms(s.total_ns),
+            _ms(s.self_ns),
+            _ms(s.avg_ns),
+            _ms(s.max_ns),
+            f"{100 * s.self_ns / total_self:.1f}",
+        ))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [cell.rjust(widths[i + 1]) for i, cell in enumerate(row[1:])]
+        lines.append("  ".join(cells).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append("")
+    procs = sorted({s.proc for s in trace.spans})
+    lines.append(
+        f"{len(trace.spans)} spans, {len(stats)} phases, "
+        f"{len(procs)} process(es), wall {_ms(wall_ns(trace))} ms"
+    )
+    return "\n".join(lines)
+
+
+def profile_file(path) -> str:
+    """Load ``path`` (Chrome JSON or JSONL) and render its phase table."""
+    return render(Trace.from_file(path))

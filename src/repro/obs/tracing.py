@@ -1,0 +1,447 @@
+"""A dependency-free span tracer with deterministic ids.
+
+The tracer records *complete spans* — a name, a start timestamp, a
+duration, a process/thread, a parent link, and a small ``args`` dict —
+into an in-memory buffer.  Design constraints, in priority order:
+
+* **Off by default, near-zero overhead.**  Instrumented code calls the
+  module-level :func:`span`; when no tracer is active it returns one
+  shared null context manager and touches nothing else.
+* **Deterministic.**  Span ids come from a seeded per-tracer counter
+  (``proc/N``), thread ids are small ints assigned in order of first
+  appearance, and both the monotonic clock and the epoch are
+  injectable — golden tests pin the whole export byte for byte.
+* **Mergeable.**  Timestamps are epoch-aligned (monotonic delta plus a
+  wall-clock epoch captured at tracer creation), so spans recorded in
+  a worker process land on the same timeline as the coordinator's and
+  a distributed sweep exports one coherent trace.
+
+Exports: Chrome trace-event JSON (``ph="X"`` complete events plus
+``ph="M"`` process-name metadata, loadable in Perfetto / chrome://tracing)
+via :meth:`Trace.to_chrome`, and a JSONL span dump via
+:meth:`Trace.to_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span: a named interval on the trace timeline."""
+
+    #: Deterministic id, ``"<proc>/<counter>"`` — unique after merging.
+    id: str
+    #: Parent span id, or ``None`` for a root span.
+    parent: str | None
+    #: Phase name, e.g. ``"engine.run"`` or ``"store.get"``.
+    name: str
+    #: Epoch-aligned start, nanoseconds.
+    start_ns: int
+    #: Duration, nanoseconds (never negative).
+    dur_ns: int
+    #: Process label (``"main"``, ``"daemon"``, ``"worker:w1"`` ...).
+    proc: str
+    #: Small per-process thread index (0 = first thread seen).
+    thread: int
+    #: Optional key/value annotations (JSON-safe scalars).
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The JSONL/wire form of this span (plain JSON-safe dict)."""
+        record = {
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "proc": self.proc,
+            "thread": self.thread,
+        }
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> Span:
+        """Rebuild a span from :meth:`to_dict` output."""
+        return cls(
+            id=str(record["id"]),
+            parent=record.get("parent"),
+            name=str(record["name"]),
+            start_ns=int(record["start_ns"]),
+            dur_ns=int(record["dur_ns"]),
+            proc=str(record.get("proc", "main")),
+            thread=int(record.get("thread", 0)),
+            args=dict(record.get("args") or {}),
+        )
+
+
+class _NullSpan:
+    """The shared no-op context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def annotate(self, **args) -> None:
+        """No-op counterpart of :meth:`_LiveSpan.annotate`."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span into its tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "id", "parent", "_start")
+
+    def __init__(self, tracer: Tracer, name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.id = ""
+        self.parent = None
+        self._start = 0
+
+    def __enter__(self):
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc):
+        self._tracer._exit(self)
+        return False
+
+    def annotate(self, **args) -> None:
+        """Attach extra ``args`` to the span before it closes."""
+        self.args.update(args)
+
+
+class Tracer:
+    """Records spans for one process on an epoch-aligned timeline.
+
+    ``clock`` is a nanosecond monotonic callable (default
+    :func:`time.perf_counter_ns`); ``epoch_ns`` anchors the monotonic
+    deltas to wall-clock time (default: captured at construction).
+    Tests inject both for byte-stable goldens.
+    """
+
+    def __init__(
+        self,
+        proc: str = "main",
+        clock=None,
+        epoch_ns: int | None = None,
+    ):
+        self.proc = proc
+        self._clock = clock or time.perf_counter_ns
+        base = self._clock()
+        if epoch_ns is None:
+            epoch_ns = time.time_ns()
+        self._offset = epoch_ns - base
+        self._counter = 0
+        self._recorded = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._threads: dict[int, int] = {}
+        self.spans: list[Span] = []
+
+    # -- recording ----------------------------------------------------------------
+
+    def span(self, name: str, **args) -> _LiveSpan:
+        """A context manager recording ``name`` as a span on exit."""
+        return _LiveSpan(self, name, args)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _thread_index(self) -> int:
+        ident = threading.get_ident()
+        index = self._threads.get(ident)
+        if index is None:
+            index = self._threads[ident] = len(self._threads)
+        return index
+
+    def _enter(self, live: _LiveSpan) -> None:
+        stack = self._stack()
+        with self._lock:
+            self._counter += 1
+            live.id = f"{self.proc}/{self._counter}"
+        live.parent = stack[-1].id if stack else None
+        stack.append(live)
+        live._start = self._clock()
+
+    def _exit(self, live: _LiveSpan) -> None:
+        end = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is live:
+            stack.pop()
+        span = Span(
+            id=live.id,
+            parent=live.parent,
+            name=live.name,
+            start_ns=live._start + self._offset,
+            dur_ns=max(0, end - live._start),
+            proc=self.proc,
+            thread=self._thread_index(),
+            args=live.args,
+        )
+        with self._lock:
+            self.spans.append(span)
+            self._recorded += 1
+
+    def record(self, name: str, start_ns: int, end_ns: int,
+               **args) -> Span:
+        """Record an already-elapsed interval as a span (retroactive).
+
+        ``start_ns``/``end_ns`` are raw readings of this tracer's
+        ``clock`` taken by the caller — the worker uses this to give
+        the claim exchange that *delivered* the trace flag its own
+        span.  Parents onto the caller's currently open span, if any.
+        """
+        with self._lock:
+            self._counter += 1
+            span_id = f"{self.proc}/{self._counter}"
+        stack = self._stack()
+        span = Span(
+            id=span_id,
+            parent=stack[-1].id if stack else None,
+            name=name,
+            start_ns=start_ns + self._offset,
+            dur_ns=max(0, end_ns - start_ns),
+            proc=self.proc,
+            thread=self._thread_index(),
+            args=args,
+        )
+        with self._lock:
+            self.spans.append(span)
+            self._recorded += 1
+        return span
+
+    # -- harvesting ---------------------------------------------------------------
+
+    @property
+    def spans_recorded(self) -> int:
+        """Spans closed or ingested so far (monotonic; survives :meth:`drain`)."""
+        with self._lock:
+            return self._recorded
+
+    def add_foreign_spans(self, records: list) -> None:
+        """Ingest spans recorded elsewhere (e.g. shipped over the wire)."""
+        spans = [Span.from_dict(r) for r in records]
+        with self._lock:
+            self.spans.extend(spans)
+            self._recorded += len(spans)
+
+    def drain(self) -> list:
+        """Pop all buffered spans as wire-ready dicts (counter keeps going)."""
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return [s.to_dict() for s in spans]
+
+    def trace(self) -> Trace:
+        """Snapshot the buffered spans as a :class:`Trace`."""
+        with self._lock:
+            return Trace(list(self.spans))
+
+
+class Trace:
+    """An ordered collection of spans with export helpers."""
+
+    def __init__(self, spans: list | None = None):
+        self.spans: list[Span] = list(spans or [])
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def merge(self, other: Trace | list) -> Trace:
+        """Fold ``other`` (a trace or span-dict list) into this trace."""
+        if isinstance(other, Trace):
+            self.spans.extend(other.spans)
+        else:
+            self.spans.extend(Span.from_dict(r) for r in other)
+        return self
+
+    def sorted_spans(self) -> list:
+        """Spans ordered by (start, proc, id) — the canonical export order."""
+        return sorted(
+            self.spans, key=lambda s: (s.start_ns, s.proc, s.id)
+        )
+
+    def to_chrome(self) -> dict:
+        """Chrome trace-event JSON (``{"traceEvents": [...]}``).
+
+        Each span becomes a ``ph="X"`` complete event with microsecond
+        ``ts``/``dur``; process labels map to deterministic integer
+        pids (sorted order, ``"main"`` first) announced by ``ph="M"``
+        ``process_name`` metadata events, so Perfetto shows readable
+        track names.
+        """
+        procs = sorted({s.proc for s in self.spans}, key=_proc_sort_key)
+        pids = {proc: i + 1 for i, proc in enumerate(procs)}
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pids[proc],
+                "tid": 0,
+                "args": {"name": proc},
+            }
+            for proc in procs
+        ]
+        for s in self.sorted_spans():
+            event = {
+                "name": s.name,
+                "ph": "X",
+                "ts": _us(s.start_ns),
+                "dur": _us(s.dur_ns),
+                "pid": pids[s.proc],
+                "tid": s.thread,
+                "args": {"span_id": s.id, **s.args},
+            }
+            if s.parent:
+                event["args"]["parent_id"] = s.parent
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_jsonl(self) -> str:
+        """One JSON span record per line (the raw span dump)."""
+        return "".join(
+            json.dumps(s.to_dict(), sort_keys=True) + "\n"
+            for s in self.sorted_spans()
+        )
+
+    def write(self, path) -> Path:
+        """Write the trace to ``path``: ``.jsonl`` → span dump, else Chrome JSON."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            path.write_text(self.to_jsonl())
+        else:
+            path.write_text(json.dumps(self.to_chrome(), sort_keys=True))
+        return path
+
+    @classmethod
+    def from_file(cls, path) -> Trace:
+        """Load a trace written by :meth:`write` (either format)."""
+        text = Path(path).read_text()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            return cls._from_chrome(payload)
+        spans = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+        return cls(spans)
+
+    @classmethod
+    def _from_chrome(cls, payload: dict) -> Trace:
+        names = {}
+        for event in payload.get("traceEvents", []):
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                names[event.get("pid")] = event.get("args", {}).get("name")
+        spans = []
+        for event in payload.get("traceEvents", []):
+            if event.get("ph") != "X":
+                continue
+            args = dict(event.get("args") or {})
+            span_id = str(args.pop("span_id", len(spans) + 1))
+            parent = args.pop("parent_id", None)
+            spans.append(
+                Span(
+                    id=span_id,
+                    parent=parent,
+                    name=str(event.get("name", "")),
+                    start_ns=int(round(event.get("ts", 0) * 1000)),
+                    dur_ns=int(round(event.get("dur", 0) * 1000)),
+                    proc=str(names.get(event.get("pid"), event.get("pid"))),
+                    thread=int(event.get("tid", 0)),
+                    args=args,
+                )
+            )
+        return cls(spans)
+
+
+def subtree(spans, root_id: str) -> list:
+    """The spans forming the tree rooted at ``root_id`` (root included).
+
+    Spans close children-before-parent, so the input is not
+    topologically ordered; membership is grown to a fixed point.
+    """
+    ids = {root_id}
+    selected: list = []
+    remaining = list(spans)
+    changed = True
+    while changed:
+        changed = False
+        rest = []
+        for span in remaining:
+            if span.id in ids or span.parent in ids:
+                ids.add(span.id)
+                selected.append(span)
+                changed = True
+            else:
+                rest.append(span)
+        remaining = rest
+    return selected
+
+
+def _proc_sort_key(proc: str):
+    return (proc != "main", proc)
+
+
+def _us(ns: int) -> float:
+    value = round(ns / 1000, 3)
+    return int(value) if value == int(value) else value
+
+
+# -- module-level active tracer ---------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def span(name: str, **args):
+    """A span context manager on the active tracer, or a shared no-op.
+
+    This is the only call sites pay when tracing is off: one global
+    read and the return of a reused null context manager.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def activate(tracer: Tracer | None = None, **kwargs) -> Tracer:
+    """Install (creating if needed) the process-wide active tracer."""
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer(**kwargs)
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> Tracer | None:
+    """Remove and return the active tracer (``None`` if none was active)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def active_tracer() -> Tracer | None:
+    """The currently active tracer, or ``None`` when tracing is off."""
+    return _ACTIVE

@@ -1,6 +1,6 @@
 """The ``repro bench`` measurement sections.
 
-Six sections, each emitted as one ``BENCH_<section>.json``:
+Ten sections, each emitted as one ``BENCH_<section>.json``:
 
 ``lut_build``
     Wall time of a full allocation-LUT construction on the vectorized
@@ -56,6 +56,12 @@ Six sections, each emitted as one ``BENCH_<section>.json``:
     claim/lease/complete loop keeps N workers busy — not the machine —
     and the CI perf gate fails when it drops below
     ``--min-dist-speedup``.
+``obs``
+    Tracing overhead: the disabled null-span fast path timed directly
+    (``null_span_ns``) plus the QoS workload untraced vs under an
+    active tracer.  ``disabled_overhead`` estimates the fraction of
+    the untraced wall the instrumentation costs when tracing is off —
+    the CI gate fails when it exceeds ``--max-obs-overhead``.
 
 All timings are best-of-``repeats`` :func:`time.perf_counter` walls.
 """
@@ -121,6 +127,8 @@ def default_bench_settings(quick: bool = False) -> dict:
         # worker-spawn ramp even on a single core; identical for both
         # passes, so the speedup isolates executor scheduling.
         "dist_stall_s": 1.0,
+        "obs_slices": 200 if quick else 500,
+        "obs_null_calls": 100_000 if quick else 500_000,
     }
 
 
@@ -582,6 +590,89 @@ def bench_dist(settings: dict, model_name: str) -> dict:
     }
 
 
+def bench_obs(settings: dict, model_name: str) -> dict:
+    """Tracing overhead: the null-span path and an enabled-tracer pass.
+
+    The observability contract is *near-zero cost when off*: every
+    instrumented call site pays one module-global read and a reused
+    null context manager.  This section times that disabled path
+    directly (``null_span_ns`` over a tight calibration loop), runs the
+    QoS workload untraced and with an active tracer
+    (``enabled_overhead``), and folds the two into
+    ``disabled_overhead`` — the estimated fraction of the untraced wall
+    the instrumentation costs with tracing off (span count × null-span
+    cost / wall), which the CI gate pins below ``--max-obs-overhead``.
+    """
+    from ..obs import tracing as obs_tracing
+
+    engine = Engine(use_disk_cache=False)
+    runtime = engine.runtime(
+        ExperimentConfig(
+            model=MODELS.canonical(model_name),
+            block_count=24,
+            time_steps=1500,
+        )
+    )
+    slices = settings["obs_slices"]
+    workload = bursty(calm_rate=40.0, burst_rate=160.0).materialize(
+        slices=slices, peak=200, seed=2025
+    )
+    requests = sample_request_batch(workload, runtime.t_slice_ns, seed=2025)
+
+    def simulate() -> None:
+        simulator = QoSSimulator(
+            runtime,
+            devices=2,
+            max_devices=4,
+            autoscaler="queue_depth",
+            discipline="edf",
+            batch=8,
+        )
+        simulator.run(workload, requests=requests)
+
+    # The disabled fast path, timed directly: one global read plus the
+    # shared null context manager per call site.
+    calls = settings["obs_null_calls"]
+    null_span = obs_tracing.span
+
+    def null_loop() -> None:
+        for _ in range(calls):
+            with null_span("bench.null"):
+                pass
+
+    null_s = _best_of(null_loop, settings["repeats"])
+    null_span_ns = null_s * 1e9 / calls
+
+    untraced_s = _best_of(simulate, settings["repeats"])
+    tracer = obs_tracing.activate(proc="bench")
+    try:
+        enabled_s = _best_of(simulate, settings["repeats"])
+    finally:
+        obs_tracing.deactivate()
+    spans_recorded = tracer.spans_recorded
+    disabled_overhead = (
+        spans_recorded * null_span_ns / (untraced_s * 1e9)
+        if untraced_s > 0
+        else 0.0
+    )
+    return {
+        "model": MODELS.canonical(model_name),
+        "scenario": workload.label,
+        "slices": slices,
+        "requests": len(requests),
+        "null_calls": calls,
+        "null_span_ns": null_span_ns,
+        "null_spans_per_s": calls / null_s if null_s > 0 else float("inf"),
+        "untraced_s": untraced_s,
+        "enabled_s": enabled_s,
+        "spans_recorded": spans_recorded,
+        "enabled_overhead": (
+            enabled_s / untraced_s - 1.0 if untraced_s > 0 else 0.0
+        ),
+        "disabled_overhead": disabled_overhead,
+    }
+
+
 # -- orchestration ---------------------------------------------------------------
 
 
@@ -613,6 +704,7 @@ def run_bench(
         "store": bench_store(settings, model),
         "serve": bench_serve(settings, model),
         "dist": bench_dist(settings, model),
+        "obs": bench_obs(settings, model),
     }
     # A machine-relative companion to requests_per_s: QoS requests
     # simulated per scalar-reference slice on the same box, so the perf
@@ -650,6 +742,7 @@ def render_report(report: dict) -> str:
     store = report["store"]
     serve = report["serve"]
     dist = report["dist"]
+    obs = report["obs"]
     lines = [
         (
             f"LUT build ({build['arch']}/{build['model']}, "
@@ -712,6 +805,12 @@ def render_report(report: dict) -> str:
             f"({dist['chunks_completed']} chunks, "
             f"{dist['chunks_stolen']} stolen), "
             f"speedup {dist['speedup']:.1f}x"
+        ),
+        (
+            f"obs ({obs['requests']} requests, {obs['spans_recorded']} "
+            f"spans when traced): null span {obs['null_span_ns']:.0f} ns, "
+            f"disabled overhead {obs['disabled_overhead']:.2%}, "
+            f"enabled overhead {obs['enabled_overhead']:.1%}"
         ),
     ]
     return "\n".join(lines)

@@ -43,6 +43,7 @@ HEADLINE_METRICS: dict[str, str] = {
     "store": "resume_speedup",
     "serve": "speedup",
     "dist": "speedup",
+    "obs": "null_spans_per_s",
 }
 
 #: Fractional slack before a lower headline metric counts as a

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..core.runtime import SliceRecord, TimeSliceRuntime
 from ..errors import QoSError
+from ..obs.tracing import span as _span
 from ..plugins import coerce_spec
 from ..serving.dispatch import make_policy
 from ..serving.fleet import device_info
@@ -463,6 +464,10 @@ class QoSSimulator:
         events = EventQueue()
 
         def run_window(index: int) -> None:
+            with _span("qos.window", index=index):
+                _run_window(index)
+
+        def _run_window(index: int) -> None:
             nonlocal size, next_slot
             window_start = events.now_ns
             arriving = by_slice.get(index, ())
@@ -742,163 +747,164 @@ class QoSSimulator:
         index = 0
         window_start = t_slice
         while arrival_windows:
-            if index < arrival_windows:
-                staged = order_all[bounds[index] : bounds[index + 1]]
-            else:
-                staged = _EMPTY_QUEUE
-            arrived = len(staged)
-            backlog = sum(len(device.queue) for device in fleet)
-
-            # 1. autoscale (boundary-clocked, before dispatch)
-            new_size = self.autoscaler.resize(
-                ScaleObservation(
-                    slice_index=index,
-                    fleet_size=size,
-                    staged=backlog + arrived,
-                    utilization=utilization,
-                    capacity_per_device=capacity,
-                )
-            )
-            if new_size != size:
-                if new_size > size:
-                    for _ in range(new_size - size):
-                        device = _VecDevice(boot_counts, boot_key)
-                        fleet.append(device)
-                        device_records[next_slot] = device.records
-                        next_slot += 1
+            with _span("qos.window", index=index):
+                if index < arrival_windows:
+                    staged = order_all[bounds[index] : bounds[index + 1]]
                 else:
-                    spilled = [
-                        device.queue
-                        for device in fleet[new_size:]
-                        if len(device.queue)
-                    ]
-                    del fleet[new_size:]
-                    if spilled:
-                        staged = np.concatenate([staged, *spilled])
-                        staged = staged[
-                            np.lexsort((rid[staged], arrival[staged]))
-                        ]
-                size = new_size
-                # resize, not start: stateful policies (JSQ counts, the
-                # round-robin pointer) keep steering by what the
-                # surviving devices already hold.
-                self.policy.resize(self._device_infos(size))
+                    staged = _EMPTY_QUEUE
+                arrived = len(staged)
+                backlog = sum(len(device.queue) for device in fleet)
 
-            # 2. dispatch the staged requests: sort each chunk by global
-            #    discipline rank, then merge it into the device's
-            #    standing (already-ordered) queue.
-            shares = self._dispatch_shares(index, len(staged), len(fleet))
-            cursor = 0
-            for device, share in zip(fleet, shares):
-                if share:
-                    chunk = staged[cursor : cursor + share]
-                    chunk_rank = rank[chunk]
-                    chunk_order = np.argsort(chunk_rank)
-                    chunk = chunk[chunk_order]
-                    chunk_rank = chunk_rank[chunk_order]
-                    if len(device.queue):
-                        positions = np.searchsorted(
-                            device.queue_rank, chunk_rank
-                        )
-                        device.queue = np.insert(
-                            device.queue, positions, chunk
-                        )
-                        device.queue_rank = np.insert(
-                            device.queue_rank, positions, chunk_rank
-                        )
+                # 1. autoscale (boundary-clocked, before dispatch)
+                new_size = self.autoscaler.resize(
+                    ScaleObservation(
+                        slice_index=index,
+                        fleet_size=size,
+                        staged=backlog + arrived,
+                        utilization=utilization,
+                        capacity_per_device=capacity,
+                    )
+                )
+                if new_size != size:
+                    if new_size > size:
+                        for _ in range(new_size - size):
+                            device = _VecDevice(boot_counts, boot_key)
+                            fleet.append(device)
+                            device_records[next_slot] = device.records
+                            next_slot += 1
                     else:
-                        device.queue = chunk
-                        device.queue_rank = chunk_rank
-                cursor += share
+                        spilled = [
+                            device.queue
+                            for device in fleet[new_size:]
+                            if len(device.queue)
+                        ]
+                        del fleet[new_size:]
+                        if spilled:
+                            staged = np.concatenate([staged, *spilled])
+                            staged = staged[
+                                np.lexsort((rid[staged], arrival[staged]))
+                            ]
+                    size = new_size
+                    # resize, not start: stateful policies (JSQ counts, the
+                    # round-robin pointer) keep steering by what the
+                    # surviving devices already hold.
+                    self.policy.resize(self._device_infos(size))
 
-            # 3. serve every device's window as arrays
-            window_energy = 0.0
-            busy_total_ns = 0.0
-            completed_parts: list = []
-            completed_ends: list = []
-            worst_device_served = 0
-            for device, share in zip(fleet, shares):
-                queue = device.queue
-                (
-                    served, ends, movement, t_constraint, row,
-                    next_counts, next_key,
-                ) = self._price_window(
-                    len(queue), device.prev_counts, device.prev_key, memo
-                )
-                (
-                    busy_total, idle, dynamic, hold, access, buffer_static,
-                    pe_static, deadline_met,
-                ) = row
-                record = SliceRecord(
+                # 2. dispatch the staged requests: sort each chunk by global
+                #    discipline rank, then merge it into the device's
+                #    standing (already-ordered) queue.
+                shares = self._dispatch_shares(index, len(staged), len(fleet))
+                cursor = 0
+                for device, share in zip(fleet, shares):
+                    if share:
+                        chunk = staged[cursor : cursor + share]
+                        chunk_rank = rank[chunk]
+                        chunk_order = np.argsort(chunk_rank)
+                        chunk = chunk[chunk_order]
+                        chunk_rank = chunk_rank[chunk_order]
+                        if len(device.queue):
+                            positions = np.searchsorted(
+                                device.queue_rank, chunk_rank
+                            )
+                            device.queue = np.insert(
+                                device.queue, positions, chunk
+                            )
+                            device.queue_rank = np.insert(
+                                device.queue_rank, positions, chunk_rank
+                            )
+                        else:
+                            device.queue = chunk
+                            device.queue_rank = chunk_rank
+                    cursor += share
+
+                # 3. serve every device's window as arrays
+                window_energy = 0.0
+                busy_total_ns = 0.0
+                completed_parts: list = []
+                completed_ends: list = []
+                worst_device_served = 0
+                for device, share in zip(fleet, shares):
+                    queue = device.queue
+                    (
+                        served, ends, movement, t_constraint, row,
+                        next_counts, next_key,
+                    ) = self._price_window(
+                        len(queue), device.prev_counts, device.prev_key, memo
+                    )
+                    (
+                        busy_total, idle, dynamic, hold, access, buffer_static,
+                        pe_static, deadline_met,
+                    ) = row
+                    record = SliceRecord(
+                        index=index,
+                        arrivals=share,
+                        tasks_processed=served,
+                        t_constraint_ns=t_constraint,
+                        placement_counts=dict(next_counts),
+                        movement=movement,
+                        busy_time_ns=busy_total,
+                        idle_time_ns=idle,
+                        dynamic_energy_nj=dynamic,
+                        hold_static_energy_nj=hold,
+                        access_static_energy_nj=access,
+                        buffer_static_energy_nj=buffer_static,
+                        pe_static_energy_nj=pe_static,
+                        movement_energy_nj=movement.energy_nj,
+                        deadline_met=deadline_met,
+                    )
+                    device.records.append(record)
+                    window_energy += record.total_energy_nj
+                    busy_total_ns += record.busy_time_ns
+                    worst_device_served = max(worst_device_served, served)
+                    if served:
+                        completed_parts.append(queue[:served])
+                        completed_ends.append(window_start + ends)
+                        device.queue = queue[served:]
+                        device.queue_rank = device.queue_rank[served:]
+                    device.prev_counts = next_counts
+                    device.prev_key = next_key
+
+                backlog_after = sum(len(device.queue) for device in fleet)
+                utilization = busy_total_ns / (size * t_slice) if size else 0.0
+                # Quantisation slack mirrors the runtime's deadline
+                # tolerance: a completion's error accumulates only from work
+                # serialized before it on its own device, so the busiest
+                # device bounds the window.
+                tolerance = worst_device_served * slack + 1e-6
+
+                # 4. close the window: fold its completions into the series
+                if completed_parts:
+                    completed = np.concatenate(completed_parts)
+                    completion_ns = np.concatenate(completed_ends)
+                else:
+                    completed = _EMPTY_QUEUE
+                    completion_ns = np.empty(0, dtype=np.float64)
+                accountant.observe_window_arrays(
                     index=index,
-                    arrivals=share,
-                    tasks_processed=served,
-                    t_constraint_ns=t_constraint,
-                    placement_counts=dict(next_counts),
-                    movement=movement,
-                    busy_time_ns=busy_total,
-                    idle_time_ns=idle,
-                    dynamic_energy_nj=dynamic,
-                    hold_static_energy_nj=hold,
-                    access_static_energy_nj=access,
-                    buffer_static_energy_nj=buffer_static,
-                    pe_static_energy_nj=pe_static,
-                    movement_energy_nj=movement.energy_nj,
-                    deadline_met=deadline_met,
+                    arrivals=arrived,
+                    arrival_ns=arrival[completed],
+                    deadline_ns=deadline[completed],
+                    slo_factor=slo_factor[completed],
+                    completion_ns=completion_ns,
+                    rid=rid[completed],
+                    backlog=backlog_after,
+                    fleet_size=size,
+                    energy_nj=window_energy,
+                    utilization=utilization,
+                    tolerance_ns=tolerance,
                 )
-                device.records.append(record)
-                window_energy += record.total_energy_nj
-                busy_total_ns += record.busy_time_ns
-                worst_device_served = max(worst_device_served, served)
-                if served:
-                    completed_parts.append(queue[:served])
-                    completed_ends.append(window_start + ends)
-                    device.queue = queue[served:]
-                    device.queue_rank = device.queue_rank[served:]
-                device.prev_counts = next_counts
-                device.prev_key = next_key
 
-            backlog_after = sum(len(device.queue) for device in fleet)
-            utilization = busy_total_ns / (size * t_slice) if size else 0.0
-            # Quantisation slack mirrors the runtime's deadline
-            # tolerance: a completion's error accumulates only from work
-            # serialized before it on its own device, so the busiest
-            # device bounds the window.
-            tolerance = worst_device_served * slack + 1e-6
-
-            # 4. close the window: fold its completions into the series
-            if completed_parts:
-                completed = np.concatenate(completed_parts)
-                completion_ns = np.concatenate(completed_ends)
-            else:
-                completed = _EMPTY_QUEUE
-                completion_ns = np.empty(0, dtype=np.float64)
-            accountant.observe_window_arrays(
-                index=index,
-                arrivals=arrived,
-                arrival_ns=arrival[completed],
-                deadline_ns=deadline[completed],
-                slo_factor=slo_factor[completed],
-                completion_ns=completion_ns,
-                rid=rid[completed],
-                backlog=backlog_after,
-                fleet_size=size,
-                energy_nj=window_energy,
-                utilization=utilization,
-                tolerance_ns=tolerance,
-            )
-
-            # 5. the next boundary: every arrival slice gets a window;
-            #    drain windows continue while work remains.
-            next_index = index + 1
-            if next_index < arrival_windows or (
-                backlog_after
-                and next_index < arrival_windows + max_drain
-            ):
-                index = next_index
-                window_start = window_start + t_slice
-                continue
-            break
+                # 5. the next boundary: every arrival slice gets a window;
+                #    drain windows continue while work remains.
+                next_index = index + 1
+                if next_index < arrival_windows or (
+                    backlog_after
+                    and next_index < arrival_windows + max_drain
+                ):
+                    index = next_index
+                    window_start = window_start + t_slice
+                    continue
+                break
 
         unfinished = sum(len(device.queue) for device in fleet)
         return QoSResult(

@@ -81,21 +81,22 @@ class ServeClient:
     # -- the protocol verbs ------------------------------------------------------
 
     def submit(self, config, kind: str = "qos",
-               records: bool = False) -> str:
+               records: bool = False, trace: bool = False) -> str:
         """Enqueue one experiment; returns its job id.
 
         ``config`` is an :class:`~repro.api.config.ExperimentConfig` or
         its dict form; ``kind`` picks the execution path (``run``,
         ``fleet`` or ``qos``); ``records`` asks the eventual RESULT to
-        include per-device records.
+        include per-device records; ``trace`` asks a tracing daemon to
+        attach the job's span subtree to the RESULT payload under
+        ``trace`` (an empty list when the daemon is not tracing).
         """
         if isinstance(config, ExperimentConfig):
             config = config.to_dict()
-        reply = self._exchange(
-            protocol.request(
-                "SUBMIT", kind=kind, config=config, records=records
-            )
-        )
+        fields = {"kind": kind, "config": config, "records": records}
+        if trace:
+            fields["trace"] = True
+        reply = self._exchange(protocol.request("SUBMIT", **fields))
         return reply["job_id"]
 
     def status(self, job_id: str | None = None) -> dict:

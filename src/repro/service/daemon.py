@@ -40,7 +40,6 @@ import queue
 import signal
 import socket
 import socketserver
-import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -48,6 +47,9 @@ from dataclasses import dataclass, field
 from ..api.config import ExperimentConfig
 from ..api.engine import Engine
 from ..errors import ProtocolError, ReproError, ServiceError
+from ..obs import events as obs_events
+from ..obs import tracing as obs_tracing
+from ..obs.tracing import span as _span
 from . import protocol
 from .telemetry import LineFileWriter, MetricsRegistry, format_line
 
@@ -72,6 +74,10 @@ class Job:
     config: ExperimentConfig
     #: Include per-device records in the result payload.
     records: bool = False
+    #: Attach the job's span subtree to its RESULT reply.
+    trace: bool = False
+    #: The collected span records once the job finished under tracing.
+    trace_spans: list | None = None
     state: str = "pending"
     #: The JSON-ready result payload once ``state == "done"``.
     payload: dict | None = None
@@ -162,8 +168,11 @@ class ServeDaemon:
         metrics_file=None,
         pidfile=None,
         log=None,
+        trace=None,
     ) -> None:
-        """See the class docstring; ``log`` overrides the stderr logger."""
+        """See the class docstring; ``log`` overrides the stderr logger
+        and ``trace`` names a file the daemon writes its span trace to
+        on :meth:`stop` (activating process-wide tracing on start)."""
         if workers < 1:
             raise ServiceError(f"need at least one worker, got {workers}")
         self.host = host
@@ -171,6 +180,9 @@ class ServeDaemon:
         self.workers = workers
         self.pidfile = pidfile
         self._log_sink = log
+        self.trace_path = trace
+        self._own_tracer = False
+        self.events = obs_events.EventLog("repro-serve", sink=log)
         if engine is None:
             from ..store.store import Store
 
@@ -180,7 +192,7 @@ class ServeDaemon:
         self.engine = engine
         self.metrics = MetricsRegistry()
         self._metrics_writer = (
-            LineFileWriter(metrics_file, log=self._log)
+            LineFileWriter(metrics_file, on_error=self._metrics_error)
             if metrics_file is not None
             else None
         )
@@ -209,12 +221,10 @@ class ServeDaemon:
 
     # -- logging / files ---------------------------------------------------------
 
-    def _log(self, message: str) -> None:
-        line = f"repro-serve {message}"
-        if self._log_sink is not None:
-            self._log_sink(line)
-        else:
-            print(line, file=sys.stderr, flush=True)
+    def _metrics_error(self, path, error) -> None:
+        self.events.emit(
+            "metrics_file_error", path=str(path), error=repr(error)
+        )
 
     def _write_pidfile(self) -> None:
         if self.pidfile is None:
@@ -270,6 +280,10 @@ class ServeDaemon:
             ) from error
         self._server.serve_daemon = self
         self._write_pidfile()
+        if self.trace_path is not None and obs_tracing.active_tracer() is None:
+            obs_tracing.activate(proc="daemon")
+            self._own_tracer = True
+        obs_events.install(self.events)
         self._started_s = time.monotonic()
         for index in range(self.workers):
             thread = threading.Thread(
@@ -284,10 +298,10 @@ class ServeDaemon:
         )
         acceptor.start()
         self._threads.append(acceptor)
-        self._log(
-            f"event=listening host={self.host} port={self.port} "
-            f"pid={os.getpid()} workers={self.workers} "
-            f"store={getattr(self.engine.store, 'root', None)}"
+        self.events.emit(
+            "listening", host=self.host, port=self.port, pid=os.getpid(),
+            workers=self.workers,
+            store=str(getattr(self.engine.store, "root", None)),
         )
 
     def run(self) -> dict:
@@ -301,8 +315,8 @@ class ServeDaemon:
         self.start()
 
         def handle(signum, _frame):
-            self._log(
-                f"event=signal signal={signal.Signals(signum).name}"
+            self.events.emit(
+                "signal", signal=signal.Signals(signum).name
             )
             self.initiate_shutdown()
 
@@ -361,12 +375,20 @@ class ServeDaemon:
         if self._metrics_writer is not None:
             self._metrics_writer.close()
         self._remove_pidfile()
-        self._log(
-            f"event=stopped pid={os.getpid()} "
-            f"jobs_completed={self._completed.value} "
-            f"jobs_failed={self._failed.value} "
-            f"uptime_s={self.uptime_s:.1f}"
+        tracer = obs_tracing.active_tracer()
+        if self.trace_path is not None and tracer is not None:
+            tracer.trace().write(self.trace_path)
+        if self._own_tracer:
+            obs_tracing.deactivate()
+            self._own_tracer = False
+        self.events.emit(
+            "stopped", pid=os.getpid(),
+            jobs_completed=self._completed.value,
+            jobs_failed=self._failed.value,
+            uptime_s=self.uptime_s,
         )
+        obs_events.uninstall(self.events)
+        self.events.close()
 
     # -- job execution -----------------------------------------------------------
 
@@ -385,16 +407,35 @@ class ServeDaemon:
             job.state = "running"
             job.started_s = time.monotonic()
             self._inflight += 1
+        job_span = _span("daemon.job", job=job.job_id, kind=job.kind)
+        payload = error = None
         try:
-            payload = self._run_job(job)
-        except ReproError as error:
-            self._finish(job, error=f"{type(error).__name__}: {error}")
-        except Exception as error:  # noqa: BLE001 - daemon must survive
-            self._finish(
-                job, error=f"unexpected {type(error).__name__}: {error}"
-            )
+            with job_span:
+                payload = self._run_job(job)
+        except ReproError as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - daemon must survive
+            error = f"unexpected {type(exc).__name__}: {exc}"
+        # Collect before _finish: a RESULT waiter wakes on _finish, so
+        # the subtree must already be attached when it reads the job.
+        self._collect_job_trace(job, job_span)
+        if error is not None:
+            self._finish(job, error=error)
         else:
             self._finish(job, payload=payload)
+
+    def _collect_job_trace(self, job: Job, job_span) -> None:
+        """Attach the job's span subtree when the submitter asked for it."""
+        tracer = obs_tracing.active_tracer()
+        span_id = getattr(job_span, "id", None)
+        if not job.trace or tracer is None or not span_id:
+            job.trace_spans = [] if job.trace else None
+            return
+        with tracer._lock:
+            spans = list(tracer.spans)
+        job.trace_spans = [
+            span.to_dict() for span in obs_tracing.subtree(spans, span_id)
+        ]
 
     def _run_job(self, job: Job) -> dict:
         """Execute one job through the warm engine; returns its payload."""
@@ -445,11 +486,13 @@ class ServeDaemon:
                 time.time_ns(),
             )
         ])
-        self._log(
-            f"event=job_{job.state} job={job.job_id} kind={job.kind} "
-            f"label={job.config.label} wall_s={job.wall_s:.3f}"
-            + (f" error={error!r}" if error else "")
+        fields = dict(
+            job=job.job_id, kind=job.kind, label=job.config.label,
+            wall_s=job.wall_s,
         )
+        if error:
+            fields["error"] = repr(error)
+        self.events.emit(f"job_{job.state}", **fields)
 
     def _observe_window(self, job: Job, stats) -> None:
         """Stream one QoS service window into the metrics surfaces."""
@@ -537,14 +580,14 @@ class ServeDaemon:
                 kind=kind,
                 config=config,
                 records=bool(message.get("records", False)),
+                trace=bool(message.get("trace", False)),
             )
             self._jobs[job.job_id] = job
             self._order.append(job.job_id)
             self._submitted.inc()
         self._queue.put(job)
-        self._log(
-            f"event=job_submitted job={job.job_id} kind={kind} "
-            f"label={config.label}"
+        self.events.emit(
+            "job_submitted", job=job.job_id, kind=kind, label=config.label
         )
         return {
             "v": protocol.PROTOCOL_VERSION,
@@ -594,12 +637,15 @@ class ServeDaemon:
             raise ProtocolError(
                 f"{job.job_id} is still {job.state}", code="job_pending"
             )
-        return {
+        reply = {
             "v": protocol.PROTOCOL_VERSION,
             "type": "RESULT",
             "job_id": job.job_id,
             **job.payload,
         }
+        if job.trace:
+            reply["trace"] = job.trace_spans or []
+        return reply
 
     # -- observability -----------------------------------------------------------
 
@@ -621,7 +667,15 @@ class ServeDaemon:
             "jobs": states,
             "recent": jobs,
             "engine": self.engine.stats_snapshot(),
+            "spans_recorded": self.spans_recorded,
+            "events_logged": self.events.events_logged,
         }
+
+    @property
+    def spans_recorded(self) -> int:
+        """Spans the active tracer has recorded (0 when tracing is off)."""
+        tracer = obs_tracing.active_tracer()
+        return tracer.spans_recorded if tracer is not None else 0
 
     def metrics_text(self, timestamp_ns: int | None = None) -> str:
         """The registry as line protocol, engine/uptime gauges refreshed."""
@@ -634,4 +688,9 @@ class ServeDaemon:
         self.metrics.gauge(serve, "queue_depth").set(state["queue_depth"])
         self.metrics.gauge(serve, "inflight").set(state["inflight"])
         self.metrics.gauge(serve, "draining").set(state["draining"])
+        obs = "repro_obs"
+        self.metrics.gauge(obs, "spans_recorded").set(
+            state["spans_recorded"]
+        )
+        self.metrics.gauge(obs, "events_logged").set(state["events_logged"])
         return self.metrics.render(timestamp_ns)

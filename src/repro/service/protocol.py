@@ -15,7 +15,11 @@ Requests
     ``{"kind": "run"|"fleet"|"qos", "config": {...}, "records": bool}``
     — enqueue one experiment; the config dict is the
     :meth:`~repro.api.config.ExperimentConfig.to_dict` form.  Replies
-    ``{"type": "SUBMITTED", "job_id": ...}``.
+    ``{"type": "SUBMITTED", "job_id": ...}``.  The optional ``trace``
+    boolean asks the daemon to attach the job's span subtree (a list
+    of :meth:`~repro.obs.tracing.Span.to_dict` records) to the job's
+    ``RESULT`` reply under ``trace`` — present only when the daemon is
+    tracing; frames omitting the field behave exactly as before.
 ``STATUS``
     ``{}`` for daemon-wide state (uptime, job counters, queue depth,
     engine stats) or ``{"job_id": ...}`` for one job's state.
@@ -43,7 +47,16 @@ rejects them with a typed ``unsupported`` error)
     "lease_s": float}`` with a lease on the chunk, ``{"type":
     "EMPTY", "done": bool, "retry_s": float}`` when nothing is
     currently claimable, or ``{"type": "EMPTY", "done": true}`` when
-    the sweep has finished and the worker should exit.
+    the sweep has finished and the worker should exit.  A tracing
+    coordinator sets ``"trace": true`` on CHUNK replies, asking the
+    worker to record spans and ship them back.
+
+All four sweep verbs accept an optional ``trace`` field — a list of
+span records (:meth:`~repro.obs.tracing.Span.to_dict`) the worker
+drained since its last request — which the coordinator merges into
+the sweep-wide trace.  Both trace fields are optional in both
+directions: a v2 peer that omits them interoperates unchanged, so no
+version bump.
 ``HEARTBEAT``
     ``{"worker": ..., "chunk": int}`` — renew the chunk's lease.
     Replies ``OK``; a ``stale_lease`` error means another worker
@@ -265,12 +278,22 @@ def validate_request(message: dict) -> str:
             )
         if not isinstance(message.get("config"), dict):
             raise ProtocolError("SUBMIT needs a config object")
+        if "trace" in message and not isinstance(message["trace"], bool):
+            raise ProtocolError("SUBMIT trace must be a boolean")
     if rtype in ("RESULT",) and not isinstance(
         message.get("job_id"), str
     ):
         raise ProtocolError(f"{rtype} needs a job_id string")
     if rtype in DIST_TYPES and not isinstance(message.get("worker"), str):
         raise ProtocolError(f"{rtype} needs a worker string")
+    if rtype in DIST_TYPES and "trace" in message:
+        spans = message["trace"]
+        if not isinstance(spans, list) or not all(
+            isinstance(item, dict) for item in spans
+        ):
+            raise ProtocolError(
+                f"{rtype} trace must be a list of span objects"
+            )
     if rtype in ("HEARTBEAT", "PROGRESS", "COMPLETE"):
         chunk = message.get("chunk")
         if not isinstance(chunk, int) or isinstance(chunk, bool):

@@ -305,10 +305,13 @@ class LineFileWriter:
     down the serving path.
     """
 
-    def __init__(self, path, log=None) -> None:
-        """Open ``path`` for appending; ``log`` is a one-line logger."""
+    def __init__(self, path, log=None, on_error=None) -> None:
+        """Open ``path`` for appending; ``log`` is a one-line logger,
+        ``on_error`` a structured ``(path, error)`` callback that takes
+        precedence over ``log`` for the first-failure warning."""
         self.path = path
         self._log = log
+        self._on_error = on_error
         self._lock = threading.Lock()
         self._failed = False
         self._handle = None
@@ -325,7 +328,9 @@ class LineFileWriter:
                 self._handle.flush()
             except OSError as error:
                 self._failed = True
-                if self._log is not None:
+                if self._on_error is not None:
+                    self._on_error(self.path, error)
+                elif self._log is not None:
                     self._log(
                         f"event=metrics_file_error path={self.path} "
                         f"error={error!r}"

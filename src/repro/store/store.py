@@ -47,6 +47,8 @@ from pathlib import Path
 from ..api.config import ExperimentConfig
 from ..api.results import FleetRecord, ResultSet, RunRecord
 from ..errors import ConfigurationError
+from ..obs import events as _events
+from ..obs.tracing import span as _span
 
 #: Bump when a change alters what stored payloads contain or mean.
 STORE_VERSION = 1
@@ -155,7 +157,10 @@ class Store:
             os.replace(path, target)
             self.stats.quarantined += 1
         except OSError:
-            pass
+            return
+        _events.emit(
+            "store_quarantine", path=str(path), reason="corrupt_entry"
+        )
 
     def _load_payload(self, path: Path):
         """The validated payload at ``path``, or ``None`` (quarantining
@@ -187,14 +192,17 @@ class Store:
         (``fleet`` when ``config.fleet > 1``, else ``run``); pass
         ``"qos"`` — or use :meth:`get_qos` — for request-level results.
         """
-        payload = self._load_payload(
-            self._entry_path(self.key_for(config, kind))
-        )
-        if payload is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return payload["record"]
+        with _span("store.get") as trace_span:
+            payload = self._load_payload(
+                self._entry_path(self.key_for(config, kind))
+            )
+            if payload is None:
+                self.stats.misses += 1
+                trace_span.annotate(hit=False)
+                return None
+            self.stats.hits += 1
+            trace_span.annotate(hit=True)
+            return payload["record"]
 
     def get_qos(self, config: ExperimentConfig):
         """The stored :class:`~repro.qos.slo.QoSResult`, or ``None``."""
@@ -207,6 +215,12 @@ class Store:
     # -- write ------------------------------------------------------------------
 
     def _write(self, key: str, payload: dict) -> bool:
+        with _span("store.put", kind=payload.get("kind")) as trace_span:
+            ok = self._write_entry(key, payload)
+            trace_span.annotate(ok=ok)
+        return ok
+
+    def _write_entry(self, key: str, payload: dict) -> bool:
         path = self._entry_path(key)
         temp = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
         try:

@@ -195,7 +195,7 @@ class TestErrorExit:
                          "BENCH_sweep.json", "BENCH_lookup.json",
                          "BENCH_runtime.json", "BENCH_qos.json",
                          "BENCH_store.json", "BENCH_serve.json",
-                         "BENCH_dist.json"}
+                         "BENCH_dist.json", "BENCH_obs.json"}
         runtime = json.loads((tmp_path / "BENCH_runtime.json").read_text())
         assert runtime["metrics"]["speedup"] > 0
         assert runtime["metrics"]["slices"] > 0

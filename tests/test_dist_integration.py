@@ -118,6 +118,52 @@ class TestKilledWorker:
         assert status["done"]
         assert status["configs"]["completed"] == len(grid)
 
+    def test_traced_sweep_merges_one_trace_across_processes(
+        self, tmp_path, lut_cache
+    ):
+        """A traced sweep writes one merged Perfetto-loadable trace:
+        coordinator plus every worker on a shared time axis, exactly
+        one completed ``worker.chunk`` span per chunk, and results
+        still bit-identical to the untraced reference."""
+        from repro.obs.tracing import Trace
+
+        grid = tiny_grid(4)
+        reference = Engine().run_many(grid).to_json()
+        trace_path = tmp_path / "trace.json"
+        results = distributed_sweep(
+            grid, tmp_path / "store", workers=2, chunk_size=2,
+            log=lambda line: None, timeout=300, trace=trace_path,
+        )
+        assert results.to_json() == reference
+
+        trace = Trace.from_file(trace_path)
+        procs = {s.proc for s in trace.spans}
+        worker_procs = {p for p in procs if p.startswith("worker:")}
+        assert "coordinator" in procs
+        assert len(worker_procs) == 2
+
+        # Exactly one completed chunk span per chunk, recorded by the
+        # worker that ran it, with the engine's spans merged alongside.
+        chunks = [s for s in trace.spans if s.name == "worker.chunk"]
+        completed = [s for s in chunks if s.args.get("completed")]
+        chunk_ids = sorted(s.args["chunk"] for s in completed)
+        assert chunk_ids == sorted(set(chunk_ids))
+        assert sum(s.args["configs"] for s in completed) == len(grid)
+        assert {s.proc for s in chunks} <= worker_procs
+
+        claims = [s for s in trace.spans if s.name == "worker.claim"]
+        assert {s.proc for s in claims} == worker_procs
+        names = {s.name for s in trace.spans}
+        assert {"dist.sweep", "engine.run_many", "engine.run"} <= names
+
+        # The written file is valid Chrome trace-event JSON with a
+        # metadata track per process.
+        payload = json.loads(trace_path.read_text())
+        metas = [
+            e for e in payload["traceEvents"] if e.get("ph") == "M"
+        ]
+        assert {m["args"]["name"] for m in metas} == procs
+
 
 class TestCoordinatorCLI:
     def test_status_json_against_live_coordinator(

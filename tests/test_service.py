@@ -212,6 +212,42 @@ class TestLineProtocol:
         # Percentiles now reflect the window, not all time.
         assert histogram.fields("x")["x_p50"] >= 992
 
+    def test_empty_histogram_renders_count_and_sum_only(self):
+        # No observations: no min/max/percentiles — dashboards must
+        # not see NaNs or placeholder tails before the first job.
+        fields = Histogram().fields("wall")
+        assert fields == {"wall_count": 0, "wall_sum": 0.0}
+        assert format_line("jobs", {}, fields) == (
+            "jobs wall_count=0i,wall_sum=0.0"
+        )
+
+    def test_field_names_escape_like_tags(self):
+        # Field *keys* pass through tag escaping, so a pathological
+        # metric name cannot tear the line apart.
+        assert format_line("m", {}, {"a b": 1, "k=v": 2}) == (
+            r"m a\ b=1i,k\=v=2i"
+        )
+
+    def test_render_unchanged_under_active_tracer(self):
+        # Observability layers must not bleed into each other: the
+        # metrics render is byte-identical with span tracing active.
+        from repro.obs import tracing as obs_tracing
+
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("jobs", "done").inc(2)
+            registry.gauge("obs", "spans").set(7)
+            registry.histogram("jobs", "wall_s").observe(0.5)
+            return registry.render(timestamp_ns=1700000000000000000)
+
+        baseline = build()
+        obs_tracing.activate(proc="test", epoch_ns=0)
+        try:
+            traced = build()
+        finally:
+            obs_tracing.deactivate()
+        assert traced == baseline
+
 
 class TestRegistry:
     def test_fields_merge_into_one_line(self):
@@ -509,6 +545,33 @@ class TestDrainAndShutdown:
         assert not fresh.pidfile.exists()
         assert (fresh.pidfile.parent / "metrics.lp").read_text()
         assert not client.ping()
+
+    def test_traced_submit_returns_job_span_subtree(self, tmp_path):
+        """A waiting RESULT must carry the subtree, not lose the race
+        with its collection (the trace is attached before _finish)."""
+        serving = ServeDaemon(
+            port=0, engine=Engine(use_disk_cache=False),
+            trace=tmp_path / "daemon.json", log=lambda line: None,
+        )
+        try:
+            serving.start()
+            client = ServeClient(port=serving.port, timeout=60.0)
+            job_id = client.submit(qos_config(), trace=True)
+            spans = client.result(job_id, wait=True)["trace"]
+            roots = [s for s in spans if s["parent"] is None]
+            assert [s["name"] for s in roots] == ["daemon.job"]
+            names = {s["name"] for s in spans}
+            assert "engine.qos" in names
+            # A second, untraced submission carries no trace key.
+            plain = client.result(client.submit(qos_config()), wait=True)
+            assert "trace" not in plain
+        finally:
+            serving.stop()
+        # The daemon's own trace file lands on stop.
+        from repro.obs.tracing import Trace
+
+        written = Trace.from_file(tmp_path / "daemon.json")
+        assert sum(1 for s in written.spans if s.name == "daemon.job") == 2
 
     def test_completed_qos_jobs_persist_into_the_store(self, tmp_path):
         from repro.store import Store
