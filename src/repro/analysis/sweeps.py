@@ -134,9 +134,10 @@ def render_store(store, by: str = "arch", kind: str | None = None,
     sweep is inspected with: every stored batch record as one row, then
     the same per-axis aggregate ``repro sweep`` prints — computed
     entirely from stored results.  ``kind`` restricts the listing to
-    one record kind (``run``, ``fleet`` or ``qos`` — the latter renders
-    the stored QoS summary rows) and ``limit`` truncates it to the
-    first N entries of the deterministic order; both back
+    one record kind (``run``, ``fleet``, ``qos`` or ``fuzz`` — the
+    latter two render the stored QoS summary rows and the persisted
+    fuzz regression scenarios) and ``limit`` truncates it to the first
+    N entries of the deterministic order; both back
     ``repro store ls --kind/--limit``.
     """
     state = store.info()
@@ -149,6 +150,8 @@ def render_store(store, by: str = "arch", kind: str | None = None,
     )
     if kind == "qos":
         return "\n".join([header, ""] + _qos_listing(store, limit))
+    if kind == "fuzz":
+        return "\n".join([header, ""] + _fuzz_listing(store, limit))
     results = store.query(kind=kind, limit=limit)
     lines = [header]
     if not len(results):
@@ -201,6 +204,26 @@ def _qos_listing(store, limit: int | None) -> list:
             round(row["total_energy_nj"] / 1e6, 2),
         )
     return [table.render()]
+
+
+def _fuzz_listing(store, limit: int | None) -> list:
+    """The ``--kind fuzz`` table rows for :func:`render_store`."""
+    rows = store.fuzz_rows(limit=limit)
+    if not rows:
+        return ["no stored fuzz regressions"]
+    table = TextTable(["Seed", "Invariant", "Program", "Architecture",
+                       "Model", "Slices"])
+    for row in rows:
+        table.add_row(
+            row["seed"],
+            row["invariant"],
+            row["program"],
+            row["arch"],
+            row["model"],
+            row["slices"],
+        )
+    return [table.render(), "",
+            "replay with: repro fuzz --replay"]
 
 
 def sweep_time_slice(

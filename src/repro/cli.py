@@ -467,6 +467,62 @@ def _cmd_profile(args) -> str:
         ) from error
 
 
+def _cmd_fuzz(args) -> str:
+    """Fuzz the engine (or replay stored regressions) and report."""
+    import json as _json
+
+    from .fuzz import replay_stored, report_json, run_fuzz
+    from .store import Store
+
+    store = Store(args.store)
+    if args.replay:
+        reports = replay_stored(store)
+        payload = {
+            "replayed": len(reports),
+            "failures": sum(1 for report in reports if report.failed),
+            "reports": [report.to_dict() for report in reports],
+        }
+        if args.json:
+            text = _json.dumps(payload, indent=2, sort_keys=True)
+        else:
+            lines = [f"replayed {len(reports)} stored fuzz regression(s)"]
+            for report in reports:
+                status = "FAIL" if report.failed else "ok"
+                lines.append(
+                    f"  [{status}] {report.store_key} "
+                    f"seed={report.case.case_seed} "
+                    f"program={report.case.label}"
+                )
+                for violation in report.violations:
+                    lines.append(
+                        f"         {violation.invariant}: {violation.detail}"
+                    )
+            text = "\n".join(lines)
+        if payload["failures"]:
+            print(text)
+            raise ReproError(
+                f"fuzz replay: {payload['failures']} of {len(reports)} "
+                f"stored regression(s) still fail"
+            )
+        return text
+    if args.cases < 0:
+        raise ReproError(f"--cases must be non-negative, got {args.cases}")
+    report = run_fuzz(
+        args.seed, args.cases, store=store, shrink=not args.no_shrink
+    )
+    text = report_json(report) if args.json else report.render()
+    if report.violation_count:
+        print(text)
+        raise ReproError(
+            f"fuzz: {report.violation_count} invariant violation(s) across "
+            f"{len(report.failures)} of {len(report.reports)} cases (seed "
+            f"{args.seed}); failures persisted — inspect with "
+            f"'repro store ls --kind fuzz', replay with 'repro fuzz "
+            f"--replay'"
+        )
+    return text
+
+
 def _render_coordinator_status(state: dict) -> str:
     """The text body ``repro status`` prints for a sweep coordinator."""
     chunks = state["chunks"]
@@ -1101,9 +1157,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "dispatch"),
                        help="aggregation axis for the ls summary table")
     store.add_argument("--kind", default=None,
-                       choices=("run", "fleet", "qos"),
+                       choices=("run", "fleet", "qos", "fuzz"),
                        help="list only one record kind (qos renders the "
-                            "stored QoS summary rows)")
+                            "stored QoS summary rows; fuzz the persisted "
+                            "regression scenarios)")
     store.add_argument("--limit", type=int, default=None, metavar="N",
                        help="list at most N entries of the sorted order")
     docs = sub.add_parser(
@@ -1120,6 +1177,26 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("file", metavar="FILE",
                          help="a trace written by --trace (Chrome trace "
                               "JSON or a .jsonl span dump)")
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz the engine with seeded scenario programs and "
+                     "check conformance invariants"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="batch seed: same seed, same cases, same report "
+                           "(default: 0)")
+    fuzz.add_argument("--cases", type=int, default=25, metavar="K",
+                      help="number of fuzz cases to generate (default: 25)")
+    fuzz.add_argument("--replay", action="store_true",
+                      help="re-check the store's persisted fuzz regressions "
+                           "instead of generating new cases")
+    fuzz.add_argument("--json", action="store_true",
+                      help="emit the full machine-readable report")
+    fuzz.add_argument("--store", metavar="DIR", default=None,
+                      help="experiment store for persisting/replaying "
+                           "failures (default: REPRO_STORE or the XDG "
+                           "cache)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip greedy minimization of failing cases")
     return parser
 
 
@@ -1148,6 +1225,7 @@ _HANDLERS = {
     "docs": _cmd_docs,
     "list": _cmd_list,
     "profile": _cmd_profile,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -105,6 +105,15 @@ class WorkloadError(ReproError):
     """A workload model or scenario description is invalid."""
 
 
+class FuzzError(ReproError):
+    """A fuzz program, case, or stored regression entry is invalid.
+
+    Raised when a serialized program spec names an unknown operator or
+    carries malformed parameters, and when a persisted ``fuzz-`` store
+    entry cannot be reconstructed into a runnable case.
+    """
+
+
 class ServingError(ReproError):
     """The fleet serving layer was misconfigured or misbehaved.
 

@@ -1,0 +1,50 @@
+"""Seed-deterministic scenario fuzzing with invariant conformance.
+
+The fuzz subsystem composes random-but-seeded arrival-process programs
+and experiment configs (:mod:`repro.fuzz.generator`), runs them through
+the real engine under five conformance invariants
+(:mod:`repro.fuzz.harness`), greedily shrinks failures to minimal
+reproducers (:mod:`repro.fuzz.shrink`), and persists them into the
+experiment store as ``fuzz-`` regression entries that the tier-1 suite
+replays on every run.  ``repro fuzz --seed N --cases K`` is the CLI
+entry point; see ``docs/FUZZING.md`` for the workflow.
+"""
+
+from .generator import FuzzCase, generate_case, generate_cases
+from .harness import (
+    INVARIANTS,
+    CaseReport,
+    FuzzReport,
+    Violation,
+    check_case,
+    replay_stored,
+    report_json,
+    run_fuzz,
+)
+from .programs import (
+    build_program,
+    program_label,
+    program_size,
+    random_program,
+)
+from .shrink import case_size, shrink_case
+
+__all__ = [
+    "FuzzCase",
+    "generate_case",
+    "generate_cases",
+    "INVARIANTS",
+    "CaseReport",
+    "FuzzReport",
+    "Violation",
+    "check_case",
+    "replay_stored",
+    "report_json",
+    "run_fuzz",
+    "build_program",
+    "program_label",
+    "program_size",
+    "random_program",
+    "case_size",
+    "shrink_case",
+]

@@ -1,0 +1,177 @@
+"""Seeded generation of complete fuzz cases (program + experiment axes).
+
+A :class:`FuzzCase` is the unit the harness checks: one serialized
+arrival program plus every experiment axis the engine exposes — Table I
+architecture, workload model, fleet size, dispatch policy, QoS
+discipline, autoscaler, batching, and the SLO factor.  Axis values come
+from fixed tuples (not live registries) so a fuzz run is a pure
+function of its seed even when user plugins are registered.
+
+Case seeds are drawn from one ``random.Random(seed)`` stream, and each
+case is generated from its own ``random.Random(case_seed)`` — so a
+single failing case replays from just its ``case_seed``, independent of
+its position in the batch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..api.config import ExperimentConfig
+from ..errors import FuzzError
+from .programs import build_program, program_label, random_program
+
+__all__ = ["FuzzCase", "generate_case", "generate_cases"]
+
+#: The experiment axes fuzz cases draw from (fixed builtins, for
+#: seed-purity; see module docstring).
+ARCHS = ("Baseline-PIM", "Heterogeneous-PIM", "Hybrid-PIM", "HH-PIM")
+MODELS = ("EfficientNet-B0", "MobileNetV2", "ResNet-18")
+DISCIPLINES = ("fifo", "priority", "edf")
+DISPATCH = ("round_robin", "least_loaded", "energy_aware")
+AUTOSCALERS = ("fixed", "threshold", "queue_depth")
+
+#: Small LUT resolution shared by every fuzz case: bounds runtime
+#: builds to one per (arch, model) pair, memoized across the batch.
+FUZZ_BLOCKS = 24
+FUZZ_STEPS = 3000
+
+_CASE_FIELDS = (
+    "case_seed", "program", "slices", "peak", "arch", "model", "fleet",
+    "dispatch", "qos", "autoscaler", "max_fleet", "batch", "slo",
+)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzzed experiment: an arrival program plus config axes.
+
+    Frozen and fully serializable (:meth:`to_dict` /
+    :meth:`from_dict` round-trip exactly), because failing cases are
+    persisted into the store and replayed by the tier-1 suite.
+    """
+
+    case_seed: int
+    program: dict = field(hash=False)
+    slices: int
+    peak: int
+    arch: str
+    model: str
+    fleet: int
+    dispatch: str
+    qos: str
+    autoscaler: str
+    max_fleet: int | None
+    batch: int
+    slo: float
+
+    def to_dict(self) -> dict:
+        """The JSON-ready dict form (the store's persistence format)."""
+        return {name: getattr(self, name) for name in _CASE_FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzCase":
+        """Rebuild a case from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.FuzzError` for missing or unknown
+        fields, so a hand-edited store entry fails loudly at replay.
+        """
+        if not isinstance(payload, dict):
+            raise FuzzError(f"fuzz case must be a dict, got {payload!r}")
+        unknown = set(payload) - set(_CASE_FIELDS)
+        missing = set(_CASE_FIELDS) - set(payload)
+        if unknown or missing:
+            raise FuzzError(
+                f"fuzz case fields mismatch: missing {sorted(missing)!r}, "
+                f"unknown {sorted(unknown)!r}"
+            )
+        return cls(**payload)
+
+    @property
+    def label(self) -> str:
+        """The composed DSL name of the case's program."""
+        return program_label(self.program)
+
+    def scenario(self):
+        """Materialize the program into a concrete scenario.
+
+        All sampling randomness comes from ``case_seed``, so the same
+        case always yields the same loads.
+        """
+        return build_program(self.program).materialize(
+            self.slices, peak=self.peak, seed=self.case_seed,
+            name=f"fuzz-{self.case_seed}",
+        )
+
+    def config(self, scenario_key: str) -> ExperimentConfig:
+        """The experiment config running this case's axes.
+
+        ``scenario_key`` names the registry entry the materialized
+        scenario was registered under (the harness registers it for the
+        duration of a check so the engine — and the store's
+        content-addressing — resolve it like any preset).
+        """
+        return ExperimentConfig(
+            arch=self.arch,
+            model=self.model,
+            scenario=scenario_key,
+            slices=self.slices,
+            peak=self.peak,
+            seed=self.case_seed,
+            block_count=FUZZ_BLOCKS,
+            time_steps=FUZZ_STEPS,
+            fleet=self.fleet,
+            dispatch=self.dispatch,
+            qos=self.qos,
+            autoscaler=self.autoscaler,
+            max_fleet=self.max_fleet,
+            batch=self.batch,
+            slo=self.slo,
+        )
+
+
+def generate_case(case_seed: int) -> FuzzCase:
+    """The deterministic case for one seed (pure in ``case_seed``)."""
+    rng = random.Random(case_seed)
+    program = random_program(rng, max_depth=3)
+    slices = rng.randint(3, 10)
+    peak = rng.randint(4, 10)
+    arch = rng.choice(ARCHS)
+    model = rng.choice(MODELS)
+    fleet = rng.randint(1, 3)
+    dispatch = rng.choice(DISPATCH)
+    qos = rng.choice(DISCIPLINES)
+    autoscaler = rng.choice(AUTOSCALERS)
+    max_fleet = None if rng.random() < 0.5 else fleet + rng.randint(1, 2)
+    batch = rng.randint(1, 3)
+    slo = round(rng.uniform(1.0, 3.0), 2)
+    return FuzzCase(
+        case_seed=case_seed,
+        program=program,
+        slices=slices,
+        peak=peak,
+        arch=arch,
+        model=model,
+        fleet=fleet,
+        dispatch=dispatch,
+        qos=qos,
+        autoscaler=autoscaler,
+        max_fleet=max_fleet,
+        batch=batch,
+        slo=slo,
+    )
+
+
+def generate_cases(seed: int, count: int) -> tuple:
+    """``count`` cases from one batch seed, each with its own case seed.
+
+    Case seeds are drawn up front from ``random.Random(seed)``, so case
+    ``i`` of batch ``seed`` is identical across processes and across
+    time regardless of how earlier cases executed.
+    """
+    if count < 0:
+        raise FuzzError(f"case count must be non-negative, got {count!r}")
+    rng = random.Random(seed)
+    seeds = [rng.randrange(2**32) for _ in range(count)]
+    return tuple(generate_case(case_seed) for case_seed in seeds)

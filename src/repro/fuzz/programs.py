@@ -1,0 +1,236 @@
+"""Serializable arrival-process programs and their seeded generator.
+
+A *program* is a JSON-ready nested dict describing one composition of
+the :mod:`repro.workloads.arrivals` DSL: leaves name the generator zoo
+(``constant``, ``periodic_spike``, ``pulsing``, ``uniform``,
+``poisson``, ``bursty``, ``diurnal``, ``trace``) and interior nodes the
+four combinators (``scaled``, ``clipped``, ``then``, ``overlay``).
+:func:`build_program` turns a spec back into a live
+:class:`~repro.workloads.arrivals.ArrivalProcess`;
+:func:`random_program` draws a random spec from a caller-supplied
+``random.Random`` so the whole fuzz pipeline is a pure function of its
+seed.  Keeping the program as data (rather than a closure) is what
+makes failures persistable, shrinkable, and replayable byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import FuzzError
+from ..workloads import arrivals
+
+__all__ = [
+    "LEAF_OPS",
+    "COMBINATOR_OPS",
+    "build_program",
+    "random_program",
+    "program_label",
+    "program_size",
+]
+
+#: Leaf operators and the arrivals-module factory parameters they carry.
+LEAF_OPS = (
+    "constant",
+    "periodic_spike",
+    "pulsing",
+    "uniform",
+    "poisson",
+    "bursty",
+    "diurnal",
+    "trace",
+)
+
+#: Interior operators wrapping one (`inner`) or two (`first`/`second`)
+#: child programs.
+COMBINATOR_OPS = ("scaled", "clipped", "then", "overlay")
+
+
+def _require(spec: dict, *names):
+    missing = [name for name in names if name not in spec]
+    if missing:
+        raise FuzzError(
+            f"program op {spec.get('op')!r} is missing parameter(s) "
+            f"{', '.join(missing)}"
+        )
+    return [spec[name] for name in names]
+
+
+def build_program(spec: dict) -> arrivals.ArrivalProcess:
+    """The live :class:`ArrivalProcess` a program spec describes.
+
+    Raises :class:`~repro.errors.FuzzError` for an unknown operator or
+    missing parameters; parameter *values* are validated by the DSL
+    factories themselves (which raise
+    :class:`~repro.errors.WorkloadError`), so a stored entry edited by
+    hand still fails loudly instead of sampling garbage.
+    """
+    if not isinstance(spec, dict) or "op" not in spec:
+        raise FuzzError(f"program spec must be a dict with an 'op', got {spec!r}")
+    op = spec["op"]
+    if op == "constant":
+        (level,) = _require(spec, "level")
+        return arrivals.constant(level)
+    if op == "periodic_spike":
+        period, baseline, spike = _require(spec, "period", "baseline", "spike")
+        return arrivals.periodic_spike(period, baseline=baseline, spike=spike)
+    if op == "pulsing":
+        high_len, low_len, high, low = _require(
+            spec, "high_len", "low_len", "high", "low"
+        )
+        return arrivals.pulsing(high_len, low_len, high=high, low=low)
+    if op == "uniform":
+        low, high = _require(spec, "low", "high")
+        return arrivals.uniform(low=low, high=high)
+    if op == "poisson":
+        (rate,) = _require(spec, "rate")
+        return arrivals.poisson(rate)
+    if op == "bursty":
+        calm_rate, burst_rate, p_burst, p_calm = _require(
+            spec, "calm_rate", "burst_rate", "p_burst", "p_calm"
+        )
+        return arrivals.bursty(
+            calm_rate=calm_rate, burst_rate=burst_rate,
+            p_burst=p_burst, p_calm=p_calm,
+        )
+    if op == "diurnal":
+        trough, crest, period, phase = _require(
+            spec, "trough", "crest", "period", "phase"
+        )
+        return arrivals.diurnal(
+            trough=trough, crest=crest, period=period, phase=phase
+        )
+    if op == "trace":
+        loads, label = _require(spec, "loads", "label")
+        return arrivals.trace(loads, label=label)
+    if op == "scaled":
+        inner, factor = _require(spec, "inner", "factor")
+        return build_program(inner).scaled(factor)
+    if op == "clipped":
+        inner, low, high = _require(spec, "inner", "low", "high")
+        return build_program(inner).clipped(low=low, high=high)
+    if op == "then":
+        first, second, at = _require(spec, "first", "second", "at")
+        return build_program(first).then(build_program(second), at=at)
+    if op == "overlay":
+        first, second = _require(spec, "first", "second")
+        return build_program(first).overlay(build_program(second))
+    raise FuzzError(f"unknown program op {op!r}")
+
+
+def _random_leaf(rng: random.Random) -> dict:
+    op = rng.choice(LEAF_OPS)
+    if op == "constant":
+        return {"op": op, "level": round(rng.uniform(0.0, 8.0), 3)}
+    if op == "periodic_spike":
+        return {
+            "op": op,
+            "period": rng.randint(2, 10),
+            "baseline": round(rng.uniform(0.0, 3.0), 3),
+            "spike": (
+                None if rng.random() < 0.3
+                else round(rng.uniform(3.0, 10.0), 3)
+            ),
+        }
+    if op == "pulsing":
+        return {
+            "op": op,
+            "high_len": rng.randint(1, 5),
+            "low_len": rng.randint(1, 5),
+            "high": (
+                None if rng.random() < 0.3
+                else round(rng.uniform(3.0, 10.0), 3)
+            ),
+            "low": round(rng.uniform(0.0, 3.0), 3),
+        }
+    if op == "uniform":
+        low = rng.randint(0, 3)
+        return {
+            "op": op,
+            "low": low,
+            "high": None if rng.random() < 0.3 else rng.randint(low, 10),
+        }
+    if op == "poisson":
+        return {"op": op, "rate": round(rng.uniform(0.2, 7.0), 3)}
+    if op == "bursty":
+        return {
+            "op": op,
+            "calm_rate": round(rng.uniform(0.2, 3.0), 3),
+            "burst_rate": round(rng.uniform(3.0, 10.0), 3),
+            "p_burst": round(rng.uniform(0.05, 0.5), 3),
+            "p_calm": round(rng.uniform(0.05, 0.6), 3),
+        }
+    if op == "diurnal":
+        trough = round(rng.uniform(0.0, 2.5), 3)
+        return {
+            "op": op,
+            "trough": trough,
+            "crest": (
+                None if rng.random() < 0.3
+                else round(rng.uniform(trough + 0.5, 10.0), 3)
+            ),
+            "period": None if rng.random() < 0.3 else rng.randint(2, 12),
+            "phase": round(rng.uniform(0.0, 1.0), 3),
+        }
+    return {
+        "op": "trace",
+        "loads": [rng.randint(0, 8) for _ in range(rng.randint(1, 8))],
+        "label": "fuzz-trace",
+    }
+
+
+def random_program(rng: random.Random, max_depth: int = 3) -> dict:
+    """A random program spec, a pure function of ``rng``'s state.
+
+    Depth-bounded: at ``max_depth`` only leaves are drawn, and interior
+    nodes are biased toward leaves so typical programs stay small
+    enough to run (and to shrink) quickly while still exercising every
+    combinator across a batch of cases.
+    """
+    if max_depth <= 0 or rng.random() < 0.4:
+        return _random_leaf(rng)
+    op = rng.choice(COMBINATOR_OPS)
+    if op == "scaled":
+        return {
+            "op": op,
+            "inner": random_program(rng, max_depth - 1),
+            "factor": round(rng.uniform(0.0, 2.5), 3),
+        }
+    if op == "clipped":
+        low = round(rng.uniform(0.0, 2.0), 3)
+        return {
+            "op": op,
+            "inner": random_program(rng, max_depth - 1),
+            "low": low,
+            "high": (
+                None if rng.random() < 0.3
+                else round(rng.uniform(low, 9.0), 3)
+            ),
+        }
+    if op == "then":
+        return {
+            "op": op,
+            "first": random_program(rng, max_depth - 1),
+            "second": random_program(rng, max_depth - 1),
+            "at": round(rng.uniform(0.1, 0.9), 3),
+        }
+    return {
+        "op": "overlay",
+        "first": random_program(rng, max_depth - 1),
+        "second": random_program(rng, max_depth - 1),
+    }
+
+
+def program_label(spec: dict) -> str:
+    """The composed DSL name for a spec (e.g. ``poisson+constant``)."""
+    return build_program(spec).name
+
+
+def program_size(spec: dict) -> int:
+    """Node count of a spec — the shrinker's primary size metric."""
+    op = spec.get("op")
+    if op in ("scaled", "clipped"):
+        return 1 + program_size(spec["inner"])
+    if op in ("then", "overlay"):
+        return 1 + program_size(spec["first"]) + program_size(spec["second"])
+    return 1

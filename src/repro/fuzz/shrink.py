@@ -1,0 +1,119 @@
+"""Greedy shrinking of failing fuzz cases toward a minimal reproducer.
+
+The shrinker repeatedly proposes strictly-smaller candidate cases
+(program reductions first, then axis simplifications), keeps the first
+candidate that *still fails* the original invariant, and stops when no
+proposal survives — classic greedy descent, bounded by an attempt
+budget so a pathological oracle cannot stall a fuzz run.
+
+Program reductions replace a combinator with one of its children (and
+recurse into subtrees); non-constant leaves collapse to ``constant(1)``.
+Axis reductions walk every experiment knob toward its simplest value
+(one slice, one device, FIFO, fixed scaling, ...).  The size metric
+deliberately counts non-default knobs so a fully shrunk case reads as
+"the one thing that matters".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .generator import FuzzCase
+from .programs import program_size
+
+__all__ = ["shrink_case", "case_size"]
+
+#: Upper bound on oracle invocations per shrink (each runs the full
+#: invariant suite on a candidate).
+MAX_ATTEMPTS = 150
+
+
+def case_size(case: FuzzCase) -> int:
+    """The shrink metric: program nodes plus simplifiable axis knobs."""
+    size = program_size(case.program)
+    size += case.slices + case.fleet + case.batch
+    size += 0 if case.max_fleet is None else 1
+    size += int(case.qos != "fifo")
+    size += int(case.dispatch != "round_robin")
+    size += int(case.autoscaler != "fixed")
+    size += int(case.arch != "HH-PIM")
+    size += int(case.model != "EfficientNet-B0")
+    size += int(case.slo != 2.0)
+    size += int(case.peak != 4)
+    return size
+
+
+def _program_candidates(spec: dict):
+    """Strictly smaller program specs, most aggressive first."""
+    op = spec.get("op")
+    if op in ("scaled", "clipped"):
+        yield spec["inner"]
+        for inner in _program_candidates(spec["inner"]):
+            yield {**spec, "inner": inner}
+    elif op in ("then", "overlay"):
+        yield spec["first"]
+        yield spec["second"]
+        for first in _program_candidates(spec["first"]):
+            yield {**spec, "first": first}
+        for second in _program_candidates(spec["second"]):
+            yield {**spec, "second": second}
+    elif op != "constant":
+        yield {"op": "constant", "level": 1.0}
+
+
+def _candidates(case: FuzzCase):
+    """Candidate reductions of one case, most aggressive first."""
+    for program in _program_candidates(case.program):
+        yield replace(case, program=program)
+    if case.slices > 1:
+        yield replace(case, slices=1)
+        if case.slices > 2:
+            yield replace(case, slices=case.slices // 2)
+    if case.fleet > 1:
+        yield replace(case, fleet=1)
+    if case.max_fleet is not None:
+        yield replace(case, max_fleet=None)
+    if case.batch > 1:
+        yield replace(case, batch=1)
+    if case.qos != "fifo":
+        yield replace(case, qos="fifo")
+    if case.dispatch != "round_robin":
+        yield replace(case, dispatch="round_robin")
+    if case.autoscaler != "fixed":
+        yield replace(case, autoscaler="fixed")
+    if case.arch != "HH-PIM":
+        yield replace(case, arch="HH-PIM")
+    if case.model != "EfficientNet-B0":
+        yield replace(case, model="EfficientNet-B0")
+    if case.slo != 2.0:
+        yield replace(case, slo=2.0)
+    if case.peak != 4:
+        yield replace(case, peak=4)
+
+
+def shrink_case(case: FuzzCase, still_fails,
+                max_attempts: int = MAX_ATTEMPTS) -> FuzzCase:
+    """Greedily minimize ``case`` while ``still_fails(candidate)`` holds.
+
+    ``still_fails`` is the oracle — typically "re-check and require the
+    same invariant to fail".  Returns the smallest case found (possibly
+    the original).  Each accepted reduction restarts the candidate
+    scan, so reductions compose; the attempt budget bounds total oracle
+    cost.
+    """
+    attempts = 0
+    current = case
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            if case_size(candidate) >= case_size(current):
+                continue
+            attempts += 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current

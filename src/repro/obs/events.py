@@ -57,6 +57,10 @@ EVENTS = {
     "test_stall": ("chunk", "stall_s"),
     # -- store --
     "store_quarantine": ("path", "reason"),
+    # -- qos --
+    "qos_scalar_fallback": ("discipline", "reason"),
+    # -- fuzz harness --
+    "fuzz_failure": ("seed", "invariant", "key"),
 }
 
 

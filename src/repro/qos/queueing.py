@@ -44,6 +44,7 @@ import numpy as np
 
 from ..core.runtime import SliceRecord, TimeSliceRuntime
 from ..errors import QoSError
+from ..obs import events as _events
 from ..obs.tracing import span as _span
 from ..plugins import coerce_spec
 from ..serving.dispatch import make_policy
@@ -693,6 +694,11 @@ class QoSSimulator:
             batch_cols = RequestBatch.from_requests(requests)
         keys = self.discipline.vector_keys(batch_cols)
         if keys is None:
+            _events.emit(
+                "qos_scalar_fallback",
+                discipline=type(self.discipline).__name__,
+                reason="no_vector_keys",
+            )
             return self.run_scalar(scenario, requests=batch_cols, seed=seed)
 
         arrival_windows = len(scenario)

@@ -46,6 +46,7 @@ from pathlib import Path
 
 from ..api.config import ExperimentConfig
 from ..api.results import FleetRecord, ResultSet, RunRecord
+from ..core import lutcache
 from ..errors import ConfigurationError
 from ..obs import events as _events
 from ..obs.tracing import span as _span
@@ -53,8 +54,10 @@ from ..obs.tracing import span as _span
 #: Bump when a change alters what stored payloads contain or mean.
 STORE_VERSION = 1
 
-#: The record kinds one config can produce.
-KINDS = ("run", "fleet", "qos")
+#: The record kinds the store holds: the three result shapes one config
+#: can produce, plus ``fuzz`` regression entries persisted by the
+#: invariant harness (see :mod:`repro.fuzz`).
+KINDS = ("run", "fleet", "qos", "fuzz")
 
 
 @dataclass
@@ -297,6 +300,41 @@ class Store:
             ),
         })
 
+    def put_fuzz(self, entry: dict) -> str | None:
+        """Persist a fuzz regression entry; returns its key, or ``None``.
+
+        ``entry`` is the plain dict the invariant harness builds (see
+        :func:`repro.fuzz.run_fuzz`): at minimum a ``"case"`` dict (the
+        shrunk :class:`~repro.fuzz.FuzzCase` in serialized form) and the
+        ``"invariant"`` it violates.  The key is content-addressed over
+        the case dict, so re-finding the same minimal case is
+        idempotent.  A failed write degrades to ``None`` (same contract
+        as :meth:`put`).
+        """
+        case = entry.get("case")
+        if not isinstance(case, dict) or not entry.get("invariant"):
+            raise ConfigurationError(
+                "fuzz entry needs a 'case' dict and an 'invariant' name"
+            )
+        key = f"fuzz-{lutcache.fingerprint('fuzz', case)}"
+        ok = self._write(key, {
+            "version": STORE_VERSION,
+            "key": key,
+            "kind": "fuzz",
+            "config": None,
+            "row": {
+                "seed": case.get("case_seed"),
+                "invariant": entry["invariant"],
+                "program": entry.get("program_label", ""),
+                "arch": case.get("arch", ""),
+                "model": case.get("model", ""),
+                "slices": case.get("slices"),
+            },
+            "record": dict(entry),
+            "engine_stats": None,
+        })
+        return key if ok else None
+
     # -- enumeration ------------------------------------------------------------
 
     def _entries(self):
@@ -324,11 +362,24 @@ class Store:
         hashes, never from directory listing order — so two processes
         querying one store (on any filesystem) see the same records in
         the same order, and ``--limit N`` truncates to the same N.
+
+        ``kind="fuzz"`` is the one non-batch kind this method serves:
+        fuzz regression entries are plain dicts, not records, so the
+        call returns a sorted ``list`` of entry dicts (``predicate``
+        and ``limit`` still apply; axis keywords are rejected).
         """
+        if kind == "fuzz":
+            if axes:
+                raise ConfigurationError(
+                    "fuzz entries are not batch records and accept no "
+                    f"axis filters, got {sorted(axes)!r}"
+                )
+            return self.fuzz_entries(predicate=predicate, limit=limit)
         if kind is not None and kind not in ("run", "fleet"):
             raise ConfigurationError(
-                f"query kind must be 'run' or 'fleet' (qos entries are "
-                f"not batch records; see Store.qos_rows), got {kind!r}"
+                f"query kind must be 'run', 'fleet' or 'fuzz' (qos "
+                f"entries are not batch records; see Store.qos_rows), "
+                f"got {kind!r}"
             )
         if limit is not None and limit < 0:
             raise ConfigurationError(
@@ -336,7 +387,7 @@ class Store:
             )
         records = []
         for path in list(self._entries()):
-            if path.name.startswith("qos-"):
+            if path.name.startswith(("qos-", "fuzz-")):
                 continue
             if kind is not None and not path.name.startswith(f"{kind}-"):
                 continue
@@ -372,6 +423,64 @@ class Store:
         rows = []
         for path in list(self._entries()):
             if not path.name.startswith("qos-"):
+                continue
+            payload = self._load_payload(path)
+            if payload is None or not isinstance(payload.get("row"), dict):
+                continue
+            rows.append((payload["key"], payload["row"]))
+        rows.sort(key=lambda item: item[0])
+        if limit is not None:
+            rows = rows[:limit]
+        return [row for _, row in rows]
+
+    def fuzz_entries(self, predicate=None, limit: int | None = None) -> list:
+        """The stored fuzz regression entries, sorted by key.
+
+        Each element is the full dict :meth:`put_fuzz` persisted (the
+        serialized minimal case, the violated invariant, its detail
+        string, and the original pre-shrink case), with the store key
+        attached under ``"key"``.  ``predicate`` filters entries after
+        sorting; ``limit`` keeps the first ``limit`` survivors — the
+        same order every process sees, so replay is deterministic.
+        """
+        if limit is not None and limit < 0:
+            raise ConfigurationError(
+                f"fuzz_entries limit must be non-negative, got {limit!r}"
+            )
+        entries = []
+        for path in list(self._entries()):
+            if not path.name.startswith("fuzz-"):
+                continue
+            payload = self._load_payload(path)
+            if payload is None or not isinstance(payload.get("record"), dict):
+                continue
+            entry = dict(payload["record"])
+            entry["key"] = payload["key"]
+            entries.append((payload["key"], entry))
+        entries.sort(key=lambda item: item[0])
+        results = [entry for _, entry in entries]
+        if predicate is not None:
+            results = [entry for entry in results if predicate(entry)]
+        if limit is not None:
+            results = results[:limit]
+        return results
+
+    def fuzz_rows(self, limit: int | None = None) -> list:
+        """The stored fuzz entries' flat summary rows, sorted by key.
+
+        Each row is the plain dict :meth:`put_fuzz` embedded alongside
+        the full entry (case seed, violated invariant, program label,
+        arch, model, slices) — enough for ``repro store ls --kind
+        fuzz`` without reloading whole entries.  ``limit`` keeps only
+        the first ``limit`` rows of the sorted set.
+        """
+        if limit is not None and limit < 0:
+            raise ConfigurationError(
+                f"fuzz_rows limit must be non-negative, got {limit!r}"
+            )
+        rows = []
+        for path in list(self._entries()):
+            if not path.name.startswith("fuzz-"):
                 continue
             payload = self._load_payload(path)
             if payload is None or not isinstance(payload.get("row"), dict):

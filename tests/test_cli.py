@@ -441,3 +441,109 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--spill"])
         assert args.spill is True
         assert build_parser().parse_args(["sweep"]).spill is False
+
+
+class TestCliErrorPaths:
+    """Error paths must exit 2 with one clean line, no traceback."""
+
+    def test_profile_malformed_trace_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not a trace {{{")
+        code = main(["profile", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: cannot profile")
+        assert "Traceback" not in captured.err
+
+    def test_profile_missing_file_exits_2(self, capsys, tmp_path):
+        code = main(["profile", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: cannot profile")
+        assert "Traceback" not in captured.err
+
+    def test_sweep_malformed_shard_exits_2(self, capsys):
+        code = main(["sweep", "--shard", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "shard must look like I/N" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_sweep_out_of_range_shard_exits_2(self, capsys):
+        code = main(["sweep", "--shard", "5/2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "out of range" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_sweep_worker_bad_connect_exits_2(self, capsys):
+        code = main(["sweep-worker", "--connect", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "HOST:PORT" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_store_ls_unknown_kind_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "ls", "--kind", "banana"])
+        captured = capsys.readouterr()
+        assert excinfo.value.code == 2
+        assert "invalid choice" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestFuzzCli:
+    def test_fuzz_clean_run(self, capsys):
+        out = run_cli(capsys, "fuzz", "--seed", "0", "--cases", "2")
+        assert "violations=0" in out
+        assert out.count("[ok]") == 2
+
+    def test_fuzz_json_bit_reproducible(self, capsys):
+        first = run_cli(capsys, "fuzz", "--seed", "3", "--cases", "2",
+                        "--json")
+        second = run_cli(capsys, "fuzz", "--seed", "3", "--cases", "2",
+                         "--json")
+        assert first == second
+        payload = json.loads(first)
+        assert payload["seed"] == 3
+        assert payload["cases"] == 2
+        assert payload["violations"] == 0
+
+    def test_fuzz_negative_cases_exits_2(self, capsys):
+        code = main(["fuzz", "--cases", "-1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "non-negative" in captured.err
+
+    def test_fuzz_injected_fault_full_loop(self, capsys, tmp_path,
+                                           monkeypatch):
+        """Inject, fail, persist; list via store ls; replay fails armed
+        and passes clean."""
+        store_dir = str(tmp_path / "store")
+        monkeypatch.setenv("REPRO_FUZZ_TEST_BREAK", "1")
+        code = main(["fuzz", "--seed", "7", "--cases", "1",
+                     "--store", store_dir])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "invariant violation" in captured.err
+        assert "[FAIL]" in captured.out
+        assert "shrunk ->" in captured.out
+
+        out = run_cli(capsys, "store", "ls", "--kind", "fuzz",
+                      "--store", store_dir)
+        assert "conservation" in out
+        assert "repro fuzz --replay" in out
+
+        code = main(["fuzz", "--replay", "--store", store_dir])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "still fail" in captured.err
+
+        monkeypatch.delenv("REPRO_FUZZ_TEST_BREAK")
+        out = run_cli(capsys, "fuzz", "--replay", "--store", store_dir)
+        assert "[ok]" in out
+
+    def test_fuzz_replay_empty_store(self, capsys, tmp_path):
+        out = run_cli(capsys, "fuzz", "--replay", "--store",
+                      str(tmp_path / "empty"))
+        assert "replayed 0" in out

@@ -1,0 +1,422 @@
+"""Tests for the seed-deterministic fuzz subsystem (repro.fuzz).
+
+Covers the program generator (hypothesis-driven validity and
+round-trip properties), the case generator's determinism and axis
+coverage, the invariant harness on benign seeds, the injected-fault
+acceptance loop (catch -> shrink -> persist -> replay), the store's
+``fuzz`` kind, and the tier-1 auto-replay of persisted regressions.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.config import ExperimentConfig
+from repro.api.engine import Engine
+from repro.errors import ConfigurationError, FuzzError
+from repro.fuzz import (
+    FuzzCase,
+    check_case,
+    generate_case,
+    generate_cases,
+    replay_stored,
+    report_json,
+    run_fuzz,
+)
+from repro.fuzz.generator import (
+    ARCHS,
+    AUTOSCALERS,
+    DISCIPLINES,
+    DISPATCH,
+    MODELS,
+)
+from repro.fuzz.programs import (
+    COMBINATOR_OPS,
+    LEAF_OPS,
+    build_program,
+    program_label,
+    program_size,
+    random_program,
+)
+from repro.fuzz.shrink import case_size, shrink_case
+from repro.obs.events import EventLog, install, uninstall
+from repro.store import Store
+from repro.workloads.scenarios import Scenario
+
+from _shared import SMALL_BLOCKS, SMALL_STEPS
+
+
+@pytest.fixture(scope="module")
+def engine():
+    """One store-less engine per module: runtimes memoize across tests."""
+    return Engine()
+
+
+class TestPrograms:
+    def test_random_program_is_deterministic(self):
+        assert (
+            random_program(random.Random(42))
+            == random_program(random.Random(42))
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_random_programs_always_materialize(self, seed):
+        spec = random_program(random.Random(seed))
+        scenario = build_program(spec).materialize(7, peak=6, seed=seed)
+        assert len(scenario.loads) == 7
+        assert all(0 <= load <= 6 for load in scenario.loads)
+        assert program_label(spec)
+        assert program_size(spec) >= 1
+
+    def test_every_op_is_reachable(self):
+        seen = set()
+        rng = random.Random(0)
+
+        def walk(spec):
+            seen.add(spec["op"])
+            for child in ("inner", "first", "second"):
+                if child in spec:
+                    walk(spec[child])
+
+        for _ in range(500):
+            walk(random_program(rng))
+        assert seen >= set(LEAF_OPS)
+        assert seen >= set(COMBINATOR_OPS)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(FuzzError, match="unknown program op"):
+            build_program({"op": "sawtooth"})
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(FuzzError, match="missing parameter"):
+            build_program({"op": "constant"})
+
+    def test_non_dict_spec_raises(self):
+        with pytest.raises(FuzzError, match="must be a dict"):
+            build_program("poisson")
+
+
+class TestScenarioRoundTrip:
+    """Satellite: composed programs round-trip through Scenario.to_dict."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_program_scenario_round_trips(self, seed):
+        case = generate_case(seed)
+        scenario = case.scenario()
+        payload = scenario.to_dict()
+        rebuilt = Scenario(
+            case=payload["case"],
+            loads=tuple(payload["loads"]),
+            peak=payload["peak"],
+            name=payload["label"],
+        )
+        assert rebuilt.loads == scenario.loads
+        assert rebuilt.peak == scenario.peak
+        assert rebuilt.label == scenario.label
+        # Re-materializing the program reproduces the same loads, so the
+        # persisted (program, seed) pair is a faithful scenario record.
+        assert case.scenario().loads == scenario.loads
+
+
+class TestGenerator:
+    def test_generate_cases_deterministic(self):
+        assert generate_cases(5, 10) == generate_cases(5, 10)
+
+    def test_batches_share_case_prefix(self):
+        assert generate_cases(5, 10)[:3] == generate_cases(5, 3)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_case_dict_round_trip(self, seed):
+        case = generate_case(seed)
+        assert FuzzCase.from_dict(case.to_dict()) == case
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = generate_case(1).to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(FuzzError, match="fields mismatch"):
+            FuzzCase.from_dict(payload)
+
+    def test_from_dict_rejects_missing_fields(self):
+        payload = generate_case(1).to_dict()
+        del payload["slices"]
+        with pytest.raises(FuzzError, match="fields mismatch"):
+            FuzzCase.from_dict(payload)
+
+    def test_axes_are_all_reachable(self):
+        cases = generate_cases(0, 200)
+        for axis, values in (
+            ("arch", ARCHS), ("model", MODELS), ("qos", DISCIPLINES),
+            ("dispatch", DISPATCH), ("autoscaler", AUTOSCALERS),
+        ):
+            assert {getattr(case, axis) for case in cases} == set(values)
+        assert {case.fleet for case in cases} == {1, 2, 3}
+        assert any(case.max_fleet is not None for case in cases)
+
+    def test_configs_are_valid(self):
+        for case in generate_cases(2, 20):
+            config = case.config("case1")
+            assert config.fingerprint()
+
+    def test_negative_count_raises(self):
+        with pytest.raises(FuzzError, match="non-negative"):
+            generate_cases(0, -1)
+
+
+class TestHarness:
+    def test_benign_cases_pass(self, engine):
+        report = run_fuzz(0, 2, engine=engine)
+        assert report.violation_count == 0
+        assert not report.failures
+        assert len(report.reports) == 2
+
+    def test_report_json_is_seed_deterministic(self, engine):
+        first = report_json(run_fuzz(3, 2, engine=engine))
+        second = report_json(run_fuzz(3, 2, engine=engine))
+        assert first == second
+
+    def test_check_case_reports_engine_errors_as_findings(self, engine):
+        case = generate_case(1)
+        broken = FuzzCase.from_dict({**case.to_dict(), "arch": "NoSuchPIM"})
+        violations = check_case(broken, engine)
+        assert violations
+        assert violations[0].invariant == "error"
+
+    def test_injected_fault_caught_shrunk_persisted_replayed(
+            self, engine, tmp_path, monkeypatch):
+        """The acceptance loop: REPRO_FUZZ_TEST_BREAK=1 must be caught,
+        shrunk to a minimal program, persisted, and replayed as a
+        failure until the fault is gone."""
+        monkeypatch.setenv("REPRO_FUZZ_TEST_BREAK", "1")
+        store = Store(tmp_path / "store")
+        report = run_fuzz(11, 1, engine=engine, store=store)
+        assert report.violation_count >= 1
+        failure = report.failures[0]
+        assert any(
+            v.invariant == "conservation" for v in failure.violations
+        )
+        # Shrunk to a minimal reproducer: a single-leaf program on the
+        # simplest axes.
+        assert failure.shrunk is not None
+        assert program_size(failure.shrunk.program) == 1
+        assert failure.shrunk.slices == 1
+        assert failure.shrunk.fleet == 1
+        assert failure.shrunk.batch == 1
+        assert failure.shrunk.qos == "fifo"
+        # Persisted as a fuzz- regression entry.
+        assert failure.store_key is not None
+        assert failure.store_key.startswith("fuzz-")
+        rows = store.fuzz_rows()
+        assert len(rows) == 1
+        assert rows[0]["invariant"] == "conservation"
+        # Replay fails while the fault is armed...
+        replays = replay_stored(store, engine)
+        assert len(replays) == 1 and replays[0].failed
+        # ...and passes once it is fixed (env cleared).
+        monkeypatch.delenv("REPRO_FUZZ_TEST_BREAK")
+        replays = replay_stored(store, engine)
+        assert len(replays) == 1 and not replays[0].failed
+
+    def test_fuzz_failure_event_emitted(self, engine, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FUZZ_TEST_BREAK", "1")
+        lines = []
+        log = install(EventLog("test-fuzz", sink=lines.append))
+        try:
+            run_fuzz(11, 1, engine=engine, store=Store(tmp_path / "s"),
+                     shrink=False)
+        finally:
+            uninstall(log)
+        failure_lines = [ln for ln in lines if "event=fuzz_failure" in ln]
+        assert failure_lines
+        assert "invariant=conservation" in failure_lines[0]
+
+
+class TestShrink:
+    def test_shrink_reaches_minimum_when_everything_fails(self):
+        case = generate_case(99)
+        shrunk = shrink_case(case, lambda candidate: True)
+        assert program_size(shrunk.program) == 1
+        assert shrunk.slices == 1
+        assert shrunk.fleet == 1
+        assert shrunk.batch == 1
+        assert shrunk.max_fleet is None
+        assert shrunk.qos == "fifo"
+        assert shrunk.dispatch == "round_robin"
+        assert shrunk.autoscaler == "fixed"
+        assert case_size(shrunk) < case_size(case)
+
+    def test_shrink_keeps_case_when_nothing_fails(self):
+        case = generate_case(99)
+        assert shrink_case(case, lambda candidate: False) == case
+
+    def test_shrunk_case_still_valid(self):
+        case = generate_case(123)
+        shrunk = shrink_case(case, lambda candidate: True)
+        assert shrunk.scenario().loads is not None
+        assert shrunk.config("case1").fingerprint()
+
+
+class TestScalarFallbackEvent:
+    """Satellite: the silent vectorized->scalar QoS fallback is typed."""
+
+    def test_fallback_emits_event(self, engine):
+        from repro.qos.queueing import QoSSimulator, QueueDiscipline
+
+        class NoVector(QueueDiscipline):
+            name = "no-vector"
+
+            def key(self, request):
+                return (request.rid,)
+
+        config = ExperimentConfig(
+            scenario="case1", slices=3,
+            block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS,
+        )
+        runtime = engine.runtime(config)
+        scenario = engine.scenario(config)
+        lines = []
+        log = install(EventLog("test-qos", sink=lines.append))
+        try:
+            result = QoSSimulator(
+                runtime, discipline=NoVector()
+            ).run_vectorized(scenario)
+        finally:
+            uninstall(log)
+        assert result.total_requests == scenario.total_inferences
+        fallback = [ln for ln in lines if "event=qos_scalar_fallback" in ln]
+        assert len(fallback) == 1
+        assert "discipline=NoVector" in fallback[0]
+        assert "reason=no_vector_keys" in fallback[0]
+
+    def test_vector_disciplines_do_not_emit(self, engine):
+        from repro.qos.queueing import QoSSimulator
+
+        config = ExperimentConfig(
+            scenario="case1", slices=3,
+            block_count=SMALL_BLOCKS, time_steps=SMALL_STEPS,
+        )
+        lines = []
+        log = install(EventLog("test-qos", sink=lines.append))
+        try:
+            QoSSimulator(engine.runtime(config)).run_vectorized(
+                engine.scenario(config)
+            )
+        finally:
+            uninstall(log)
+        assert not [ln for ln in lines if "qos_scalar_fallback" in ln]
+
+
+class TestStoreFuzzKind:
+    """Satellite: the store's fuzz kind (put/rows/entries/query/ls)."""
+
+    def _entry(self, seed=1, invariant="conservation"):
+        case = generate_case(seed)
+        return {
+            "seed": case.case_seed,
+            "case": case.to_dict(),
+            "original_case": None,
+            "invariant": invariant,
+            "detail": "synthetic",
+            "violations": [{"invariant": invariant, "detail": "synthetic"}],
+            "program_label": case.label,
+        }
+
+    def test_put_fuzz_round_trips(self, tmp_path):
+        store = Store(tmp_path)
+        key = store.put_fuzz(self._entry())
+        assert key is not None and key.startswith("fuzz-")
+        entries = store.fuzz_entries()
+        assert len(entries) == 1
+        assert entries[0]["key"] == key
+        assert entries[0]["invariant"] == "conservation"
+        assert FuzzCase.from_dict(entries[0]["case"]) == generate_case(1)
+
+    def test_put_fuzz_is_idempotent(self, tmp_path):
+        store = Store(tmp_path)
+        assert store.put_fuzz(self._entry()) == store.put_fuzz(self._entry())
+        assert len(store.fuzz_entries()) == 1
+
+    def test_put_fuzz_validates_entry(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fuzz entry"):
+            Store(tmp_path).put_fuzz({"invariant": "conservation"})
+        with pytest.raises(ConfigurationError, match="fuzz entry"):
+            Store(tmp_path).put_fuzz({"case": generate_case(1).to_dict()})
+
+    def test_query_kind_fuzz_lists_entries(self, tmp_path):
+        store = Store(tmp_path)
+        store.put_fuzz(self._entry(1))
+        store.put_fuzz(self._entry(2, invariant="determinism"))
+        entries = store.query(kind="fuzz")
+        assert len(entries) == 2
+        assert [e["key"] for e in entries] == sorted(e["key"] for e in entries)
+        only = store.query(
+            kind="fuzz",
+            predicate=lambda e: e["invariant"] == "determinism",
+        )
+        assert len(only) == 1
+        assert store.query(kind="fuzz", limit=1) == entries[:1]
+
+    def test_query_kind_fuzz_rejects_axes(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="axis"):
+            Store(tmp_path).query(kind="fuzz", arch="HH-PIM")
+
+    def test_default_query_skips_fuzz_entries(self, tmp_path):
+        store = Store(tmp_path)
+        store.put_fuzz(self._entry())
+        assert len(store.query()) == 0
+
+    def test_fuzz_rows_summarize(self, tmp_path):
+        store = Store(tmp_path)
+        store.put_fuzz(self._entry(7))
+        rows = store.fuzz_rows()
+        assert len(rows) == 1
+        case = generate_case(7)
+        assert rows[0]["seed"] == case.case_seed
+        assert rows[0]["arch"] == case.arch
+        assert rows[0]["slices"] == case.slices
+
+    def test_info_counts_fuzz_entries(self, tmp_path):
+        store = Store(tmp_path)
+        store.put_fuzz(self._entry())
+        assert store.info()["by_kind"]["fuzz"] == 1
+
+    def test_render_store_lists_fuzz(self, tmp_path):
+        from repro.analysis.sweeps import render_store
+
+        store = Store(tmp_path)
+        store.put_fuzz(self._entry())
+        out = render_store(store, kind="fuzz")
+        assert "Invariant" in out
+        assert "conservation" in out
+        assert "repro fuzz --replay" in out
+
+    def test_render_store_empty_fuzz(self, tmp_path):
+        from repro.analysis.sweeps import render_store
+
+        out = render_store(Store(tmp_path), kind="fuzz")
+        assert "no stored fuzz regressions" in out
+
+
+class TestStoredRegressionReplay:
+    """Tier-1 auto-replay: persisted fuzz regressions must stay green.
+
+    The session store is isolated by conftest, so this replays exactly
+    the regressions persisted by the machine's (or CI job's) store —
+    any entry a fuzz run has filed must pass here before a change
+    ships.
+    """
+
+    def test_stored_regressions_replay_clean(self, engine):
+        reports = replay_stored(Store(), engine)
+        failures = [report for report in reports if report.failed]
+        assert failures == [], (
+            "stored fuzz regressions still failing: "
+            + ", ".join(
+                f"{report.store_key} ({report.violations[0].invariant})"
+                for report in failures
+            )
+        )
